@@ -1,0 +1,1 @@
+bench/extras.ml: Clock Giraph_profiles List Printf Run_result Runners Setups Size Spark_driver Spark_profiles Th_core Th_device Th_metrics Th_minijvm Th_objmodel Th_psgc Th_sim Th_workloads

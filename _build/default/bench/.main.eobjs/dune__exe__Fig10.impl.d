@@ -1,0 +1,1 @@
+bench/fig10.ml: Giraph_driver Giraph_profiles Hashtbl List Printf Runners Runtime Setups Size Th_core Th_metrics Th_objmodel Th_sim

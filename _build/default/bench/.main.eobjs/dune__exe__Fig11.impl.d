@@ -1,0 +1,1 @@
+bench/fig11.ml: Giraph_profiles List Printf Run_result Runners Size Th_core Th_metrics Th_psgc Th_sim

@@ -1,0 +1,1 @@
+bench/fig12.ml: List Printf Runners Spark_driver Spark_profiles Th_baselines Th_device Th_metrics

@@ -1,0 +1,1 @@
+bench/fig13.ml: Float Giraph_profiles List Printf Runners Spark_profiles Th_metrics

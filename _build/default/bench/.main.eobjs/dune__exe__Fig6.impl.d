@@ -1,0 +1,1 @@
+bench/fig6.ml: Giraph_profiles List Printf Runners Spark_profiles Th_metrics

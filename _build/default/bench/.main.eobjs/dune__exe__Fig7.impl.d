@@ -1,0 +1,1 @@
+bench/fig7.ml: Array List Printf Run_result Runners Spark_profiles Th_metrics Th_psgc

@@ -1,0 +1,1 @@
+bench/fig8.ml: List Printf Runners Spark_profiles Th_metrics

@@ -1,0 +1,1 @@
+bench/fig9.ml: Giraph_profiles List Printf Run_result Runners Th_core Th_metrics

@@ -1,0 +1,1 @@
+bench/main.ml: Array Extras Fig10 Fig11 Fig12 Fig13 Fig6 Fig7 Fig8 Fig9 List Micro Printf String Sys Table5

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Clock Costs Hashtbl Instance List Measure Printf Size Staged Test Th_core Th_device Th_minijvm Th_objmodel Th_sim Time Toolkit

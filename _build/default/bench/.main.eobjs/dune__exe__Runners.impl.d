@@ -1,0 +1,1 @@
+bench/runners.ml: Clock Costs List Printf Th_baselines Th_core Th_device Th_metrics Th_psgc Th_sim Th_workloads

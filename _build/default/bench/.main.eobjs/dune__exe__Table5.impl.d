@@ -1,0 +1,1 @@
+bench/table5.ml: Float List Printf Size Th_core Th_metrics Th_sim

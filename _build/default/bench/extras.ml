@@ -1,0 +1,275 @@
+(* Textual results from the paper outside the numbered figures:
+   - §4: post-write-barrier overhead with EnableTeraHeap is within 3 %
+     (DaCapo); reproduced with a mutation-heavy synthetic workload;
+   - §3.3: dependency lists reclaim more regions than the Union-Find
+     region-group alternative because reference direction matters. *)
+
+open Runners
+module H2 = Th_core.H2
+module Report = Th_metrics.Report
+module Runtime = Th_psgc.Runtime
+module H1_heap = Th_minijvm.H1_heap
+open Th_sim
+
+let barrier_overhead () =
+  (* §4: the DaCapo-style micro-suite; the paper reports a mean overhead
+     within 3 % across all benchmarks and zero when EnableTeraHeap is
+     unset. *)
+  let measured =
+    List.map
+      (fun (b : Th_workloads.Dacapo.benchmark) ->
+        (b.Th_workloads.Dacapo.name, Th_workloads.Dacapo.overhead b))
+      Th_workloads.Dacapo.all
+  in
+  let rows =
+    List.map
+      (fun (name, (ov, barriers)) ->
+        [ name; string_of_int barriers; Report.pct ov ])
+      measured
+  in
+  let mean =
+    List.fold_left (fun acc (_, (ov, _)) -> acc +. ov) 0.0 measured
+    /. float_of_int (List.length measured)
+  in
+  Report.print_series
+    ~title:"§4: post-write barrier overhead (EnableTeraHeap), DaCapo-style suite"
+    ~header:[ "benchmark"; "barriers"; "overhead" ]
+    (rows @ [ [ "mean"; "-"; Report.pct mean ] ])
+
+let ablation_union_find () =
+  let rows =
+    List.map
+      (fun (p : Giraph_profiles.t) ->
+        let stats_of mode =
+          let cfg = { H2.default_config with H2.reclaim_mode = mode } in
+          let r = run_giraph ~h2_config:cfg G_th p in
+          match r.Run_result.h2_stats with
+          | Some s ->
+              ( Printf.sprintf "%d/%d" s.H2.regions_reclaimed
+                  s.H2.regions_allocated,
+                total_seconds r )
+          | None -> ("OOM", nan)
+        in
+        let dep, dep_t = stats_of H2.Dependency_lists in
+        let uf, uf_t = stats_of H2.Region_groups in
+        [
+          p.Giraph_profiles.name;
+          dep;
+          Printf.sprintf "%.3fs" dep_t;
+          uf;
+          Printf.sprintf "%.3fs" uf_t;
+        ])
+      Giraph_profiles.all
+  in
+  Report.print_series
+    ~title:
+      "§3.3 ablation: dependency lists vs Union-Find region groups \
+       (reclaimed/allocated regions)"
+    ~header:[ "workload"; "dep-lists"; "time"; "union-find"; "time" ]
+    rows
+
+(* §7.1: "TeraHeap can also be used with G1 ... by moving long-lived,
+   humongous objects to H2". G1 alone OOMs on the columnar workloads;
+   G1 + TeraHeap runs them because the humongous cached data leaves H1. *)
+let g1_with_teraheap () =
+  let rows =
+    List.map
+      (fun name ->
+        let p = Spark_profiles.by_name name in
+        let dram = default_dram p in
+        let g1 = run_spark ~dram G1 p in
+        let g1_th =
+          let setup =
+            Setups.spark_teraheap ~collector:Th_psgc.Rt.G1
+              ~huge_pages:p.Spark_profiles.sequential
+              ~h1_gb:(heap_gb_of_dram dram) ~dr2_gb:Spark_profiles.dr2_gb ()
+          in
+          Spark_driver.run ~label:"g1+th" setup.Setups.ctx p
+        in
+        let cell (r : Run_result.t) =
+          match r.Run_result.breakdown with
+          | None -> "OOM"
+          | Some b -> Printf.sprintf "%.3fs" (Th_sim.Clock.total_ns b /. 1e9)
+        in
+        [ name; cell g1; cell g1_th ])
+      [ "SVM"; "BC"; "RL"; "PR" ]
+  in
+  Report.print_series ~title:"§7.1 extension: G1 alone vs G1 + TeraHeap"
+    ~header:[ "workload"; "G1"; "G1+TeraHeap" ]
+    rows
+
+(* §7.2 future work: dynamic thresholds vs the static low threshold, on
+   the Figure-9b large-dataset runs. *)
+let dynamic_thresholds () =
+  let static_cfg = { H2.default_config with H2.low_threshold = Some 0.5 } in
+  let dynamic_cfg =
+    { H2.default_config with H2.low_threshold = Some 0.5; dynamic_thresholds = true }
+  in
+  let rows =
+    List.map
+      (fun (p : Giraph_profiles.t) ->
+        let scale = 91.0 /. float_of_int p.Giraph_profiles.dataset_gb in
+        let t cfg = total_seconds (run_giraph ~scale ~h2_config:cfg G_th p) in
+        let st = t static_cfg and dy = t dynamic_cfg in
+        [
+          p.Giraph_profiles.name;
+          Printf.sprintf "%.3fs" st;
+          Printf.sprintf "%.3fs" dy;
+          Report.pct ((st -. dy) /. st);
+        ])
+      [ Giraph_profiles.pagerank; Giraph_profiles.sssp ]
+  in
+  Report.print_series
+    ~title:"§7.2 extension: static vs dynamic low threshold (91GB runs)"
+    ~header:[ "workload"; "static 50%"; "dynamic"; "improvement" ]
+    rows
+
+(* §7.3 future work: size-segregated H2 placement. Large dead arrays no
+   longer pin regions of small live objects, so more regions reclaim and
+   less space is wasted (the BFS/SSSP pattern of Figure 10). *)
+let size_segregated_placement () =
+  let rows =
+    List.map
+      (fun (p : Giraph_profiles.t) ->
+        let stats_of placement =
+          let cfg = { H2.default_config with H2.placement } in
+          let r = run_giraph ~h2_config:cfg G_th p in
+          match r.Run_result.h2_stats with
+          | Some s ->
+              Printf.sprintf "%d/%d (waste %s)" s.H2.regions_reclaimed
+                s.H2.regions_allocated
+                (Th_sim.Size.to_string s.H2.wasted_bytes)
+          | None -> "OOM"
+        in
+        [
+          p.Giraph_profiles.name;
+          stats_of H2.Label_only;
+          stats_of H2.Size_segregated;
+        ])
+      [ Giraph_profiles.bfs; Giraph_profiles.sssp; Giraph_profiles.pagerank ]
+  in
+  Report.print_series
+    ~title:
+      "§7.3 extension: label-only vs size-segregated placement        (reclaimed/allocated regions)"
+    ~header:[ "workload"; "label-only"; "size-segregated" ]
+    rows
+
+(* Synthetic X -> Y -> Z region chain (the exact example of §3.3): three
+   labelled groups where X references Y references Z, and only Z stays
+   referenced from H1. Directed dependency lists reclaim X and Y;
+   Union-Find region groups keep the whole group alive. *)
+let synthetic_chain_ablation () =
+  let run reclaim_mode =
+    let clock = Clock.create () in
+    let costs = Setups.default_costs in
+    let heap = Th_minijvm.H1_heap.create ~heap_bytes:(Size.mib 16) () in
+    let device = Th_device.Device.create clock Th_device.Device.Nvme_ssd in
+    let h2 =
+      H2.create
+        ~config:{ H2.default_config with H2.reclaim_mode }
+        ~clock ~costs ~device ~dr2_bytes:(Size.mib 4) ()
+    in
+    let rt = Runtime.create ~h2 ~clock ~costs ~heap () in
+    let anchor = Runtime.alloc rt ~size:64 () in
+    Runtime.add_root rt anchor;
+    let group label =
+      let root = Runtime.alloc rt ~size:128 () in
+      Runtime.write_ref rt anchor root;
+      for _ = 1 to 64 do
+        let e = Runtime.alloc rt ~size:2048 () in
+        Runtime.write_ref rt root e
+      done;
+      Runtime.h2_tag_root rt root ~label;
+      Runtime.h2_move rt ~label;
+      root
+    in
+    let x = group 1 and y = group 2 and z = group 3 in
+    Runtime.major_gc rt;
+    (* Cross-region chain: X -> Y -> Z. *)
+    Runtime.write_ref rt x y;
+    Runtime.write_ref rt y z;
+    (* Drop the H1 references to X and Y; only Z stays reachable. *)
+    Runtime.unlink_ref rt anchor x;
+    Runtime.unlink_ref rt anchor y;
+    Runtime.major_gc rt;
+    Runtime.major_gc rt;
+    (H2.stats h2).H2.regions_reclaimed
+  in
+  Report.print_series
+    ~title:"§3.3 synthetic X->Y->Z chain: regions reclaimed with only Z live"
+    ~header:[ "dependency lists"; "union-find groups" ]
+    [
+      [
+        string_of_int (run H2.Dependency_lists);
+        string_of_int (run H2.Region_groups);
+      ];
+    ]
+
+(* Synthetic mixed-size group (the Figure-10 BFS/SSSP pattern): one label
+   holding many small long-lived objects and several large arrays that
+   die early. Label-only placement interleaves them, so the dead arrays'
+   space stays pinned by the live smalls; size-segregated placement puts
+   the arrays in their own regions, which reclaim in bulk. *)
+let synthetic_placement_ablation () =
+  let run placement =
+    let clock = Clock.create () in
+    let costs = Setups.default_costs in
+    let heap = Th_minijvm.H1_heap.create ~heap_bytes:(Size.mib 64) () in
+    let device = Th_device.Device.create clock Th_device.Device.Nvme_ssd in
+    let h2 =
+      H2.create
+        ~config:
+          { H2.default_config with H2.placement; region_size = Size.kib 512 }
+        ~clock ~costs ~device ~dr2_bytes:(Size.mib 4) ()
+    in
+    let rt = Runtime.create ~h2 ~clock ~costs ~heap () in
+    let anchor = Runtime.alloc rt ~size:64 () in
+    Runtime.add_root rt anchor;
+    (* Interleaved independent key-objects sharing one label, as Giraph
+       tags per-vertex edge maps and per-partition message chunks: small
+       groups that stay live alternating with large arrays that die. *)
+    let larges = ref [] in
+    for _ = 1 to 20 do
+      let group = Runtime.alloc rt ~size:128 () in
+      Runtime.write_ref rt anchor group;
+      for _ = 1 to 20 do
+        let small = Runtime.alloc rt ~size:512 () in
+        Runtime.write_ref rt group small
+      done;
+      Runtime.h2_tag_root rt group ~label:1;
+      let large =
+        Runtime.alloc rt ~kind:Th_objmodel.Heap_object.Array_data
+          ~size:(Size.kib 192) ()
+      in
+      Runtime.write_ref rt anchor large;
+      Runtime.h2_tag_root rt large ~label:1;
+      larges := large :: !larges
+    done;
+    Runtime.h2_move rt ~label:1;
+    Runtime.major_gc rt;
+    (* The large arrays die; the small groups stay live. *)
+    List.iter (fun l -> Runtime.unlink_ref rt anchor l) !larges;
+    Runtime.major_gc rt;
+    Runtime.major_gc rt;
+    let st = H2.stats h2 in
+    (st.H2.regions_reclaimed, st.H2.used_bytes)
+  in
+  let lo_r, lo_b = run H2.Label_only in
+  let ss_r, ss_b = run H2.Size_segregated in
+  Report.print_series
+    ~title:
+      "§7.3 synthetic mixed-size group: dead 192KiB arrays inside a live        label"
+    ~header:[ "placement"; "regions reclaimed"; "H2 bytes still used" ]
+    [
+      [ "label-only"; string_of_int lo_r; Th_sim.Size.to_string lo_b ];
+      [ "size-segregated"; string_of_int ss_r; Th_sim.Size.to_string ss_b ];
+    ]
+
+let run () =
+  barrier_overhead ();
+  ablation_union_find ();
+  synthetic_chain_ablation ();
+  g1_with_teraheap ();
+  dynamic_thresholds ();
+  size_segregated_placement ();
+  synthetic_placement_ablation ()

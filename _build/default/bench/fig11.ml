@@ -1,0 +1,75 @@
+(* Figure 11: (a) H2-related minor-GC time for card segment sizes from
+   512 B to 16 KiB (normalized to 512 B), Giraph; (b) major-GC time per
+   phase, Giraph-OOC vs TeraHeap. *)
+
+open Runners
+module H2 = Th_core.H2
+module Report = Th_metrics.Report
+module Gc_stats = Th_psgc.Gc_stats
+open Th_sim
+
+let segment_sizes = [ 512; 1024; 4096; 8192; 16384 ]
+
+(* Figure 11a plots the H2 component of minor GC (card scanning and
+   backward-reference processing), not whole minor-GC pauses. *)
+let h2_minor_seconds (r : Run_result.t) =
+  match r.Run_result.h2_stats with
+  | Some s -> s.H2.minor_scan_time_ns /. 1e9
+  | None -> nan
+
+let part_a () =
+  let rows =
+    List.map
+      (fun (p : Giraph_profiles.t) ->
+        let times =
+          List.map
+            (fun seg ->
+              let cfg =
+                { H2.default_config with H2.card_segment_size = seg }
+              in
+              h2_minor_seconds (run_giraph ~h2_config:cfg G_th p))
+            segment_sizes
+        in
+        let base = List.hd times in
+        p.Giraph_profiles.name
+        :: List.map (fun t -> Printf.sprintf "%.2f" (t /. base)) times)
+      Giraph_profiles.all
+  in
+  Report.print_series
+    ~title:"Fig 11a: minor GC time vs H2 card segment size (normalized to 512B)"
+    ~header:("workload" :: List.map (fun s -> Size.to_string s) segment_sizes)
+    rows
+
+let phase_row label (r : Run_result.t) =
+  match r.Run_result.gc_stats with
+  | None -> [ label; "OOM"; ""; ""; ""; "" ]
+  | Some stats ->
+      let ph = Gc_stats.phase_totals stats in
+      let s ns = Printf.sprintf "%.4f" (ns /. 1e9) in
+      [
+        label;
+        s ph.Gc_stats.marking_ns;
+        s ph.Gc_stats.precompact_ns;
+        s ph.Gc_stats.adjust_ns;
+        s ph.Gc_stats.compact_ns;
+        s
+          (ph.Gc_stats.marking_ns +. ph.Gc_stats.precompact_ns
+          +. ph.Gc_stats.adjust_ns +. ph.Gc_stats.compact_ns);
+      ]
+
+let part_b () =
+  List.iter
+    (fun (p : Giraph_profiles.t) ->
+      let ooc = run_giraph Ooc p in
+      let th = run_giraph G_th p in
+      Report.print_series
+        ~title:
+          (Printf.sprintf "Fig 11b / Giraph-%s: major GC phases (s)"
+             p.Giraph_profiles.name)
+        ~header:[ "system"; "marking"; "precompact"; "adjust"; "compact"; "total" ]
+        [ phase_row "Giraph-OOC" ooc; phase_row "TeraHeap" th ])
+    Giraph_profiles.all
+
+let run () =
+  part_a ();
+  part_b ()

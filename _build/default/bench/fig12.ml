@@ -1,0 +1,64 @@
+(* Figure 12: the NVM server. (a) Spark-SD vs TeraHeap with H2/off-heap
+   over NVM in App-Direct mode; (b) Spark-MO (heap on NVM in Memory mode)
+   vs TeraHeap; (c) Panthera vs TeraHeap with the same DRAM and NVM
+   budget (64 GB hybrid heap vs 16 GB H1 + NVM H2). *)
+
+open Runners
+module Report = Th_metrics.Report
+module Setups = Th_baselines.Setups
+module Device = Th_device.Device
+
+let part_a () =
+  List.iter
+    (fun (p : Spark_profiles.t) ->
+      Report.print_breakdown_table
+        ~title:
+          (Printf.sprintf "Fig 12a / %s on NVM: Spark-SD vs TeraHeap"
+             p.Spark_profiles.name)
+        (rows_of_results [ run_spark Sd_nvm p; run_spark Th_nvm p ]))
+    Spark_profiles.all
+
+let part_b () =
+  List.iter
+    (fun (p : Spark_profiles.t) ->
+      Report.print_breakdown_table
+        ~title:
+          (Printf.sprintf "Fig 12b / %s on NVM: Spark-MO vs TeraHeap"
+             p.Spark_profiles.name)
+        (rows_of_results [ run_spark Mo p; run_spark Th_nvm p ]))
+    Spark_profiles.all
+
+(* Panthera's configuration fixes the heap at 64 GB (16 DRAM + 48 NVM);
+   inputs are sized so the cached data fits the hybrid heap, and TeraHeap
+   gets the same DRAM (16 GB H1) with H2 on NVM. *)
+let part_c () =
+  let workloads =
+    [ "PR"; "CC"; "SSSP"; "SVD"; "LR"; "LgR"; "KM"; "SVM"; "BC" ]
+  in
+  List.iter
+    (fun name ->
+      let p = Spark_profiles.by_name name in
+      let dataset_scale =
+        min 1.0 (32.0 /. float_of_int p.Spark_profiles.dataset_gb)
+      in
+      let panthera = run_spark ~dataset_scale Panthera p in
+      let th =
+        let costs = costs () in
+        let setup =
+          Setups.spark_teraheap ~device_kind:Device.Nvm_app_direct ~costs
+            ~huge_pages:p.Spark_profiles.sequential ~h1_gb:16 ~dr2_gb:16 ()
+        in
+        Spark_driver.run ~dataset_scale ~label:"TeraHeap (16GB H1 + NVM H2)"
+          setup.Setups.ctx p
+      in
+      Report.print_breakdown_table
+        ~title:
+          (Printf.sprintf "Fig 12c / %s: Panthera vs TeraHeap"
+             p.Spark_profiles.name)
+        (rows_of_results [ panthera; th ]))
+    workloads
+
+let run () =
+  part_a ();
+  part_b ();
+  part_c ()

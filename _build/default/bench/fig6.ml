@@ -1,0 +1,46 @@
+(* Figure 6: TeraHeap vs Spark-SD (10 workloads) and vs Giraph-OOC
+   (5 workloads) under the Figure-6 DRAM sweep, on the NVMe server.
+   Normalized execution-time breakdowns; missing bars are OOM. *)
+
+open Runners
+module Report = Th_metrics.Report
+
+let spark () =
+  List.iter
+    (fun (p : Spark_profiles.t) ->
+      let sd =
+        List.map
+          (fun dram -> run_spark ~dram Sd p)
+          p.Spark_profiles.sd_dram_gb
+      in
+      let th =
+        List.map
+          (fun dram -> run_spark ~dram Th p)
+          p.Spark_profiles.th_dram_gb
+      in
+      Report.print_breakdown_table
+        ~title:(Printf.sprintf "Fig 6 / Spark-%s (normalized)" p.Spark_profiles.name)
+        (rows_of_results (sd @ th)))
+    Spark_profiles.all
+
+let giraph () =
+  List.iter
+    (fun (p : Giraph_profiles.t) ->
+      let results =
+        [
+          run_giraph ~small_dram:true Ooc p;
+          run_giraph Ooc p;
+          run_giraph ~small_dram:true G_th p;
+          run_giraph G_th p;
+        ]
+      in
+      Report.print_breakdown_table
+        ~title:
+          (Printf.sprintf "Fig 6 / Giraph-%s (normalized)"
+             p.Giraph_profiles.name)
+        (rows_of_results results))
+    Giraph_profiles.all
+
+let run () =
+  spark ();
+  giraph ()

@@ -1,0 +1,40 @@
+(* Figure 7: GC-cycle timeline and old-generation occupancy for Spark-PR
+   with a 64 GB heap (DRAM 80), Spark-SD vs TeraHeap. The paper reports
+   171 major GCs averaging 3.7 s for Spark-SD against 13 averaging 16 s
+   for TeraHeap (§7.1). *)
+
+open Runners
+module Report = Th_metrics.Report
+module Gc_stats = Th_psgc.Gc_stats
+
+let summarize label (r : Run_result.t) =
+  match r.Run_result.gc_stats with
+  | None -> ()
+  | Some stats ->
+      let majors = Gc_stats.major_count stats in
+      let minors = Gc_stats.minor_count stats in
+      let avg_major_s = Gc_stats.avg_major_ns stats /. 1e9 in
+      let minor_total_s = Gc_stats.minor_total_ns stats /. 1e9 in
+      Printf.printf
+        "%-22s major GCs: %4d (avg %6.4f s)   minor GCs: %5d (total %6.4f \
+         s)\n"
+        label majors avg_major_s minors minor_total_s;
+      (* Occupancy timeline, downsampled to 12 points. *)
+      let tl = Gc_stats.occupancy_timeline stats in
+      let n = List.length tl in
+      if n > 0 then begin
+        let arr = Array.of_list tl in
+        let points = min 12 n in
+        Printf.printf "%-22s occupancy:" "";
+        for i = 0 to points - 1 do
+          let at, occ = arr.(i * (n - 1) / max 1 (points - 1)) in
+          Printf.printf " %4.0fs:%3.0f%%" (at /. 1e9) (100.0 *. occ)
+        done;
+        print_newline ()
+      end
+
+let run () =
+  Printf.printf "\n== Fig 7: GC timeline, Spark-PR, 64GB heap ==\n";
+  let p = Spark_profiles.pagerank in
+  summarize "Spark-SD" (run_spark ~dram:80 Sd p);
+  summarize "TeraHeap" (run_spark ~dram:80 Th p)

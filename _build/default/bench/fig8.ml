@@ -1,0 +1,25 @@
+(* Figure 8: TeraHeap vs the newer collectors — Parallel Scavenge on
+   OpenJDK11 and G1 on OpenJDK17 — for the ten Spark workloads at the
+   Table-3 DRAM. G1 OOMs on SVM, BC and RL due to humongous-object
+   fragmentation (§7.1). *)
+
+open Runners
+module Report = Th_metrics.Report
+
+let run () =
+  List.iter
+    (fun (p : Spark_profiles.t) ->
+      let results =
+        [
+          run_spark Sd p;
+          run_spark Ps11 p;
+          run_spark G1 p;
+          run_spark Th p;
+        ]
+      in
+      Report.print_breakdown_table
+        ~title:
+          (Printf.sprintf "Fig 8 / %s: PS8 vs PS11 vs G1 vs TeraHeap"
+             p.Spark_profiles.name)
+        (rows_of_results results))
+    Spark_profiles.all

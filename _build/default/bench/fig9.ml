@@ -1,0 +1,62 @@
+(* Figure 9: effect of the h2_move transfer hint (a) and of the low
+   transfer threshold (b) on Giraph. Without the hint ("NH"), TeraHeap
+   can only use the high-threshold mechanism and moves objects that are
+   still mutable, paying device read-modify-writes (§7.2). The low
+   threshold ("L") bounds how much a pressure-triggered move transfers. *)
+
+open Runners
+module Report = Th_metrics.Report
+module H2 = Th_core.H2
+
+let with_hint = H2.{ default_config with low_threshold = None }
+
+let no_hint =
+  H2.{ default_config with use_move_hint = false; low_threshold = None }
+
+let high_only = with_hint
+
+let high_and_low = H2.{ default_config with low_threshold = Some 0.5 }
+
+let part_a () =
+  List.iter
+    (fun (p : Giraph_profiles.t) ->
+      let nh = run_giraph ~h2_config:no_hint G_th p in
+      let h = run_giraph ~h2_config:with_hint G_th p in
+      Report.print_breakdown_table
+        ~title:
+          (Printf.sprintf "Fig 9a / Giraph-%s: no-hint (NH) vs hint (H)"
+             p.Giraph_profiles.name)
+        (rows_of_results
+           [
+             { nh with Run_result.label = "NH (threshold only)" };
+             { h with Run_result.label = "H (h2_move hint)" };
+           ]);
+      Printf.printf "   majors NH=%d H=%d   minors NH=%d H=%d\n"
+        nh.Run_result.major_gcs h.Run_result.major_gcs
+        nh.Run_result.minor_gcs h.Run_result.minor_gcs)
+    Giraph_profiles.all
+
+(* Figure 9b uses a larger dataset (91 GB) that trips the high-threshold
+   mechanism even with hints enabled. *)
+let part_b () =
+  List.iter
+    (fun (p : Giraph_profiles.t) ->
+      let scale = 91.0 /. float_of_int p.Giraph_profiles.dataset_gb in
+      let h1_gb = 5 * p.Giraph_profiles.th_h1_gb / 4 in
+      let nl = run_giraph ~scale ~h1_gb ~h2_config:high_only G_th p in
+      let l = run_giraph ~scale ~h1_gb ~h2_config:high_and_low G_th p in
+      Report.print_breakdown_table
+        ~title:
+          (Printf.sprintf
+             "Fig 9b / Giraph-%s (91GB): no-low (NL) vs low threshold (L)"
+             p.Giraph_profiles.name)
+        (rows_of_results
+           [
+             { nl with Run_result.label = "NL (high only)" };
+             { l with Run_result.label = "L (high+low 50%)" };
+           ]))
+    [ Giraph_profiles.pagerank; Giraph_profiles.sssp ]
+
+let run () =
+  part_a ();
+  part_b ()

@@ -1,0 +1,38 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (§6–§7). Run all experiments with `dune exec bench/main.exe`,
+   or select sections: `dune exec bench/main.exe -- fig6 fig7 ...`.
+   `micro` runs the bechamel micro-benchmarks of the core structures. *)
+
+let sections : (string * string * (unit -> unit)) list =
+  [
+    ("table5", "H2 metadata size per TB vs region size", Table5.run);
+    ("fig6", "TeraHeap vs Spark-SD / Giraph-OOC, DRAM sweep", Fig6.run);
+    ("fig7", "GC timeline and old-gen occupancy, Spark-PR", Fig7.run);
+    ("fig8", "PS-JDK11 and G1-JDK17 collectors vs TeraHeap", Fig8.run);
+    ("fig9", "transfer hint and low-threshold policies", Fig9.run);
+    ("fig10", "CDF of live objects/space per H2 region", Fig10.run);
+    ("fig11", "H2 card segment sizes; major GC phases", Fig11.run);
+    ("fig12", "NVM server: Spark-SD, Spark-MO, Panthera", Fig12.run);
+    ("fig13", "scaling with threads and dataset size", Fig13.run);
+    ("extras", "write-barrier overhead; union-find ablation", Extras.run);
+    ("micro", "bechamel micro-benchmarks", Micro.run);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as args) -> args
+    | _ -> List.map (fun (name, _, _) -> name) sections
+  in
+  let t0 = Sys.time () in
+  List.iter
+    (fun name ->
+      match List.find_opt (fun (n, _, _) -> n = name) sections with
+      | Some (n, descr, f) ->
+          Printf.printf "\n##### %s — %s #####\n%!" n descr;
+          f ()
+      | None ->
+          Printf.eprintf "unknown section %s; available: %s\n" name
+            (String.concat ", " (List.map (fun (n, _, _) -> n) sections)))
+    requested;
+  Printf.printf "\n(benchmarks completed in %.1f s cpu time)\n" (Sys.time () -. t0)

@@ -1,0 +1,84 @@
+(* Bechamel micro-benchmarks of the core data structures: H2 card-table
+   operations, region allocation/reclamation, dependency propagation,
+   closure traversal, serializer throughput. One Test.make per table. *)
+
+open Bechamel
+open Toolkit
+module H2 = Th_core.H2
+module H2_card_table = Th_core.H2_card_table
+module Obj_ = Th_objmodel.Heap_object
+module Card_table = Th_minijvm.Card_table
+open Th_sim
+
+let make_h2 () =
+  let clock = Clock.create () in
+  let costs = Costs.default in
+  let device = Th_device.Device.create clock Th_device.Device.Nvme_ssd in
+  H2.create ~config:H2.default_config ~clock ~costs ~device
+    ~dr2_bytes:(Size.mib 8) ()
+
+let test_card_mark =
+  let ct = H2_card_table.create ~capacity_bytes:(Size.mib 256) () in
+  Test.make ~name:"h2 card mark_dirty"
+    (Staged.stage (fun () -> H2_card_table.mark_dirty ct ~gaddr:123_456))
+
+let test_card_scan =
+  let ct = H2_card_table.create ~capacity_bytes:(Size.mib 64) () in
+  for i = 0 to 100 do
+    H2_card_table.mark_dirty ct ~gaddr:(i * Size.kib 640)
+  done;
+  Test.make ~name:"h2 card table scan (16k segments)"
+    (Staged.stage (fun () ->
+         let n = ref 0 in
+         H2_card_table.iter_minor_scan ct ~lo:0
+           ~hi:(H2_card_table.num_segments ct) (fun _ _ -> incr n)))
+
+let test_region_cycle =
+  Test.make ~name:"h2 region alloc+reclaim (64 objs)"
+    (Staged.stage (fun () ->
+         let h2 = make_h2 () in
+         for i = 0 to 63 do
+           let o = Obj_.create ~id:i ~size:1024 () in
+           H2.alloc h2 o ~label:1
+         done;
+         H2.clear_live_bits h2;
+         ignore (H2.free_dead_regions h2 ~on_free:(fun _ -> ()))))
+
+let test_closure =
+  let root = Obj_.create ~id:0 ~size:64 () in
+  for i = 1 to 1000 do
+    Obj_.add_ref root (Obj_.create ~id:i ~size:256 ())
+  done;
+  Test.make ~name:"reachability over 1k-object group"
+    (Staged.stage (fun () ->
+         ignore (Obj_.reachable ~roots:[ root ] ~fence_h2:false)))
+
+let test_h1_cards =
+  let ct = Card_table.create ~capacity_bytes:(Size.mib 64) () in
+  Test.make ~name:"h1 card mark+clear"
+    (Staged.stage (fun () ->
+         Card_table.mark_dirty ct ~addr:51200;
+         Card_table.clear_card ct ~card:(Card_table.card_of_addr ct 51200)))
+
+let benchmarks =
+  [ test_card_mark; test_card_scan; test_region_cycle; test_closure; test_h1_cards ]
+
+let run () =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+  List.iter
+    (fun test ->
+      let results =
+        Benchmark.all cfg instances test
+        |> fun raw ->
+        Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false
+                       ~predictors:[| Measure.run |]) Instance.monotonic_clock raw
+      in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "%-40s %12.1f ns/op\n" name est
+          | _ -> Printf.printf "%-40s (no estimate)\n" name)
+        results)
+    benchmarks;
+  ()

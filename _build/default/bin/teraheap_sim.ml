@@ -1,0 +1,149 @@
+(* Command-line front end: run one workload under one system configuration
+   and print its execution-time breakdown and GC/H2 statistics. *)
+
+open Th_sim
+module Setups = Th_baselines.Setups
+module Spark_profiles = Th_workloads.Spark_profiles
+module Giraph_profiles = Th_workloads.Giraph_profiles
+module Spark_driver = Th_workloads.Spark_driver
+module Giraph_driver = Th_workloads.Giraph_driver
+module Run_result = Th_workloads.Run_result
+module Gc_stats = Th_psgc.Gc_stats
+module Runtime = Th_psgc.Runtime
+module H2 = Th_core.H2
+
+let print_result (r : Run_result.t) =
+  (match r.Run_result.breakdown with
+  | None ->
+      Printf.printf "%s: OUT OF MEMORY (%s)\n" r.Run_result.label
+        (Option.value ~default:"?" r.Run_result.oom_reason);
+      (match r.Run_result.census with
+      | Some census -> Format.printf "%a" Th_psgc.Heap_census.pp census
+      | None -> ())
+  | Some b ->
+      Format.printf "%s: %a@." r.Run_result.label Clock.pp_breakdown b);
+  Printf.printf "  minor GCs: %d   major GCs: %d\n" r.Run_result.minor_gcs
+    r.Run_result.major_gcs;
+  (match r.Run_result.h2_stats with
+  | Some s ->
+      Printf.printf
+        "  H2: %d objects moved (%s), regions alloc/reclaimed/active: \
+         %d/%d/%d, dep nodes: %d\n"
+        s.H2.moves_to_h2
+        (Size.to_string s.H2.bytes_moved)
+        s.H2.regions_allocated s.H2.regions_reclaimed s.H2.regions_active
+        s.H2.dep_nodes
+  | None -> ());
+  match r.Run_result.h2_device with
+  | Some d -> Format.printf "  H2 device: %a@." Th_device.Device.pp_stats d
+  | None -> ()
+
+let run_spark name system threads dram_override =
+  let p = Spark_profiles.by_name name in
+  let costs = Costs.with_mutator_threads Setups.default_costs threads in
+  let dram =
+    if dram_override > 0 then dram_override
+    else List.fold_left max 0 p.Spark_profiles.sd_dram_gb
+  in
+  let heap_gb = dram - Spark_profiles.dr2_gb in
+  let setup, label =
+    match system with
+    | "sd" -> (Setups.spark_sd ~costs ~heap_gb (), "Spark-SD")
+    | "sd-nvm" ->
+        ( Setups.spark_sd ~device_kind:Th_device.Device.Nvm_app_direct ~costs
+            ~heap_gb (),
+          "Spark-SD/NVM" )
+    | "mo" ->
+        ( Setups.spark_mo ~costs ~heap_gb:p.Spark_profiles.mo_heap_gb
+            ~dram_gb:dram (),
+          "Spark-MO" )
+    | "ps11" ->
+        (Setups.spark_sd ~collector:Th_psgc.Rt.Ps_jdk11 ~costs ~heap_gb (), "PS/JDK11")
+    | "g1" ->
+        (Setups.spark_sd ~collector:Th_psgc.Rt.G1 ~costs ~heap_gb (), "G1/JDK17")
+    | "panthera" -> (Setups.spark_panthera ~costs ~heap_gb:64 (), "Panthera")
+    | "th" ->
+        ( Setups.spark_teraheap ~costs ~huge_pages:p.Spark_profiles.sequential
+            ~h1_gb:heap_gb ~dr2_gb:Spark_profiles.dr2_gb (),
+          "TeraHeap" )
+    | "th-nvm" ->
+        ( Setups.spark_teraheap ~device_kind:Th_device.Device.Nvm_app_direct
+            ~costs ~huge_pages:p.Spark_profiles.sequential ~h1_gb:heap_gb
+            ~dr2_gb:Spark_profiles.dr2_gb (),
+          "TeraHeap/NVM" )
+    | other -> failwith ("unknown spark system: " ^ other)
+  in
+  let label = Printf.sprintf "%s %s (DRAM %dGB)" p.Spark_profiles.name label dram in
+  print_result (Spark_driver.run ~label setup.Setups.ctx p)
+
+let run_giraph name system threads =
+  let p = Giraph_profiles.by_name name in
+  let costs = Costs.with_mutator_threads Setups.default_costs threads in
+  let result =
+    match system with
+    | "ooc" ->
+        let s =
+          Setups.giraph_ooc ~costs ~heap_gb:p.Giraph_profiles.ooc_heap_gb ()
+        in
+        Giraph_driver.run
+          ~label:(p.Giraph_profiles.name ^ " Giraph-OOC")
+          s.Setups.rt ~mode:s.Setups.mode ?ooc_device:s.Setups.ooc_device p
+    | "th" ->
+        let s =
+          Setups.giraph_teraheap ~costs ~h1_gb:p.Giraph_profiles.th_h1_gb
+            ~dr2_gb:p.Giraph_profiles.th_dr2_gb ()
+        in
+        Giraph_driver.run
+          ~label:(p.Giraph_profiles.name ^ " TeraHeap")
+          s.Setups.rt ~mode:s.Setups.mode p
+    | other -> failwith ("unknown giraph system: " ^ other)
+  in
+  print_result result
+
+open Cmdliner
+
+let framework =
+  Arg.(
+    required
+    & pos 0 (some (enum [ ("spark", `Spark); ("giraph", `Giraph) ])) None
+    & info [] ~docv:"FRAMEWORK" ~doc:"spark or giraph")
+
+let workload =
+  Arg.(
+    required
+    & pos 1 (some string) None
+    & info [] ~docv:"WORKLOAD"
+        ~doc:"Spark: PR CC SSSP SVD TR LR LgR SVM BC RL KM; Giraph: PR CDLP \
+              WCC BFS SSSP")
+
+let system =
+  Arg.(
+    value & opt string "th"
+    & info [ "s"; "system" ] ~docv:"SYSTEM"
+        ~doc:"Spark: sd, sd-nvm, mo, ps11, g1, panthera, th, th-nvm. Giraph: \
+              ooc, th.")
+
+let threads =
+  Arg.(
+    value & opt int 8
+    & info [ "t"; "threads" ] ~docv:"N" ~doc:"executor mutator threads")
+
+let dram =
+  Arg.(
+    value & opt int 0
+    & info [ "d"; "dram" ] ~docv:"GB"
+        ~doc:"total DRAM (paper GB); 0 uses the workload's largest Figure-6 \
+              configuration (Spark only)")
+
+let cmd =
+  let doc = "Run one big-data workload on the TeraHeap simulator" in
+  Cmd.v
+    (Cmd.info "teraheap_sim" ~doc)
+    Term.(
+      const (fun fw wl sys thr dram ->
+          match fw with
+          | `Spark -> run_spark wl sys thr dram
+          | `Giraph -> run_giraph wl sys thr)
+      $ framework $ workload $ system $ threads $ dram)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/cache_sizing.ml: List Printf Th_baselines Th_metrics Th_sim Th_workloads

@@ -1,0 +1,1 @@
+examples/giraph_bfs.ml: List Printf Th_baselines Th_core Th_metrics Th_sim Th_workloads

@@ -1,0 +1,1 @@
+examples/giraph_bfs.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Clock Costs Format Printf Size Th_core Th_device Th_minijvm Th_objmodel Th_psgc Th_sim

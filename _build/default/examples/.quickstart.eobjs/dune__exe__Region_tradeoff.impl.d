@@ -1,0 +1,1 @@
+examples/region_tradeoff.ml: List Printf Size Th_baselines Th_core Th_metrics Th_sim Th_workloads

@@ -1,0 +1,1 @@
+examples/spark_pagerank.ml: List Printf Th_baselines Th_core Th_metrics Th_sim Th_workloads

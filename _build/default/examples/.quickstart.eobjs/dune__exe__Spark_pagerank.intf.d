@@ -1,0 +1,1 @@
+examples/spark_pagerank.mli:

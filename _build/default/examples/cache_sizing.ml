@@ -1,0 +1,57 @@
+(* Tuning the DRAM split between H1 and the page cache (DR2).
+
+   The paper hand-tunes the division of DRAM between the managed H1 heap
+   and the system page cache for every workload ("we explore H1 sizes
+   between 50% and 90% of DRAM capacity", §6). This example reruns
+   Spark Logistic Regression at a fixed DRAM budget while sweeping the
+   H1 share, showing the trade-off: a small H1 GCs constantly, a small
+   DR2 makes every H2 access a device read.
+
+   Run with: dune exec examples/cache_sizing.exe *)
+
+module Setups = Th_baselines.Setups
+module Spark_profiles = Th_workloads.Spark_profiles
+module Spark_driver = Th_workloads.Spark_driver
+module Run_result = Th_workloads.Run_result
+module Report = Th_metrics.Report
+
+let () =
+  let p = Spark_profiles.logistic_regression in
+  let dram = 60 in
+  let results =
+    List.map
+      (fun h1_pct ->
+        let h1 = dram * h1_pct / 100 in
+        let dr2 = dram - h1 in
+        let s =
+          Setups.spark_teraheap ~huge_pages:true ~h1_gb:h1 ~dr2_gb:dr2 ()
+        in
+        Spark_driver.run
+          ~label:(Printf.sprintf "H1 %d%% (%dGB) / DR2 %dGB" h1_pct h1 dr2)
+          s.Setups.ctx p)
+      [ 50; 60; 70; 80; 90 ]
+  in
+  Report.print_breakdown_table
+    ~title:
+      (Printf.sprintf
+         "Spark-LgR: H1/DR2 split at %d GB DRAM (normalized to 50%%)" dram)
+    (List.map Run_result.to_report_row results);
+  (* Report the best split like the paper's hand-tuned configurations. *)
+  let best =
+    List.fold_left
+      (fun acc (r : Run_result.t) ->
+        match (acc, r.Run_result.breakdown) with
+        | None, Some _ -> Some r
+        | Some (b : Run_result.t), Some br ->
+            let total x =
+              match x.Run_result.breakdown with
+              | Some b -> Th_sim.Clock.total_ns b
+              | None -> infinity
+            in
+            if Th_sim.Clock.total_ns br < total b then Some r else acc
+        | acc, None -> acc)
+      None results
+  in
+  match best with
+  | Some r -> Printf.printf "\nbest split: %s\n" r.Run_result.label
+  | None -> print_endline "all configurations failed"

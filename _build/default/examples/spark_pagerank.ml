@@ -1,0 +1,44 @@
+(* Spark PageRank under three cache configurations.
+
+   Reproduces the headline comparison of the paper on one workload:
+   Spark-SD (on-heap cache + serialized off-heap cache on NVMe) versus
+   TeraHeap (cached RDD partitions moved to H2), at equal DRAM and at
+   2.5x reduced DRAM for TeraHeap.
+
+   Run with: dune exec examples/spark_pagerank.exe *)
+
+module Setups = Th_baselines.Setups
+module Spark_profiles = Th_workloads.Spark_profiles
+module Spark_driver = Th_workloads.Spark_driver
+module Run_result = Th_workloads.Run_result
+module Report = Th_metrics.Report
+
+let () =
+  let p = Spark_profiles.pagerank in
+  let dr2 = Spark_profiles.dr2_gb in
+  let run_sd dram =
+    let s = Setups.spark_sd ~heap_gb:(dram - dr2) () in
+    Spark_driver.run
+      ~label:(Printf.sprintf "Spark-SD  @%3d GB DRAM" dram)
+      s.Setups.ctx p
+  in
+  let run_th dram =
+    let s = Setups.spark_teraheap ~h1_gb:(dram - dr2) ~dr2_gb:dr2 () in
+    Spark_driver.run
+      ~label:(Printf.sprintf "TeraHeap  @%3d GB DRAM" dram)
+      s.Setups.ctx p
+  in
+  let results = [ run_sd 32; run_sd 80; run_th 32; run_th 80 ] in
+  Report.print_breakdown_table
+    ~title:"Spark PageRank (80 GB dataset), normalized to the first bar"
+    (List.map Run_result.to_report_row results);
+  List.iter
+    (fun (r : Run_result.t) ->
+      Printf.printf "%-24s minor GCs %4d | major GCs %3d%s\n"
+        r.Run_result.label r.Run_result.minor_gcs r.Run_result.major_gcs
+        (match r.Run_result.h2_stats with
+        | Some s ->
+            Printf.sprintf " | moved to H2: %s"
+              (Th_sim.Size.to_string s.Th_core.H2.bytes_moved)
+        | None -> ""))
+    results

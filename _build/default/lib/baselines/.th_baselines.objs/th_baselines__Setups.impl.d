@@ -1,0 +1,1 @@
+lib/baselines/setups.ml: Clock Costs Size Th_core Th_device Th_giraph Th_minijvm Th_psgc Th_sim Th_spark

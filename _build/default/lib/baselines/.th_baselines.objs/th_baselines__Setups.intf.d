@@ -1,0 +1,1 @@
+lib/baselines/setups.mli: Th_core Th_device Th_giraph Th_psgc Th_sim Th_spark

@@ -1,0 +1,120 @@
+open Th_sim
+module Device = Th_device.Device
+module H1_heap = Th_minijvm.H1_heap
+module H2 = Th_core.H2
+module Rt = Th_psgc.Rt
+module Runtime = Th_psgc.Runtime
+module Cost_profile = Th_psgc.Cost_profile
+module Context = Th_spark.Context
+module Engine = Th_giraph.Engine
+
+type spark = {
+  ctx : Context.t;
+  clock : Clock.t;
+  h2_device : Device.t option;
+  offheap_device : Device.t option;
+}
+
+type giraph = {
+  rt : Runtime.t;
+  g_clock : Clock.t;
+  mode : Engine.mode;
+  ooc_device : Device.t option;
+  g_h2_device : Device.t option;
+}
+
+let default_costs = Costs.default
+
+(* H2 is provisioned generously: the paper maps it over a 1 TB file. *)
+let default_h2_capacity_gb = 1024
+
+let make_h2 ?(h2_config = H2.default_config) ?(huge_pages = false) ~clock
+    ~costs ~device ~dr2_bytes () =
+  let config =
+    {
+      h2_config with
+      H2.capacity = Size.paper_gb default_h2_capacity_gb;
+      huge_pages = h2_config.H2.huge_pages || huge_pages;
+    }
+  in
+  H2.create ~config ~clock ~costs ~device ~dr2_bytes ()
+
+let spark_sd ?(device_kind = Device.Nvme_ssd) ?(collector = Rt.Ps)
+    ?(costs = default_costs) ~heap_gb () =
+  let clock = Clock.create () in
+  let heap = H1_heap.create ~heap_bytes:(Size.paper_gb heap_gb) () in
+  let rt = Runtime.create ~collector ~clock ~costs ~heap () in
+  let device = Device.create clock device_kind in
+  let ctx =
+    Context.create ~offheap_device:device
+      ~mode:(Context.Memory_and_ser_offheap { onheap_fraction = 0.5 })
+      rt
+  in
+  { ctx; clock; h2_device = None; offheap_device = Some device }
+
+let spark_mo ?(costs = default_costs) ~heap_gb ~dram_gb () =
+  let clock = Clock.create () in
+  let heap = H1_heap.create ~heap_bytes:(Size.paper_gb heap_gb) () in
+  let profile =
+    Cost_profile.nvm_memory_mode ~dram_bytes:(Size.paper_gb dram_gb)
+      ~heap_bytes:(Size.paper_gb heap_gb)
+  in
+  let rt = Runtime.create ~profile ~clock ~costs ~heap () in
+  let ctx = Context.create ~mode:Context.Memory_only rt in
+  { ctx; clock; h2_device = None; offheap_device = None }
+
+let spark_teraheap ?(device_kind = Device.Nvme_ssd) ?(collector = Rt.Ps)
+    ?(costs = default_costs) ?h2_config ?huge_pages ~h1_gb ~dr2_gb () =
+  let clock = Clock.create () in
+  let heap = H1_heap.create ~heap_bytes:(Size.paper_gb h1_gb) () in
+  let device = Device.create clock device_kind in
+  let h2 =
+    make_h2 ?h2_config ?huge_pages ~clock ~costs ~device
+      ~dr2_bytes:(Size.paper_gb dr2_gb) ()
+  in
+  let rt = Runtime.create ~collector ~h2 ~clock ~costs ~heap () in
+  let ctx = Context.create ~mode:Context.Teraheap_cache rt in
+  { ctx; clock; h2_device = Some device; offheap_device = None }
+
+let spark_panthera ?(costs = default_costs) ~heap_gb () =
+  let clock = Clock.create () in
+  (* 64 GB heap: young 10 GB on DRAM, old 54 GB of which 48 on NVM; the
+     Panthera cost profile charges the NVM latency on old-gen work. *)
+  let heap =
+    H1_heap.create ~new_ratio:5 ~heap_bytes:(Size.paper_gb heap_gb) ()
+  in
+  let rt =
+    Runtime.create ~profile:Cost_profile.panthera ~clock ~costs ~heap ()
+  in
+  let ctx = Context.create ~mode:Context.Memory_only rt in
+  { ctx; clock; h2_device = None; offheap_device = None }
+
+let giraph_ooc ?(costs = default_costs) ?(threshold = 0.75) ~heap_gb () =
+  let clock = Clock.create () in
+  let heap = H1_heap.create ~heap_bytes:(Size.paper_gb heap_gb) () in
+  let rt = Runtime.create ~clock ~costs ~heap () in
+  let device = Device.create clock Device.Nvme_ssd in
+  {
+    rt;
+    g_clock = clock;
+    mode = Engine.Out_of_core { threshold };
+    ooc_device = Some device;
+    g_h2_device = None;
+  }
+
+let giraph_teraheap ?(costs = default_costs) ?h2_config ~h1_gb ~dr2_gb () =
+  let clock = Clock.create () in
+  let heap = H1_heap.create ~heap_bytes:(Size.paper_gb h1_gb) () in
+  let device = Device.create clock Device.Nvme_ssd in
+  let h2 =
+    make_h2 ?h2_config ~clock ~costs ~device ~dr2_bytes:(Size.paper_gb dr2_gb)
+      ()
+  in
+  let rt = Runtime.create ~h2 ~clock ~costs ~heap () in
+  {
+    rt;
+    g_clock = clock;
+    mode = Engine.Teraheap;
+    ooc_device = None;
+    g_h2_device = Some device;
+  }

@@ -1,0 +1,82 @@
+(** Baseline and TeraHeap system configurations (Table 2).
+
+    Each constructor assembles a complete simulated system — clock, cost
+    model, devices, heap, collector, H2 — for one row of Table 2 (plus the
+    collector and Panthera variants of §7.1 and §7.5). All capacities are
+    given at paper scale (GB) and scaled internally. *)
+
+type spark = {
+  ctx : Th_spark.Context.t;
+  clock : Th_sim.Clock.t;
+  h2_device : Th_device.Device.t option;
+  offheap_device : Th_device.Device.t option;
+}
+
+type giraph = {
+  rt : Th_psgc.Runtime.t;
+  g_clock : Th_sim.Clock.t;
+  mode : Th_giraph.Engine.mode;
+  ooc_device : Th_device.Device.t option;
+  g_h2_device : Th_device.Device.t option;
+}
+
+val default_costs : Th_sim.Costs.t
+
+(** {1 Spark} *)
+
+val spark_sd :
+  ?device_kind:Th_device.Device.kind ->
+  ?collector:Th_psgc.Rt.collector ->
+  ?costs:Th_sim.Costs.t ->
+  heap_gb:int ->
+  unit ->
+  spark
+(** Spark-SD: heap in DRAM, RDDs cached on-heap up to 50 % of the heap and
+    serialized to the device beyond that. [device_kind] defaults to NVMe
+    SSD; pass [Nvm_app_direct] for the NVM server (Figure 12a). The
+    [collector] selects vanilla PS (default), the JDK11 PS or JDK17 G1 of
+    Figure 8. *)
+
+val spark_mo :
+  ?costs:Th_sim.Costs.t -> heap_gb:int -> dram_gb:int -> unit -> spark
+(** Spark-MO: all RDDs on-heap, the heap on NVM in Memory mode with
+    [dram_gb] of DRAM acting as cache (Figure 12b). *)
+
+val spark_teraheap :
+  ?device_kind:Th_device.Device.kind ->
+  ?collector:Th_psgc.Rt.collector ->
+  ?costs:Th_sim.Costs.t ->
+  ?h2_config:Th_core.H2.config ->
+  ?huge_pages:bool ->
+  h1_gb:int ->
+  dr2_gb:int ->
+  unit ->
+  spark
+(** TeraHeap for Spark: H1 in DRAM, H2 memory-mapped over the device with
+    [dr2_gb] of page cache. [collector] defaults to PS; pass [Rt.G1] for
+    the G1 + TeraHeap combination the paper sketches in §7.1 (moving
+    humongous long-lived objects to H2 removes G1's fragmentation). *)
+
+val spark_panthera : ?costs:Th_sim.Costs.t -> heap_gb:int -> unit -> spark
+(** Panthera (§7.5): a single managed heap spanning DRAM and NVM — young
+    generation in DRAM, most of the old generation on NVM; major GC still
+    scans the whole old generation at NVM cost. *)
+
+(** {1 Giraph} *)
+
+val giraph_ooc :
+  ?costs:Th_sim.Costs.t ->
+  ?threshold:float ->
+  heap_gb:int ->
+  unit ->
+  giraph
+(** Giraph-OOC: heap in DRAM, out-of-core scheduler offloading edges and
+    message stores to the NVMe SSD above [threshold] (default 0.75). *)
+
+val giraph_teraheap :
+  ?costs:Th_sim.Costs.t ->
+  ?h2_config:Th_core.H2.config ->
+  h1_gb:int ->
+  dr2_gb:int ->
+  unit ->
+  giraph

@@ -1,0 +1,1 @@
+lib/core/h2.ml: Array Clock Costs Float H2_card_table Hashtbl List Size Stack Th_device Th_objmodel Th_sim Vec

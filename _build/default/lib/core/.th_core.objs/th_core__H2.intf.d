@@ -1,0 +1,1 @@
+lib/core/h2.mli: H2_card_table Th_device Th_objmodel Th_sim

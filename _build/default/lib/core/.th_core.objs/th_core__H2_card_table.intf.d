@@ -1,0 +1,1 @@
+lib/core/h2_card_table.mli:

@@ -1,0 +1,620 @@
+open Th_sim
+module Obj_ = Th_objmodel.Heap_object
+module Device = Th_device.Device
+module Page_cache = Th_device.Page_cache
+
+exception Out_of_h2_space
+
+type reclaim_mode = Dependency_lists | Region_groups
+
+type placement_policy = Label_only | Size_segregated
+
+type config = {
+  region_size : int;
+  capacity : int;
+  card_segment_size : int;
+  stripe_aligned : bool;
+  reclaim_mode : reclaim_mode;
+  placement : placement_policy;
+  promotion_buffer_bytes : int;
+  high_threshold : float;
+  low_threshold : float option;
+  dynamic_thresholds : bool;
+  use_move_hint : bool;
+  huge_pages : bool;
+}
+
+let default_config =
+  {
+    region_size = Size.mib 4;
+    capacity = Size.mib 256;
+    card_segment_size = Size.kib 4;
+    stripe_aligned = true;
+    reclaim_mode = Dependency_lists;
+    placement = Label_only;
+    promotion_buffer_bytes = Size.mib 2;
+    high_threshold = 0.85;
+    low_threshold = Some 0.5;
+    dynamic_thresholds = false;
+    use_move_hint = true;
+    huge_pages = false;
+  }
+
+type region_sample = { live_object_pct : float; live_space_pct : float }
+
+type stats = {
+  regions_allocated : int;
+  regions_reclaimed : int;
+  regions_active : int;
+  used_bytes : int;
+  wasted_bytes : int;
+  dep_nodes : int;
+  moves_to_h2 : int;
+  bytes_moved : int;
+  minor_scan_time_ns : float;
+}
+
+type region = {
+  idx : int;
+  mutable label : int;  (* -1 = free *)
+  mutable open_key : int;  (* allocator bucket this region is open for *)
+  mutable top : int;
+  mutable live : bool;
+  mutable deps : int list;  (* regions this region's objects reference *)
+  objects : Obj_.t Vec.t;  (* append-only, therefore sorted by addr *)
+  mutable buffer_fill : int;
+}
+
+type t = {
+  cfg : config;
+  clock : Clock.t;
+  costs : Costs.t;
+  device : Device.t;
+  cache : Page_cache.t;
+  cards : H2_card_table.t;
+  regions : region array;
+  mutable next_fresh : int;
+  free_regions : int Vec.t;
+  open_by_key : (int, int) Hashtbl.t;  (* allocator bucket -> open region *)
+  mutable high : float;  (* current thresholds; adapted when dynamic *)
+  mutable low : float option;
+  move_advice : (int, unit) Hashtbl.t;
+  tagged : Obj_.t Vec.t;
+  (* Union-Find state for the Region_groups ablation. *)
+  group_parent : int array;
+  group_live : bool array;
+  (* statistics *)
+  mutable regions_allocated : int;
+  mutable regions_reclaimed : int;
+  mutable moves : int;
+  mutable bytes_moved : int;
+  mutable minor_scan_ns : float;
+      (* simulated time spent scanning H2 cards/objects during minor GC *)
+  samples : region_sample Vec.t;
+}
+
+(* Measured DRAM metadata per region, dependency nodes included
+   (calibrated to Table 5: 417 MB per TB of H2 with 1 MB regions). *)
+let region_metadata_base_bytes = 57
+let dep_node_bytes = 36
+let avg_dep_nodes_per_region = 10
+
+let create ~config:cfg ~clock ~costs ~device ~dr2_bytes () =
+  if cfg.region_size <= 0 || cfg.capacity < cfg.region_size then
+    invalid_arg "H2.create: bad region/capacity sizes";
+  let n = cfg.capacity / cfg.region_size in
+  let cache_page = if cfg.huge_pages then Size.mib 2 else Device.page_size device in
+  let regions =
+    Array.init n (fun idx ->
+        {
+          idx;
+          label = -1;
+          open_key = -1;
+          top = 0;
+          live = false;
+          deps = [];
+          objects = Vec.create ();
+          buffer_fill = 0;
+        })
+  in
+  {
+    cfg;
+    clock;
+    costs;
+    device;
+    cache = Page_cache.create ~page_size:cache_page ~capacity_bytes:dr2_bytes clock device;
+    cards =
+      H2_card_table.create ~segment_size:cfg.card_segment_size
+        ~stripe_aligned:cfg.stripe_aligned ~stripe_size:cfg.region_size
+        ~capacity_bytes:cfg.capacity ();
+    regions;
+    next_fresh = 0;
+    free_regions = Vec.create ();
+    open_by_key = Hashtbl.create 64;
+    high = cfg.high_threshold;
+    low = cfg.low_threshold;
+    move_advice = Hashtbl.create 16;
+    tagged = Vec.create ();
+    group_parent = Array.init n (fun i -> i);
+    group_live = Array.make n false;
+    regions_allocated = 0;
+    regions_reclaimed = 0;
+    moves = 0;
+    bytes_moved = 0;
+    minor_scan_ns = 0.0;
+    samples = Vec.create ();
+  }
+
+let config t = t.cfg
+
+let card_table t = t.cards
+
+let page_cache t = t.cache
+
+let gaddr t (o : Obj_.t) = (o.Obj_.h2_region * t.cfg.region_size) + o.Obj_.addr
+
+(* ------------------------------------------------------------------ *)
+(* Hint interface                                                      *)
+
+let h2_tag_root t o ~label =
+  if label < 0 then invalid_arg "H2.h2_tag_root: negative label";
+  (* Tagging marks H1 objects for movement; objects already in H2 keep
+     the label of the move that placed them. *)
+  if o.Obj_.loc <> Obj_.In_h2 && o.Obj_.label <> label then begin
+    o.Obj_.label <- label;
+    Vec.push t.tagged o
+  end
+
+let h2_move t ~label =
+  if t.cfg.use_move_hint then Hashtbl.replace t.move_advice label ()
+
+let move_advised t ~label = Hashtbl.mem t.move_advice label
+
+let clear_move_advice t ~label = Hashtbl.remove t.move_advice label
+
+let tagged_roots t =
+  Vec.filter_in_place
+    (fun (o : Obj_.t) -> o.Obj_.label >= 0 && o.Obj_.loc <> Obj_.In_h2 && o.Obj_.loc <> Obj_.Freed)
+    t.tagged;
+  Vec.to_list t.tagged
+
+let forget_tagged_root t o =
+  Vec.filter_in_place (fun (x : Obj_.t) -> x != o) t.tagged
+
+(* ------------------------------------------------------------------ *)
+(* Union-Find over regions (Region_groups mode)                        *)
+
+let rec uf_find t i =
+  let p = t.group_parent.(i) in
+  if p = i then i
+  else begin
+    let r = uf_find t p in
+    t.group_parent.(i) <- r;
+    r
+  end
+
+let uf_union t a b =
+  let ra = uf_find t a and rb = uf_find t b in
+  if ra <> rb then t.group_parent.(ra) <- rb
+
+(* ------------------------------------------------------------------ *)
+(* Allocation                                                          *)
+
+let align8 n = (n + 7) land lnot 7
+
+let flush_buffer t (r : region) =
+  if r.buffer_fill > 0 then begin
+    (* Explicit asynchronous batched write to the device (§3.2), plus the
+       DRAM-side copy into the promotion buffer. *)
+    Clock.advance t.clock Clock.Major_gc
+      (float_of_int r.buffer_fill *. t.costs.Costs.copy_byte_ns);
+    Device.write t.device ~cat:Clock.Major_gc ~random:false r.buffer_fill;
+    r.buffer_fill <- 0
+  end
+
+(* Allocator bucket: one open region per label, or per (label, size
+   class) under the size-segregated policy — large objects (an eighth of
+   a region or more) get their own regions so a few big dead arrays
+   cannot pin regions full of small live objects (§7.3). *)
+let bucket_of t ~label ~bytes =
+  match t.cfg.placement with
+  | Label_only -> label * 2
+  | Size_segregated ->
+      if bytes >= t.cfg.region_size / 8 then (label * 2) + 1 else label * 2
+
+let open_region t ~label ~key =
+  let idx =
+    match Vec.pop t.free_regions with
+    | Some idx -> idx
+    | None ->
+        if t.next_fresh >= Array.length t.regions then raise Out_of_h2_space
+        else begin
+          let idx = t.next_fresh in
+          t.next_fresh <- t.next_fresh + 1;
+          idx
+        end
+  in
+  let r = t.regions.(idx) in
+  r.label <- label;
+  r.open_key <- key;
+  r.top <- 0;
+  r.live <- false;
+  r.deps <- [];
+  Vec.clear r.objects;
+  r.buffer_fill <- 0;
+  t.group_parent.(idx) <- idx;
+  t.group_live.(idx) <- false;
+  t.regions_allocated <- t.regions_allocated + 1;
+  Hashtbl.replace t.open_by_key key idx;
+  r
+
+let alloc t o ~label =
+  let bytes = align8 (Obj_.total_size o) in
+  if bytes > t.cfg.region_size then
+    invalid_arg "H2.alloc: object larger than an H2 region";
+  let key = bucket_of t ~label ~bytes in
+  let r =
+    match Hashtbl.find_opt t.open_by_key key with
+    | Some idx when t.regions.(idx).label = label
+                    && t.regions.(idx).open_key = key
+                    && t.regions.(idx).top + bytes <= t.cfg.region_size ->
+        t.regions.(idx)
+    | Some idx ->
+        (* Region full (or was reclaimed and reused): open a fresh one.
+           The sealed region's promotion buffer drains with the others in
+           the compaction phase. *)
+        ignore idx;
+        open_region t ~label ~key
+    | None -> open_region t ~label ~key
+  in
+  o.Obj_.loc <- Obj_.In_h2;
+  o.Obj_.h2_region <- r.idx;
+  o.Obj_.addr <- r.top;
+  r.top <- r.top + bytes;
+  Vec.push r.objects o;
+  t.moves <- t.moves + 1;
+  t.bytes_moved <- t.bytes_moved + bytes;
+  (* Fill the promotion buffer; the compaction phase drains buffers in
+     device-friendly batches via {!flush_promotion_buffers}. *)
+  r.buffer_fill <- r.buffer_fill + bytes
+
+let flush_promotion_buffers t =
+  for i = 0 to t.next_fresh - 1 do
+    flush_buffer t t.regions.(i)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Liveness                                                            *)
+
+let clear_live_bits t =
+  for i = 0 to t.next_fresh - 1 do
+    t.regions.(i).live <- false;
+    t.group_live.(i) <- false
+  done
+
+let region_is_live t ~region =
+  match t.cfg.reclaim_mode with
+  | Dependency_lists -> t.regions.(region).live
+  | Region_groups -> t.group_live.(uf_find t region)
+
+let mark_live_from_h1 t o =
+  let region = o.Obj_.h2_region in
+  if region < 0 then invalid_arg "H2.mark_live_from_h1: object not in H2";
+  match t.cfg.reclaim_mode with
+  | Region_groups -> t.group_live.(uf_find t region) <- true
+  | Dependency_lists ->
+      let stack = Stack.create () in
+      Stack.push region stack;
+      while not (Stack.is_empty stack) do
+        let i = Stack.pop stack in
+        let r = t.regions.(i) in
+        if not r.live then begin
+          r.live <- true;
+          List.iter (fun d -> Stack.push d stack) r.deps
+        end
+      done
+
+let add_dependency t ~src_region ~dst_region =
+  if src_region <> dst_region then
+    match t.cfg.reclaim_mode with
+    | Region_groups -> uf_union t src_region dst_region
+    | Dependency_lists ->
+        let r = t.regions.(src_region) in
+        if not (List.mem dst_region r.deps) then begin
+          r.deps <- dst_region :: r.deps;
+          (* A live region that gains a dependency keeps it live within
+             this same marking pass. *)
+          if r.live && not t.regions.(dst_region).live then begin
+            let dummy = t.regions.(dst_region) in
+            ignore dummy;
+            let stack = Stack.create () in
+            Stack.push dst_region stack;
+            while not (Stack.is_empty stack) do
+              let i = Stack.pop stack in
+              let r' = t.regions.(i) in
+              if not r'.live then begin
+                r'.live <- true;
+                List.iter (fun d -> Stack.push d stack) r'.deps
+              end
+            done
+          end
+        end
+
+let note_backward_ref t o =
+  H2_card_table.mark_dirty t.cards ~gaddr:(gaddr t o)
+
+let seg_range_of_region t (r : region) =
+  let lo = r.idx * t.cfg.region_size / t.cfg.card_segment_size in
+  let hi =
+    ((r.idx * t.cfg.region_size) + t.cfg.region_size + t.cfg.card_segment_size - 1)
+    / t.cfg.card_segment_size
+  in
+  (lo, hi)
+
+let free_dead_regions t ~on_free =
+  let freed = ref 0 in
+  for i = 0 to t.next_fresh - 1 do
+    let r = t.regions.(i) in
+    if r.label >= 0 && not (region_is_live t ~region:i) then begin
+      incr freed;
+      Vec.iter on_free r.objects;
+      Vec.push t.samples { live_object_pct = 0.0; live_space_pct = 0.0 };
+      (* Reset the allocation pointer and delete the dependency list
+         (§3.3); drop cached pages without writeback. *)
+      let lo, hi = seg_range_of_region t r in
+      H2_card_table.clear_range t.cards ~lo ~hi;
+      Page_cache.invalidate_range t.cache ~offset:(i * t.cfg.region_size)
+        ~len:t.cfg.region_size;
+      (if Hashtbl.find_opt t.open_by_key r.open_key = Some i then
+         Hashtbl.remove t.open_by_key r.open_key);
+      r.label <- -1;
+      r.open_key <- -1;
+      r.top <- 0;
+      r.deps <- [];
+      r.buffer_fill <- 0;
+      Vec.clear r.objects;
+      t.group_parent.(i) <- i;
+      Vec.push t.free_regions i;
+      t.regions_reclaimed <- t.regions_reclaimed + 1
+    end
+  done;
+  !freed
+
+(* ------------------------------------------------------------------ *)
+(* Mutator access                                                      *)
+
+let mutator_read t o =
+  Page_cache.access t.cache ~cat:Clock.Other ~write:false ~offset:(gaddr t o)
+    ~len:(Obj_.total_size o)
+
+let mutator_write t o =
+  Page_cache.access t.cache ~cat:Clock.Other ~write:true ~offset:(gaddr t o)
+    ~len:(Obj_.total_size o);
+  (* Kernel writeback: updating a file-backed mapping dirties whole pages
+     that are flushed to the device on their own cadence — the
+     read-modify-write traffic that makes moving mutable objects to H2
+     expensive (§7.2: up to 98 % more device writes). *)
+  Device.write t.device ~cat:Clock.Other ~random:true
+    ((Obj_.total_size o + 1) / 2);
+  Clock.advance t.clock Clock.Other t.costs.Costs.write_barrier_ns;
+  note_backward_ref t o
+
+(* ------------------------------------------------------------------ *)
+(* Card scanning                                                       *)
+
+let region_of_seg t seg =
+  seg * t.cfg.card_segment_size / t.cfg.region_size
+
+(* Objects of [r] overlapping segment [seg]; [r.objects] is sorted by
+   address, so we binary-search the first candidate. *)
+let iter_objects_in_seg t (r : region) seg f =
+  let seg_start = (seg * t.cfg.card_segment_size) - (r.idx * t.cfg.region_size) in
+  let seg_end = seg_start + t.cfg.card_segment_size in
+  let n = Vec.length r.objects in
+  (* First object whose end extends past seg_start. *)
+  let rec lower lo hi =
+    if lo >= hi then lo
+    else begin
+      let mid = (lo + hi) / 2 in
+      let o = Vec.get r.objects mid in
+      if o.Obj_.addr + Obj_.total_size o > seg_start then lower lo mid
+      else lower (mid + 1) hi
+    end
+  in
+  let rec walk i =
+    if i < n then begin
+      let o = Vec.get r.objects i in
+      if o.Obj_.addr < seg_end then begin
+        f o;
+        walk (i + 1)
+      end
+    end
+  in
+  walk (lower 0 n)
+
+let scan_cards ~major t ~on_object =
+  let total_segments =
+    if t.next_fresh = 0 then 0
+    else (t.next_fresh * t.cfg.region_size) / t.cfg.card_segment_size
+  in
+  if total_segments > 0 then begin
+    (* Examining every card entry of allocated H2 space. Parallel GC
+       threads each take their own stripes, so the scan parallelises. *)
+    let scan_cost =
+      float_of_int total_segments *. t.costs.Costs.card_scan_ns
+    in
+    Clock.advance t.clock
+      (if major then Clock.Major_gc else Clock.Minor_gc)
+      (Costs.parallel t.costs ~threads:t.costs.Costs.gc_threads scan_cost);
+    let cat = if major then Clock.Major_gc else Clock.Minor_gc in
+    let visit seg _state =
+      let region = region_of_seg t seg in
+      let r = t.regions.(region) in
+      if r.label >= 0 then begin
+        (* Touching device-resident objects faults their pages in. *)
+        Page_cache.access t.cache ~cat ~write:false
+          ~offset:(seg * t.cfg.card_segment_size)
+          ~len:t.cfg.card_segment_size;
+        iter_objects_in_seg t r seg (fun o ->
+            Clock.advance t.clock cat
+              (Costs.parallel t.costs ~threads:t.costs.Costs.gc_threads
+                 t.costs.Costs.card_obj_scan_ns);
+            on_object o)
+      end
+    in
+    if major then H2_card_table.iter_major_scan t.cards ~lo:0 ~hi:total_segments visit
+    else H2_card_table.iter_minor_scan t.cards ~lo:0 ~hi:total_segments visit
+  end
+
+let scan_cards_minor t ~on_object =
+  let before = Clock.now_ns t.clock in
+  scan_cards ~major:false t ~on_object;
+  t.minor_scan_ns <- t.minor_scan_ns +. (Clock.now_ns t.clock -. before)
+
+let scan_cards_major t ~on_object = scan_cards ~major:true t ~on_object
+
+let seg_state_from_objects t (r : region) seg =
+  let to_young = ref false and to_old = ref false in
+  iter_objects_in_seg t r seg (fun o ->
+      Obj_.iter_refs
+        (fun child ->
+          match child.Obj_.loc with
+          | Obj_.Eden | Obj_.Survivor -> to_young := true
+          | Obj_.Old -> to_old := true
+          | Obj_.In_h2 ->
+              (* A former backward reference whose target has since moved
+                 to H2 is a newly discovered cross-region reference: it
+                 must enter the dependency lists before this card can be
+                 cleaned, or the target's region could be reclaimed under
+                 a live reference (§4, pointer adjustment). *)
+              if child.Obj_.h2_region <> r.idx then
+                add_dependency t ~src_region:r.idx
+                  ~dst_region:child.Obj_.h2_region
+          | Obj_.Freed -> ())
+        o);
+  if !to_young then H2_card_table.Young_gen
+  else if !to_old then H2_card_table.Old_gen
+  else H2_card_table.Clean
+
+let recompute_card_states t ~major =
+  let total_segments =
+    if t.next_fresh = 0 then 0
+    else (t.next_fresh * t.cfg.region_size) / t.cfg.card_segment_size
+  in
+  let recompute seg _state =
+    let region = region_of_seg t seg in
+    let r = t.regions.(region) in
+    if r.label >= 0 then
+      H2_card_table.set_state t.cards ~seg (seg_state_from_objects t r seg)
+  in
+  if total_segments > 0 then begin
+    if major then
+      H2_card_table.iter_major_scan t.cards ~lo:0 ~hi:total_segments recompute
+    else H2_card_table.iter_minor_scan t.cards ~lo:0 ~hi:total_segments recompute
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Introspection                                                       *)
+
+let minor_scan_ns t = t.minor_scan_ns
+
+let high_threshold t = t.high
+
+let low_threshold t = t.low
+
+(* Adaptive controller for the move thresholds (the paper leaves dynamic
+   thresholds as future work, §7.2). After each major GC: still above the
+   high watermark -> move more next time (lower the low threshold);
+   comfortably below the low watermark -> move less eagerly (raise it),
+   sparing mutable objects the device read-modify-writes. *)
+let adapt_thresholds t ~live_ratio =
+  if t.cfg.dynamic_thresholds then begin
+    match t.low with
+    | Some low ->
+        if live_ratio > t.high then
+          t.low <- Some (Float.max 0.3 (low -. 0.05))
+        else if live_ratio < low +. 0.1 then
+          t.low <- Some (Float.min (t.high -. 0.1) (low +. 0.05))
+    | None -> ()
+  end
+
+let used_bytes t =
+  let sum = ref 0 in
+  for i = 0 to t.next_fresh - 1 do
+    let r = t.regions.(i) in
+    if r.label >= 0 then sum := !sum + r.top
+  done;
+  !sum
+
+let iter_objects t f =
+  for i = 0 to t.next_fresh - 1 do
+    let r = t.regions.(i) in
+    if r.label >= 0 then Vec.iter f r.objects
+  done
+
+let region_of_object _t (o : Obj_.t) = o.Obj_.h2_region
+
+let region_object_count t ~region = Vec.length t.regions.(region).objects
+
+let stats t =
+  let active = ref 0 and used = ref 0 and wasted = ref 0 and deps = ref 0 in
+  for i = 0 to t.next_fresh - 1 do
+    let r = t.regions.(i) in
+    if r.label >= 0 then begin
+      incr active;
+      used := !used + r.top;
+      (* Internal fragmentation: space between top and region end counts
+         as waste only for sealed (non-open) regions. *)
+      (match Hashtbl.find_opt t.open_by_key r.open_key with
+      | Some idx when idx = i -> ()
+      | _ -> wasted := !wasted + (t.cfg.region_size - r.top));
+      deps := !deps + List.length r.deps
+    end
+  done;
+  {
+    regions_allocated = t.regions_allocated;
+    regions_reclaimed = t.regions_reclaimed;
+    regions_active = !active;
+    used_bytes = !used;
+    wasted_bytes = !wasted;
+    dep_nodes = !deps;
+    moves_to_h2 = t.moves;
+    bytes_moved = t.bytes_moved;
+    minor_scan_time_ns = t.minor_scan_ns;
+  }
+
+let metadata_bytes t =
+  let s = stats t in
+  H2_card_table.metadata_bytes t.cards
+  + (s.regions_active * region_metadata_base_bytes)
+  + (s.dep_nodes * dep_node_bytes)
+
+let metadata_bytes_per_tb ~region_size =
+  let regions = Size.gib 1024 / region_size in
+  regions
+  * (region_metadata_base_bytes + (avg_dep_nodes_per_region * dep_node_bytes))
+
+let harvest_region_samples t ~is_live =
+  let out = ref (Vec.to_list t.samples) in
+  for i = 0 to t.next_fresh - 1 do
+    let r = t.regions.(i) in
+    if r.label >= 0 && Vec.length r.objects > 0 then begin
+      let n = Vec.length r.objects in
+      let live = ref 0 and live_bytes = ref 0 in
+      Vec.iter
+        (fun o ->
+          if is_live o then begin
+            incr live;
+            live_bytes := !live_bytes + Obj_.total_size o
+          end)
+        r.objects;
+      out :=
+        {
+          live_object_pct = 100.0 *. float_of_int !live /. float_of_int n;
+          live_space_pct =
+            100.0 *. float_of_int !live_bytes /. float_of_int t.cfg.region_size;
+        }
+        :: !out
+    end
+  done;
+  !out

@@ -1,0 +1,101 @@
+type state = Clean | Dirty | Young_gen | Old_gen
+
+type t = {
+  segment_size : int;
+  stripe_aligned : bool;
+  stripe_size : int;
+  cards : Bytes.t;
+  mutable non_clean : int;
+}
+
+let byte_of_state = function
+  | Clean -> '\000'
+  | Dirty -> '\001'
+  | Young_gen -> '\002'
+  | Old_gen -> '\003'
+
+let state_of_byte = function
+  | '\000' -> Clean
+  | '\001' -> Dirty
+  | '\002' -> Young_gen
+  | '\003' -> Old_gen
+  | _ -> assert false
+
+let create ?(segment_size = 4096) ?(stripe_aligned = true)
+    ?(stripe_size = 0) ~capacity_bytes () =
+  if segment_size <= 0 then invalid_arg "H2_card_table.create: segment_size";
+  let n = max 1 ((capacity_bytes + segment_size - 1) / segment_size) in
+  let stripe_size = if stripe_size <= 0 then capacity_bytes else stripe_size in
+  {
+    segment_size;
+    stripe_aligned;
+    stripe_size;
+    cards = Bytes.make n '\000';
+    non_clean = 0;
+  }
+
+let segment_size t = t.segment_size
+
+let num_segments t = Bytes.length t.cards
+
+let segment_of t ~gaddr =
+  let s = gaddr / t.segment_size in
+  if s < 0 || s >= Bytes.length t.cards then
+    invalid_arg "H2_card_table.segment_of: address out of range";
+  s
+
+let state t ~seg = state_of_byte (Bytes.get t.cards seg)
+
+(* In the unaligned (vanilla) layout, the first and last card of each
+   stripe may be touched by two GC threads, so the collector never cleans
+   them once dirty (§3.4). *)
+let is_boundary t seg =
+  let segs_per_stripe = max 1 (t.stripe_size / t.segment_size) in
+  let pos = seg mod segs_per_stripe in
+  pos = 0 || pos = segs_per_stripe - 1
+
+let raw_set t seg st =
+  let before = Bytes.get t.cards seg in
+  let after = byte_of_state st in
+  if before <> after then begin
+    if before = '\000' then t.non_clean <- t.non_clean + 1;
+    if after = '\000' then t.non_clean <- t.non_clean - 1;
+    Bytes.set t.cards seg after
+  end
+
+let set_state t ~seg st =
+  let sticky =
+    (not t.stripe_aligned)
+    && is_boundary t seg
+    && state t ~seg = Dirty
+    && st <> Dirty
+  in
+  if not sticky then raw_set t seg st
+
+let mark_dirty t ~gaddr =
+  let seg = segment_of t ~gaddr in
+  raw_set t seg Dirty
+
+let iter_scan ~include_old t ~lo ~hi f =
+  let hi = min hi (Bytes.length t.cards) in
+  for seg = max 0 lo to hi - 1 do
+    match state_of_byte (Bytes.unsafe_get t.cards seg) with
+    | Clean -> ()
+    | Dirty -> f seg Dirty
+    | Young_gen -> f seg Young_gen
+    | Old_gen -> if include_old then f seg Old_gen
+  done
+
+let iter_minor_scan t ~lo ~hi f = iter_scan ~include_old:false t ~lo ~hi f
+
+let iter_major_scan t ~lo ~hi f = iter_scan ~include_old:true t ~lo ~hi f
+
+let clear_range t ~lo ~hi =
+  let hi = min hi (Bytes.length t.cards) in
+  for seg = max 0 lo to hi - 1 do
+    raw_set t seg Clean
+  done
+
+let non_clean_count t = t.non_clean
+
+let metadata_bytes t = Bytes.length t.cards

@@ -1,0 +1,62 @@
+(** The H2 card table (§3.4).
+
+    A DRAM byte array with one entry per fixed-size H2 card segment. Each
+    entry is in one of four states: [Clean] (no backward references),
+    [Dirty] (mutator updated an object in the segment), [Young_gen]
+    (segment only references the H1 young generation) or [Old_gen]
+    (segment only references the H1 old generation). Minor GC scans
+    [Dirty] and [Young_gen] segments; major GC additionally scans
+    [Old_gen] segments.
+
+    The table is divided into slices and stripes for contention-free
+    parallel scanning. With [stripe_aligned] (TeraHeap's design: stripe
+    size = region size, objects never span regions), boundary cards behave
+    like any other card. Without it (vanilla-JVM behaviour), a boundary
+    card that ever becomes dirty is never cleaned and is re-scanned by
+    every GC. *)
+
+type state = Clean | Dirty | Young_gen | Old_gen
+
+type t
+
+val create :
+  ?segment_size:int ->
+  ?stripe_aligned:bool ->
+  ?stripe_size:int ->
+  capacity_bytes:int ->
+  unit ->
+  t
+(** [segment_size] defaults to 4 KiB; [stripe_aligned] defaults to [true];
+    [stripe_size] defaults to the H2 region size passed by {!H2.create}. *)
+
+val segment_size : t -> int
+
+val num_segments : t -> int
+
+val segment_of : t -> gaddr:int -> int
+(** Segment index of a global H2 address. *)
+
+val state : t -> seg:int -> state
+
+val set_state : t -> seg:int -> state -> unit
+(** Respects stickiness of dirty boundary cards in unaligned mode: an
+    attempt to clean such a card leaves it [Dirty]. *)
+
+val mark_dirty : t -> gaddr:int -> unit
+(** Post-write-barrier entry point. *)
+
+val iter_minor_scan : t -> lo:int -> hi:int -> (int -> state -> unit) -> unit
+(** Iterate segments in state [Dirty] or [Young_gen] whose index lies in
+    [lo, hi); minor GC path. *)
+
+val iter_major_scan : t -> lo:int -> hi:int -> (int -> state -> unit) -> unit
+(** Same, plus [Old_gen] segments; major GC path. *)
+
+val clear_range : t -> lo:int -> hi:int -> unit
+(** Reset segments to [Clean] (bulk region reclamation). Boundary-card
+    stickiness does not apply: the backing region is dead. *)
+
+val non_clean_count : t -> int
+
+val metadata_bytes : t -> int
+(** DRAM footprint of the table itself (one byte per segment). *)

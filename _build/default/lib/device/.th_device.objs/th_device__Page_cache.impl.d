@@ -1,0 +1,1 @@
+lib/device/page_cache.ml: Device Hashtbl Th_sim

@@ -1,0 +1,1 @@
+lib/device/page_cache.mli: Device Th_sim

@@ -1,0 +1,188 @@
+type stats = { hits : int; misses : int; evictions : int; writebacks : int }
+
+type node = {
+  page : int;
+  mutable dirty : bool;
+  mutable prev : node option;
+  mutable next : node option;
+}
+
+type t = {
+  device : Device.t;
+  clock : Th_sim.Clock.t;
+  page_size : int;
+  capacity : int;  (* pages *)
+  table : (int, node) Hashtbl.t;
+  mutable head : node option;  (* most recently used *)
+  mutable tail : node option;  (* least recently used *)
+  mutable resident : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable writebacks : int;
+  mutable last_miss_page : int;  (* readahead stream detection *)
+}
+
+let create ?page_size ~capacity_bytes clock device =
+  let page_size =
+    match page_size with Some p -> p | None -> Device.page_size device
+  in
+  if page_size <= 0 then invalid_arg "Page_cache.create: page_size";
+  let capacity = max 1 (capacity_bytes / page_size) in
+  {
+    device;
+    clock;
+    page_size;
+    capacity;
+    table = Hashtbl.create 4096;
+    head = None;
+    tail = None;
+    resident = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    writebacks = 0;
+    last_miss_page = min_int;
+  }
+
+let page_size t = t.page_size
+
+let capacity_pages t = t.capacity
+
+(* Doubly-linked LRU list maintenance. *)
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  n.prev <- None;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let touch_lru t n =
+  if t.head != Some n then begin
+    unlink t n;
+    push_front t n
+  end
+
+let evict_one t ~cat =
+  match t.tail with
+  | None -> ()
+  | Some n ->
+      unlink t n;
+      Hashtbl.remove t.table n.page;
+      t.resident <- t.resident - 1;
+      t.evictions <- t.evictions + 1;
+      if n.dirty then begin
+        t.writebacks <- t.writebacks + 1;
+        Device.write t.device ~cat ~random:true t.page_size
+      end
+
+let insert t ~cat page ~dirty =
+  while t.resident >= t.capacity do
+    evict_one t ~cat
+  done;
+  let n = { page; dirty; prev = None; next = None } in
+  Hashtbl.replace t.table page n;
+  push_front t n;
+  t.resident <- t.resident + 1
+
+(* A cached mmap access is an ordinary DRAM load; most of its cost is already
+   accounted as mutator compute, so only a small residual is charged. *)
+let hit_cost_ns _t = 10.0
+
+let access t ~cat ~write ~offset ~len =
+  if len > 0 then begin
+    let first = offset / t.page_size in
+    let last = (offset + len - 1) / t.page_size in
+    (* Accumulate runs of consecutive misses so sequential faults are
+       charged as one streaming read. A miss continuing the previous
+       call's stream is charged at transfer bandwidth only: OS readahead
+       has already queued it. *)
+    let miss_run = ref 0 in
+    let run_start = ref 0 in
+    let flush_miss_run () =
+      if !miss_run > 0 then begin
+        let bytes = !miss_run * t.page_size in
+        if !run_start = t.last_miss_page + 1 then
+          (* Mutator-side streaming faults overlap with computation
+             (readahead prefetches while the application works); GC-side
+             scans stall the collector. *)
+          let overlap =
+            match cat with Th_sim.Clock.Other -> 0.35 | _ -> 1.0
+          in
+          Device.read_continuation t.device ~cat ~overlap bytes
+        else Device.read t.device ~cat ~random:(!miss_run = 1) bytes;
+        t.last_miss_page <- !run_start + !miss_run - 1;
+        miss_run := 0
+      end
+    in
+    for page = first to last do
+      match Hashtbl.find_opt t.table page with
+      | Some n ->
+          flush_miss_run ();
+          t.hits <- t.hits + 1;
+          if write then n.dirty <- true;
+          touch_lru t n;
+          Th_sim.Clock.advance t.clock cat (hit_cost_ns t)
+      | None ->
+          t.misses <- t.misses + 1;
+          let whole_page_write =
+            write && offset <= page * t.page_size
+            && offset + len >= (page + 1) * t.page_size
+          in
+          if not whole_page_write then begin
+            if !miss_run = 0 then run_start := page;
+            miss_run := !miss_run + 1
+          end
+          else flush_miss_run ();
+          insert t ~cat page ~dirty:write
+    done;
+    flush_miss_run ()
+  end
+
+let invalidate_range t ~offset ~len =
+  if len > 0 then begin
+    let first = offset / t.page_size in
+    let last = (offset + len - 1) / t.page_size in
+    for page = first to last do
+      match Hashtbl.find_opt t.table page with
+      | Some n ->
+          unlink t n;
+          Hashtbl.remove t.table page;
+          t.resident <- t.resident - 1
+      | None -> ()
+    done
+  end
+
+let flush t ~cat =
+  let dirty = ref 0 in
+  Hashtbl.iter (fun _ n -> if n.dirty then begin incr dirty; n.dirty <- false end) t.table;
+  if !dirty > 0 then begin
+    t.writebacks <- t.writebacks + !dirty;
+    Device.write t.device ~cat ~random:false (!dirty * t.page_size)
+  end
+
+let resident_pages t = t.resident
+
+let stats t =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    evictions = t.evictions;
+    writebacks = t.writebacks;
+  }
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0;
+  t.evictions <- 0;
+  t.writebacks <- 0
+
+let hit_ratio (s : stats) =
+  let total = s.hits + s.misses in
+  if total = 0 then 1.0 else float_of_int s.hits /. float_of_int total

@@ -1,0 +1,1 @@
+lib/giraph/engine.ml: Array Graph Msg_store Ooc Printf Prng Size Sys Th_minijvm Th_objmodel Th_psgc Th_sim

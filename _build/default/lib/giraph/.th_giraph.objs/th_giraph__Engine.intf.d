@@ -1,0 +1,1 @@
+lib/giraph/engine.mli: Graph Th_device Th_psgc Th_sim

@@ -1,0 +1,1 @@
+lib/giraph/graph.ml: Array Printf Prng Sys Th_objmodel Th_psgc Th_sim

@@ -1,0 +1,1 @@
+lib/giraph/graph.mli: Th_objmodel Th_psgc Th_sim

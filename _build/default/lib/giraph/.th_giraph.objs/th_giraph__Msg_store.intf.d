@@ -1,0 +1,1 @@
+lib/giraph/msg_store.mli: Th_device Th_objmodel Th_psgc Th_sim

@@ -1,0 +1,1 @@
+lib/giraph/ooc.ml: Array Clock Graph Hashtbl List Option Printf Sys Th_device Th_minijvm Th_objmodel Th_psgc Th_sim

@@ -1,0 +1,1 @@
+lib/giraph/ooc.mli: Graph Th_device Th_psgc

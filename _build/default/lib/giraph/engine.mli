@@ -1,0 +1,61 @@
+(** The BSP engine: supersteps with a synchronisation barrier (Figure 5).
+
+    An algorithm is described by its superstep count, per-superstep
+    message volume, and the fraction of vertices active each superstep;
+    the engine handles graph loading, the two message stores, the
+    out-of-core scheduler (Giraph-OOC) or the TeraHeap hint protocol:
+
+    - step 1: out-edges maps are tagged as vertices load (label 0);
+    - step 2: [h2_move 0] at the end of the input superstep;
+    - step 3: message chunks are tagged with the superstep id as they are
+      created;
+    - step 4: [h2_move (k-1)] at the beginning of superstep [k]. *)
+
+type mode =
+  | In_memory
+  | Out_of_core of { threshold : float }
+      (** offload LRU edges/messages above this old-gen occupancy *)
+  | Teraheap
+
+type algorithm = {
+  name : string;
+  supersteps : int;
+  message_bytes : superstep:int -> total_edges:int -> int;
+      (** volume of raw per-edge sends in a superstep (before combining) *)
+  combine_factor : float;
+      (** message-combiner reduction: the stored volume is
+          [message_bytes / combine_factor]; compute is charged on the raw
+          sends *)
+  active_fraction : superstep:int -> float;
+      (** share of vertices computing in a superstep (frontier width) *)
+  update_fraction : float;  (** share of active vertices updating values *)
+}
+
+type params = {
+  partitions : int;
+  vertices : int;
+  avg_degree : int;
+  edge_bytes : int;
+}
+
+type result = {
+  supersteps_run : int;
+  total_messages_bytes : int;
+  graph : Graph.t;
+}
+
+val edges_label : int
+(** The label used for out-edges maps (0); message labels are superstep
+    ids starting at 1. *)
+
+val run :
+  Th_psgc.Runtime.t ->
+  mode:mode ->
+  ?ooc_device:Th_device.Device.t ->
+  ?ooc_dr2:int ->
+  prng:Th_sim.Prng.t ->
+  algo:algorithm ->
+  params ->
+  result
+(** Execute the full computation; simulated time lands in the runtime's
+    clock. Raises {!Th_psgc.Runtime.Out_of_memory} like a real run. *)

@@ -1,0 +1,132 @@
+open Th_sim
+module Obj_ = Th_objmodel.Heap_object
+module Runtime = Th_psgc.Runtime
+
+type t = {
+  superstep : int;
+  root : Obj_.t;
+  chunks : Obj_.t Vec.t;  (* resident chunks *)
+  mutable bytes : int;
+  mutable offloaded_at : int option;  (* device offset of the spill area *)
+  mutable spilled_bytes : int;
+}
+
+let chunk_bytes = Size.kib 64
+
+let create rt ~anchor ~superstep =
+  let root = Runtime.alloc rt ~size:256 () in
+  Runtime.write_ref rt anchor root;
+  {
+    superstep;
+    root;
+    chunks = Vec.create ();
+    bytes = 0;
+    offloaded_at = None;
+    spilled_bytes = 0;
+  }
+
+let append rt t ~bytes ~on_chunk_created =
+  if bytes > 0 then begin
+    let resident_before = Vec.length t.chunks * chunk_bytes in
+    let resident_target =
+      t.bytes + bytes - t.spilled_bytes
+    in
+    let needed =
+      (max 0 (resident_target - resident_before) + chunk_bytes - 1)
+      / chunk_bytes
+    in
+    for _ = 1 to needed do
+      let c = Runtime.alloc rt ~kind:Obj_.Array_data ~size:chunk_bytes () in
+      Runtime.write_ref rt t.root c;
+      Vec.push t.chunks c;
+      on_chunk_created c
+    done;
+    t.bytes <- t.bytes + bytes;
+    (* In-place serialization of the messages into the chunks they land
+       in; when a chunk has already moved to H2 this is the expensive
+       device read-modify-write of §7.2. *)
+    let touched = min (Vec.length t.chunks) (1 + (bytes / chunk_bytes)) in
+    for i = Vec.length t.chunks - touched to Vec.length t.chunks - 1 do
+      Runtime.update_obj rt (Vec.get t.chunks i)
+    done;
+    (* The message combiner rewrites per-vertex slots spread over the
+       store, so earlier chunks keep being updated until the superstep's
+       barrier seals them. This is why moving a still-mutable store to H2
+       is so expensive (§7.2). *)
+    let n = Vec.length t.chunks in
+    let i = ref 0 in
+    while !i < n do
+      Runtime.update_obj rt (Vec.get t.chunks !i);
+      i := !i + 4
+    done
+  end
+
+let consume rt t =
+  Vec.iter (fun c -> Runtime.read_obj rt c) t.chunks;
+  Runtime.compute rt ~bytes:(max 0 (t.bytes - t.spilled_bytes))
+
+(* Out-of-core paths: byte arrays are written to the device and dropped
+   from the heap, then streamed back before consumption. *)
+
+let spill rt t ~cache ~offset ~keep_chunks =
+  let resident = Vec.length t.chunks in
+  let n = max 0 (resident - keep_chunks) in
+  if n > 0 then begin
+    let off =
+      match t.offloaded_at with
+      | Some o -> o
+      | None ->
+          t.offloaded_at <- Some offset;
+          offset
+    in
+    Th_device.Page_cache.access cache ~cat:Clock.Serde_io ~write:true
+      ~offset:(off + t.spilled_bytes) ~len:(n * chunk_bytes);
+    (* Drop the oldest (sealed) chunks; the open tail stays resident. *)
+    let kept = Vec.create () in
+    Vec.iteri
+      (fun i c ->
+        if i < n then Runtime.unlink_ref rt t.root c else Vec.push kept c)
+      t.chunks;
+    Vec.clear t.chunks;
+    Vec.iter (Vec.push t.chunks) kept;
+    t.spilled_bytes <- t.spilled_bytes + (n * chunk_bytes)
+  end;
+  n * chunk_bytes
+
+let offload rt t ~cache ~offset =
+  if t.bytes = 0 then 0 else spill rt t ~cache ~offset ~keep_chunks:0
+
+let ensure_resident rt t ~cache =
+  match t.offloaded_at with
+  | None -> ()
+  | Some offset ->
+      let n = t.spilled_bytes / chunk_bytes in
+      Th_device.Page_cache.access cache ~cat:Clock.Serde_io ~write:false
+        ~offset ~len:t.spilled_bytes;
+      for _ = 1 to n do
+        let c = Runtime.alloc rt ~kind:Obj_.Array_data ~size:chunk_bytes () in
+        Runtime.write_ref rt t.root c;
+        Vec.push t.chunks c
+      done;
+      t.offloaded_at <- None;
+      t.spilled_bytes <- 0
+
+let consume_streamed rt t ~cache =
+  (match t.offloaded_at with
+  | None -> ()
+  | Some offset ->
+      (* Stream the spilled chunks back one at a time: each is read from
+         the device, materialised briefly, consumed and dropped — the
+         resident footprint stays one chunk, at the price of allocation
+         churn. *)
+      let n = t.spilled_bytes / chunk_bytes in
+      for i = 0 to n - 1 do
+        Th_device.Page_cache.access cache ~cat:Clock.Serde_io ~write:false
+          ~offset:(offset + (i * chunk_bytes))
+          ~len:chunk_bytes;
+        let c = Runtime.alloc rt ~kind:Obj_.Array_data ~size:chunk_bytes () in
+        Runtime.read_obj rt c
+      done);
+  consume rt t
+
+let drop rt t ~anchor = Runtime.unlink_ref rt anchor t.root

@@ -1,0 +1,72 @@
+(** Superstep message stores (Figure 5).
+
+    Each superstep has a current store (mutable, filled as vertices send)
+    and an incoming store (the previous superstep's current store, immutable
+    after the synchronisation barrier). Messages are serialized byte-array
+    chunks per partition, as Giraph stores them. *)
+
+type t = {
+  superstep : int;
+  root : Th_objmodel.Heap_object.t;  (** store root, linked from the engine *)
+  chunks : Th_objmodel.Heap_object.t Th_sim.Vec.t;  (** resident chunks *)
+  mutable bytes : int;
+  mutable offloaded_at : int option;
+      (** device offset of the spill area, when the out-of-core scheduler
+          has spilled part of the store *)
+  mutable spilled_bytes : int;
+}
+
+val chunk_bytes : int
+(** Messages are appended into fixed-size byte-array chunks (64 KiB). *)
+
+val create :
+  Th_psgc.Runtime.t ->
+  anchor:Th_objmodel.Heap_object.t ->
+  superstep:int ->
+  t
+(** A fresh, empty store whose root is linked under [anchor]. *)
+
+val append :
+  Th_psgc.Runtime.t ->
+  t ->
+  bytes:int ->
+  on_chunk_created:(Th_objmodel.Heap_object.t -> unit) ->
+  unit
+(** Append [bytes] of messages: allocates chunks as needed (each new chunk
+    reported to [on_chunk_created] — TeraHeap tags it, Figure 5 step 3) and
+    charges the in-place serialization writes. Writing into a chunk that
+    has already been moved to H2 pays the read-modify-write device cost. *)
+
+val consume : Th_psgc.Runtime.t -> t -> unit
+(** Read every chunk (page faults if resident in H2) and charge compute
+    proportional to the message volume. *)
+
+val drop : Th_psgc.Runtime.t -> t -> anchor:Th_objmodel.Heap_object.t -> unit
+(** Unlink the store from the engine: its chunks become garbage (in H1) or
+    dead-region candidates (in H2). *)
+
+val spill :
+  Th_psgc.Runtime.t ->
+  t ->
+  cache:Th_device.Page_cache.t ->
+  offset:int ->
+  keep_chunks:int ->
+  int
+(** Out-of-core: write all but the newest [keep_chunks] resident chunks to
+    the device and drop them from the heap (Giraph spills the message
+    store incrementally as the superstep produces it). Returns the bytes
+    written. [offset] fixes the spill area on first use. *)
+
+val offload :
+  Th_psgc.Runtime.t -> t -> cache:Th_device.Page_cache.t -> offset:int -> int
+(** [spill ~keep_chunks:0]: the barrier-time full spill. *)
+
+val ensure_resident :
+  Th_psgc.Runtime.t -> t -> cache:Th_device.Page_cache.t -> unit
+(** Out-of-core: read an offloaded store back, re-allocating its chunks. *)
+
+val consume_streamed :
+  Th_psgc.Runtime.t -> t -> cache:Th_device.Page_cache.t -> unit
+(** Out-of-core: consume an offloaded store chunk by chunk, keeping only
+    one chunk resident at a time (device reads plus allocation churn).
+    Falls back to {!consume} when the store is resident. *)

@@ -1,0 +1,1 @@
+lib/metrics/csv.ml: Buffer Clock List Printf String Th_sim

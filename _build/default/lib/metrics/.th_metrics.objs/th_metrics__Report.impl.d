@@ -1,0 +1,1 @@
+lib/metrics/report.ml: Clock Csv Filename List Option Printf String Sys Th_sim

@@ -1,0 +1,20 @@
+let points ?(buckets = 20) samples =
+  match samples with
+  | [] -> []
+  | _ ->
+      let arr = Array.of_list samples in
+      Array.sort compare arr;
+      let n = Array.length arr in
+      List.init (buckets + 1) (fun i ->
+          let pct = float_of_int i /. float_of_int buckets in
+          let idx =
+            min (n - 1) (int_of_float (pct *. float_of_int (n - 1)))
+          in
+          (100.0 *. pct, arr.(idx)))
+
+let fraction_at_or_below samples v =
+  match samples with
+  | [] -> 0.0
+  | _ ->
+      let below = List.length (List.filter (fun x -> x <= v) samples) in
+      float_of_int below /. float_of_int (List.length samples)

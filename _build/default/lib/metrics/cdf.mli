@@ -1,0 +1,9 @@
+(** Cumulative-distribution helpers for Figure 10. *)
+
+val points : ?buckets:int -> float list -> (float * float) list
+(** [points samples] sorts the samples and returns [(x_pct, value)] pairs:
+    the value at each cumulative percentile, downsampled to [buckets]
+    (default 20) evenly spaced percentiles. *)
+
+val fraction_at_or_below : float list -> float -> float
+(** [fraction_at_or_below samples v] is the CDF evaluated at [v]. *)

@@ -1,0 +1,1 @@
+lib/minijvm/card_table.mli:

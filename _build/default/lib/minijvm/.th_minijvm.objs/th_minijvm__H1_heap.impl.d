@@ -1,0 +1,1 @@
+lib/minijvm/h1_heap.ml: Card_table Th_objmodel Th_sim Vec

@@ -1,0 +1,1 @@
+lib/minijvm/h1_heap.mli: Card_table Th_objmodel Th_sim

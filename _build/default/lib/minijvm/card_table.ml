@@ -1,0 +1,41 @@
+type t = {
+  card_size : int;
+  cards : Bytes.t;
+  mutable dirty : int;
+}
+
+let create ?(card_size = 512) ~capacity_bytes () =
+  if card_size <= 0 then invalid_arg "Card_table.create: card_size";
+  let n = max 1 ((capacity_bytes + card_size - 1) / card_size) in
+  { card_size; cards = Bytes.make n '\000'; dirty = 0 }
+
+let card_size t = t.card_size
+
+let num_cards t = Bytes.length t.cards
+
+let card_of_addr t addr =
+  let c = addr / t.card_size in
+  if c < 0 || c >= Bytes.length t.cards then
+    invalid_arg "Card_table.card_of_addr: address out of range";
+  c
+
+let mark_dirty t ~addr =
+  let c = card_of_addr t addr in
+  if Bytes.unsafe_get t.cards c = '\000' then begin
+    Bytes.unsafe_set t.cards c '\001';
+    t.dirty <- t.dirty + 1
+  end
+
+let is_dirty t ~card = Bytes.get t.cards card <> '\000'
+
+let dirty_count t = t.dirty
+
+let clear_all t =
+  Bytes.fill t.cards 0 (Bytes.length t.cards) '\000';
+  t.dirty <- 0
+
+let clear_card t ~card =
+  if Bytes.get t.cards card <> '\000' then begin
+    Bytes.set t.cards card '\000';
+    t.dirty <- t.dirty - 1
+  end

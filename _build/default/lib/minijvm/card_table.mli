@@ -1,0 +1,27 @@
+(** H1 card table.
+
+    One dirty bit per fixed-size card covering the old generation's address
+    space, as in vanilla Parallel Scavenge (512 B cards). The post-write
+    barrier marks the card holding an updated old-generation object; minor
+    GC scans dirty cards for old-to-young references. *)
+
+type t
+
+val create : ?card_size:int -> capacity_bytes:int -> unit -> t
+(** [card_size] defaults to 512 bytes. *)
+
+val card_size : t -> int
+
+val num_cards : t -> int
+
+val card_of_addr : t -> int -> int
+
+val mark_dirty : t -> addr:int -> unit
+
+val is_dirty : t -> card:int -> bool
+
+val dirty_count : t -> int
+
+val clear_all : t -> unit
+
+val clear_card : t -> card:int -> unit

@@ -1,0 +1,1 @@
+lib/objmodel/heap_object.ml: Array Format Hashtbl List Printf Stack

@@ -1,0 +1,1 @@
+lib/objmodel/heap_object.mli: Format Hashtbl

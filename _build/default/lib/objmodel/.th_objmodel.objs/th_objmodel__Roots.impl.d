@@ -1,0 +1,1 @@
+lib/objmodel/roots.ml: Heap_object Th_sim Vec

@@ -1,0 +1,1 @@
+lib/objmodel/roots.mli: Heap_object

@@ -1,0 +1,1 @@
+lib/psgc/cost_profile.ml:

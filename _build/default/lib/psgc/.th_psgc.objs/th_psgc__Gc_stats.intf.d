@@ -1,0 +1,1 @@
+lib/psgc/gc_stats.mli:

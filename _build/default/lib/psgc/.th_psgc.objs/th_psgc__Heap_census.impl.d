@@ -1,0 +1,1 @@
+lib/psgc/heap_census.ml: Format Hashtbl List Rt Size Th_minijvm Th_objmodel Th_sim Vec

@@ -1,0 +1,1 @@
+lib/psgc/heap_census.mli: Format Rt Th_objmodel

@@ -1,0 +1,1 @@
+lib/psgc/ps_gc.ml: Clock Cost_profile Costs Gc_stats Hashtbl List Printf Queue Rt Size Stack Th_core Th_minijvm Th_objmodel Th_sim Vec

@@ -1,0 +1,1 @@
+lib/psgc/ps_gc.mli: Rt

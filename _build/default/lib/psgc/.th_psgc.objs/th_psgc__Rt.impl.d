@@ -1,0 +1,1 @@
+lib/psgc/rt.ml: Clock Cost_profile Costs Gc_stats Size Th_core Th_minijvm Th_objmodel Th_sim

@@ -1,0 +1,1 @@
+lib/psgc/runtime.ml: Clock Cost_profile Costs List Printf Ps_gc Rt Size Th_core Th_minijvm Th_objmodel Th_sim

@@ -1,0 +1,1 @@
+lib/psgc/runtime.mli: Cost_profile Gc_stats Rt Th_core Th_minijvm Th_objmodel Th_sim

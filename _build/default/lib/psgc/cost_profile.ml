@@ -1,0 +1,24 @@
+type t = { young_mult : float; old_mult : float; mutator_mult : float }
+
+let dram = { young_mult = 1.0; old_mult = 1.0; mutator_mult = 1.0 }
+
+(* Optane load latency over DRAM load latency (~300 ns vs ~80 ns). *)
+let nvm_penalty = 3.75
+
+let nvm_memory_mode ~dram_bytes ~heap_bytes =
+  let ratio =
+    if heap_bytes <= 0 then 1.0
+    else min 1.0 (float_of_int dram_bytes /. float_of_int heap_bytes)
+  in
+  (* GC pointer chasing has little locality, so its effective hit ratio is
+     well below the capacity ratio; mutator streaming does better. *)
+  let gc_hit = 0.55 *. ratio and mut_hit = 0.85 *. ratio in
+  let mult hit = hit +. ((1.0 -. hit) *. nvm_penalty) in
+  { young_mult = mult gc_hit; old_mult = mult gc_hit; mutator_mult = mult mut_hit }
+
+let panthera =
+  (* Young generation entirely in DRAM; 48/54 of the old generation on NVM
+     (Wang et al. configuration reproduced in §7.5). *)
+  let nvm_fraction = 48.0 /. 54.0 in
+  let old_mult = 1.0 +. (nvm_fraction *. (nvm_penalty -. 1.0)) in
+  { young_mult = 1.0; old_mult; mutator_mult = 1.0 +. (0.35 *. (nvm_penalty -. 1.0)) }

@@ -1,0 +1,24 @@
+(** Memory-medium cost multipliers.
+
+    Baselines that place (part of) H1 on NVM pay higher per-reference and
+    per-byte costs. Multipliers apply to GC tracing/copy work and mutator
+    access on objects resident in the given generation. *)
+
+type t = {
+  young_mult : float;  (** young-generation residents *)
+  old_mult : float;  (** old-generation residents *)
+  mutator_mult : float;  (** mutator compute touching heap data *)
+}
+
+val dram : t
+(** All 1.0 — plain DRAM-backed H1. *)
+
+val nvm_memory_mode : dram_bytes:int -> heap_bytes:int -> t
+(** Spark-MO: the whole heap lives on NVM in Memory mode with DRAM acting
+    as a direct-mapped cache. The multiplier follows the expected DRAM-cache
+    hit ratio (capacity ratio), with GC traversals getting poorer locality
+    than mutator streaming. *)
+
+val panthera : t
+(** Panthera: young generation in DRAM; most of the old generation on NVM
+    (§7.5: 48 of 54 GB). Old-generation work pays the NVM latency ratio. *)

@@ -1,0 +1,36 @@
+open Th_sim
+module Obj_ = Th_objmodel.Heap_object
+module H1_heap = Th_minijvm.H1_heap
+
+type entry = { kind : Obj_.kind; count : int; bytes : int }
+
+let kind_name = function
+  | Obj_.Data -> "data"
+  | Obj_.Array_data -> "array"
+  | Obj_.Jvm_metadata -> "jvm-metadata"
+  | Obj_.Weak_reference -> "weak-ref"
+  | Obj_.Temp -> "temp"
+
+let of_runtime (rt : Rt.t) =
+  let heap = rt.Rt.heap in
+  let acc : (Obj_.kind, int * int) Hashtbl.t = Hashtbl.create 8 in
+  let visit (o : Obj_.t) =
+    let count, bytes =
+      match Hashtbl.find_opt acc o.Obj_.kind with
+      | Some (c, b) -> (c, b)
+      | None -> (0, 0)
+    in
+    Hashtbl.replace acc o.Obj_.kind (count + 1, bytes + Obj_.total_size o)
+  in
+  Vec.iter visit heap.H1_heap.eden;
+  Vec.iter visit heap.H1_heap.survivor;
+  Vec.iter visit heap.H1_heap.old_objs;
+  Hashtbl.fold (fun kind (count, bytes) l -> { kind; count; bytes } :: l) acc []
+  |> List.sort (fun a b -> compare b.bytes a.bytes)
+
+let pp f entries =
+  List.iter
+    (fun e ->
+      Format.fprintf f "%-14s %8d objs  %s@." (kind_name e.kind) e.count
+        (Size.to_string e.bytes))
+    entries

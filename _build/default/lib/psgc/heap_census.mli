@@ -1,0 +1,11 @@
+(** Diagnostic census of live H1 contents, grouped by object kind.
+
+    Used by drivers to explain out-of-memory conditions and by tests to
+    assert on heap composition. *)
+
+type entry = { kind : Th_objmodel.Heap_object.kind; count : int; bytes : int }
+
+val of_runtime : Rt.t -> entry list
+(** Entries for all objects currently in H1 spaces, largest first. *)
+
+val pp : Format.formatter -> entry list -> unit

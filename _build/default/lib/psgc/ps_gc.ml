@@ -1,0 +1,534 @@
+open Th_sim
+module Obj_ = Th_objmodel.Heap_object
+module Roots = Th_objmodel.Roots
+module Card_table = Th_minijvm.Card_table
+module H1_heap = Th_minijvm.H1_heap
+module H2 = Th_core.H2
+
+(* ------------------------------------------------------------------ *)
+(* Minor GC                                                            *)
+
+let has_young_ref o =
+  let found = ref false in
+  Obj_.iter_refs (fun c -> if Obj_.is_young c then found := true) o;
+  !found
+
+let minor_gc (rt : Rt.t) =
+  let heap = rt.Rt.heap in
+  let costs = rt.Rt.costs in
+  let t0 = Clock.breakdown rt.Rt.clock in
+  rt.Rt.in_gc <- true;
+  rt.Rt.mark_epoch <- rt.Rt.mark_epoch + 1;
+  let epoch = rt.Rt.mark_epoch in
+  Rt.charge rt Clock.Minor_gc costs.Costs.gc_pause_overhead_ns;
+  let worklist = Stack.create () in
+  let live_young = Vec.create () in
+  let push_young (o : Obj_.t) =
+    if Obj_.is_young o && o.Obj_.mark <> epoch then begin
+      o.Obj_.mark <- epoch;
+      Vec.push live_young o;
+      Stack.push o worklist
+    end
+  in
+  (* Task 1: scan roots. Stack and static slots reference objects
+     directly; the fields of non-young root objects are scanned as part of
+     root processing. *)
+  Roots.iter
+    (fun o ->
+      Rt.charge_minor rt costs.Costs.trace_ref_ns;
+      push_young o;
+      if not (Obj_.is_young o) then
+        Obj_.iter_refs
+          (fun c ->
+            Rt.charge_minor rt costs.Costs.trace_ref_ns;
+            push_young c)
+          o)
+    rt.Rt.roots;
+  (* Task 2: scan H1 dirty cards for old-to-young references. *)
+  Rt.charge_minor rt
+    (float_of_int (Card_table.num_cards heap.H1_heap.cards)
+    *. costs.Costs.card_scan_ns);
+  let scanned_cards : (int, unit) Hashtbl.t = Hashtbl.create 256 in
+  Vec.iter
+    (fun (o : Obj_.t) ->
+      let card = Card_table.card_of_addr heap.H1_heap.cards o.Obj_.addr in
+      if Card_table.is_dirty heap.H1_heap.cards ~card then begin
+        Hashtbl.replace scanned_cards card ();
+        Rt.charge_minor rt
+          (costs.Costs.card_obj_scan_ns *. rt.Rt.profile.Cost_profile.old_mult);
+        Obj_.iter_refs
+          (fun c ->
+            Rt.charge_minor rt costs.Costs.trace_ref_ns;
+            push_young c)
+          o
+      end)
+    heap.H1_heap.old_objs;
+  (* Task 3 (TeraHeap): scan the H2 card table; backward references keep
+     H1 young objects alive and must be adjusted after the copy. *)
+  (match rt.Rt.h2 with
+  | None -> ()
+  | Some h2 ->
+      H2.scan_cards_minor h2 ~on_object:(fun o ->
+          Obj_.iter_refs
+            (fun c ->
+              Rt.charge_minor rt costs.Costs.trace_ref_ns;
+              push_young c)
+            o));
+  (* Task 4: transitive trace within the young generation. The reference
+     range check fences the trace from crossing into H2. *)
+  while not (Stack.is_empty worklist) do
+    let o = Stack.pop worklist in
+    Rt.charge_minor rt (costs.Costs.mark_obj_ns *. Rt.gen_mult rt o);
+    Obj_.iter_refs
+      (fun c ->
+        Rt.charge_minor rt costs.Costs.trace_ref_ns;
+        push_young c)
+      o
+  done;
+  (* Task 5: copy live young objects; promote mature or overflowing ones. *)
+  let needs_major = ref false in
+  let promoted = Vec.create () in
+  Vec.iter
+    (fun (o : Obj_.t) ->
+      o.Obj_.age <- o.Obj_.age + 1;
+      let bytes = Obj_.total_size o in
+      Rt.charge_minor rt
+        (float_of_int bytes *. costs.Costs.copy_byte_ns
+        *. rt.Rt.profile.Cost_profile.young_mult);
+      let must_promote =
+        o.Obj_.age >= heap.H1_heap.tenure_threshold
+        || heap.H1_heap.survivor_used + bytes > heap.H1_heap.survivor_capacity
+      in
+      if must_promote then begin
+        match H1_heap.old_alloc_addr heap bytes with
+        | Some addr ->
+            H1_heap.promote heap o ~addr;
+            Vec.push promoted o
+        | None ->
+            (* Promotion failure: keep the object in the survivor space
+               (overflow) and request a full collection. *)
+            needs_major := true;
+            H1_heap.to_survivor heap o
+      end
+      else H1_heap.to_survivor heap o)
+    live_young;
+  (* Sweep dead young objects and rebuild the space vectors. *)
+  Vec.iter
+    (fun (o : Obj_.t) ->
+      if o.Obj_.loc = Obj_.Eden then H1_heap.free_object heap o)
+    heap.H1_heap.eden;
+  Vec.clear heap.H1_heap.eden;
+  Vec.filter_in_place
+    (fun (o : Obj_.t) ->
+      if o.Obj_.loc = Obj_.Survivor && o.Obj_.mark <> epoch then begin
+        H1_heap.free_object heap o;
+        false
+      end
+      else o.Obj_.loc = Obj_.Survivor)
+    heap.H1_heap.survivor;
+  (* Recompute the H1 cards that were scanned: clean unless some old
+     object in the card still references a young object. Promoted objects
+     may now hold young references, so their cards become dirty. *)
+  let still_dirty : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  Vec.iter
+    (fun (o : Obj_.t) ->
+      let card = Card_table.card_of_addr heap.H1_heap.cards o.Obj_.addr in
+      if Hashtbl.mem scanned_cards card && has_young_ref o then
+        Hashtbl.replace still_dirty card ())
+    heap.H1_heap.old_objs;
+  Hashtbl.iter
+    (fun card () ->
+      if not (Hashtbl.mem still_dirty card) then
+        Card_table.clear_card heap.H1_heap.cards ~card)
+    scanned_cards;
+  Vec.iter
+    (fun (o : Obj_.t) ->
+      if has_young_ref o then
+        Card_table.mark_dirty heap.H1_heap.cards ~addr:o.Obj_.addr)
+    promoted;
+  (* Adjust H2 card states now that targets have moved (§3.4). *)
+  (match rt.Rt.h2 with
+  | None -> ()
+  | Some h2 -> H2.recompute_card_states h2 ~major:false);
+  rt.Rt.in_gc <- false;
+  let d = Clock.sub (Clock.breakdown rt.Rt.clock) t0 in
+  Gc_stats.record rt.Rt.stats
+    (Gc_stats.Minor
+       { at_ns = Clock.now_ns rt.Rt.clock; duration_ns = d.Clock.minor_gc_ns });
+  Gc_stats.record_occupancy rt.Rt.stats ~at_ns:(Clock.now_ns rt.Rt.clock)
+    (H1_heap.old_occupancy heap);
+  !needs_major
+
+(* ------------------------------------------------------------------ *)
+(* Major GC                                                            *)
+
+(* Work that is single-threaded under PS (OpenJDK8 old-generation
+   collection) but parallel under the JDK11/G1 variants. *)
+let charge_major rt ns =
+  let threads = Rt.major_threads rt in
+  (* G1 performs most of its marking concurrently with the mutator; only
+     about half of the work lands in a pause (remark/cleanup). *)
+  let ns =
+    match rt.Rt.collector with Rt.G1 -> ns *. 0.5 | Rt.Ps | Rt.Ps_jdk11 -> ns
+  in
+  Rt.charge rt Clock.Major_gc (Costs.parallel rt.Rt.costs ~threads ns)
+
+let g1_skip_copy rt (o : Obj_.t) =
+  (* G1 never evacuates humongous objects; mixed collections also copy
+     only a subset of regions. The subset factor is applied at the charge
+     site; humongous objects are skipped entirely. *)
+  rt.Rt.collector = Rt.G1
+  && o.Obj_.kind = Obj_.Array_data
+  && Obj_.total_size o > rt.Rt.g1_region_size / 2
+
+let g1_copy_factor rt =
+  match rt.Rt.collector with Rt.G1 -> 0.35 | Rt.Ps | Rt.Ps_jdk11 -> 1.0
+
+let major_gc (rt : Rt.t) =
+  let heap = rt.Rt.heap in
+  let costs = rt.Rt.costs in
+  rt.Rt.in_gc <- true;
+  rt.Rt.mark_epoch <- rt.Rt.mark_epoch + 1;
+  let epoch = rt.Rt.mark_epoch in
+  Rt.charge rt Clock.Major_gc costs.Costs.gc_pause_overhead_ns;
+  (* Escape hatch: if the old generation is already past the high
+     threshold when this collection starts (a large allocation burst since
+     the last cycle), escalate to a pressure move now rather than risk an
+     OOM before the "next major GC" the paper's policy nominally uses. *)
+  (match rt.Rt.h2 with
+  | Some h2 when rt.Rt.pressure = Rt.No_pressure ->
+      if H1_heap.old_occupancy heap > H2.high_threshold h2 then
+        rt.Rt.pressure <-
+          (match H2.low_threshold h2 with
+          | Some _ -> Rt.Move_until_low
+          | None -> Rt.Move_all_tagged)
+  | Some _ | None -> ());
+  let t0 = Clock.breakdown rt.Rt.clock in
+  let phase_delta prev =
+    let d = Clock.sub (Clock.breakdown rt.Rt.clock) prev in
+    (d.Clock.major_gc_ns, Clock.breakdown rt.Rt.clock)
+  in
+
+  (* --- Phase 1: marking ------------------------------------------- *)
+  (match rt.Rt.h2 with None -> () | Some h2 -> H2.clear_live_bits h2);
+  let worklist = Stack.create () in
+  let live = Vec.create () in
+  let backward_refs = ref 0 in
+  let push (o : Obj_.t) =
+    match o.Obj_.loc with
+    | Obj_.In_h2 ->
+        (* Forward reference (H1 to H2): fence, set the region live bit. *)
+        (match rt.Rt.h2 with
+        | Some h2 -> H2.mark_live_from_h1 h2 o
+        | None -> assert false)
+    | Obj_.Freed -> ()
+    | Obj_.Eden | Obj_.Survivor | Obj_.Old ->
+        if o.Obj_.mark <> epoch then begin
+          o.Obj_.mark <- epoch;
+          Vec.push live o;
+          Stack.push o worklist
+        end
+  in
+  (* Mark H1 objects referenced by H2 as live (backward references). *)
+  (match rt.Rt.h2 with
+  | None -> ()
+  | Some h2 ->
+      H2.scan_cards_major h2 ~on_object:(fun o ->
+          Obj_.iter_refs
+            (fun c ->
+              if Obj_.is_in_h1 c then begin
+                incr backward_refs;
+                charge_major rt costs.Costs.trace_ref_ns;
+                push c
+              end)
+            o));
+  Roots.iter
+    (fun o ->
+      charge_major rt costs.Costs.trace_ref_ns;
+      push o)
+    rt.Rt.roots;
+  while not (Stack.is_empty worklist) do
+    let o = Stack.pop worklist in
+    charge_major rt (costs.Costs.mark_obj_ns *. Rt.gen_mult rt o);
+    Obj_.iter_refs
+      (fun c ->
+        charge_major rt (costs.Costs.trace_ref_ns *. Rt.gen_mult rt o);
+        push c)
+      o
+  done;
+  let live_bytes =
+    Vec.fold_left (fun acc o -> acc + Obj_.total_size o) 0 live
+  in
+  (* TeraHeap marking extras: identify labelled roots, compute transitive
+     closures, and free dead regions (§4). *)
+  let move_list = Vec.create () in
+  let regions_freed_now = ref 0 in
+  (match rt.Rt.h2 with
+  | None -> ()
+  | Some h2 ->
+      rt.Rt.closure_epoch <- rt.Rt.closure_epoch + 1;
+      let cepoch = rt.Rt.closure_epoch in
+      let cfg = H2.config h2 in
+      (* After a full collection every live H1 object sits in the old
+         generation, so thresholds are fractions of old-gen capacity. *)
+      let old_capacity = heap.H1_heap.old_capacity in
+      (* Pressure-forced moves of objects whose h2_move hint has not been
+         seen yet stop at a budget: the low threshold when configured,
+         otherwise the high threshold — except with hints disabled
+         entirely ("NH"), where everything marked moves (§3.2, §7.2). *)
+      let unadvised_target =
+        match rt.Rt.pressure with
+        | Rt.No_pressure -> None
+        | Rt.Move_until_low -> (
+            match H2.low_threshold h2 with
+            | Some low -> Some (Some low)
+            | None -> Some None)
+        | Rt.Move_all_tagged ->
+            if cfg.H2.use_move_hint then Some (Some (H2.high_threshold h2))
+            else Some None
+      in
+      let moved_budget_exhausted moved =
+        match unadvised_target with
+        | None | Some None -> false
+        | Some (Some target) ->
+            float_of_int (live_bytes - moved)
+            <= target *. float_of_int old_capacity
+      in
+      let pressure_forced = unadvised_target <> None in
+      let moved = ref 0 in
+      (* Breadth-first so that the H2 placement order matches the order
+         frameworks later stream the group in (root, then elements). *)
+      let closure_of root label =
+        let queue = Queue.create () in
+        Queue.push root queue;
+        while not (Queue.is_empty queue) do
+          let o = Queue.pop queue in
+          if
+            o.Obj_.closure_mark <> cepoch
+            && Obj_.is_in_h1 o
+            && o.Obj_.mark = epoch
+            && not (Obj_.excluded_from_closure o)
+          then begin
+            o.Obj_.closure_mark <- cepoch;
+            o.Obj_.label <- label;
+            moved := !moved + Obj_.total_size o;
+            Vec.push move_list o;
+            Obj_.iter_refs
+              (fun c ->
+                charge_major rt costs.Costs.trace_ref_ns;
+                Queue.push c queue)
+              o
+          end
+        done
+      in
+      (* Pass 1: labels whose h2_move advice has been received (their
+         object groups are immutable). Pass 2: under pressure, unadvised
+         groups oldest-first up to the budget — these may still be
+         mutable, so moving them costs device read-modify-writes later.
+         No explicit un-tagging: once moved, a root's location becomes
+         [In_h2] and the tagged list self-cleans on its next traversal
+         (a per-root removal here would be quadratic). *)
+      let tagged = H2.tagged_roots h2 in
+      List.iter
+        (fun (root : Obj_.t) ->
+          let label = root.Obj_.label in
+          if label >= 0 && root.Obj_.mark = epoch && H2.move_advised h2 ~label
+          then closure_of root label)
+        tagged;
+      if pressure_forced then
+        List.iter
+          (fun (root : Obj_.t) ->
+            let label = root.Obj_.label in
+            if
+              label >= 0
+              && root.Obj_.mark = epoch
+              && root.Obj_.closure_mark <> cepoch
+              && (not (H2.move_advised h2 ~label))
+              && not (moved_budget_exhausted !moved)
+            then closure_of root label)
+          tagged;
+      regions_freed_now :=
+        H2.free_dead_regions h2 ~on_free:(fun o -> o.Obj_.loc <- Obj_.Freed));
+  let marking_ns, t1 = phase_delta t0 in
+
+  (* --- Phase 2: precompaction -------------------------------------- *)
+  (* Place move candidates in H2 regions keyed by label, then assign
+     sliding-compaction addresses to the H1 survivors. *)
+  let prev_locs = Vec.create () in
+  Vec.iter
+    (fun (o : Obj_.t) ->
+      Vec.push prev_locs (o, o.Obj_.loc, Obj_.total_size o);
+      match rt.Rt.h2 with
+      | Some h2 ->
+          charge_major rt (costs.Costs.mark_obj_ns *. 0.5);
+          H2.alloc h2 o ~label:o.Obj_.label
+      | None -> assert false)
+    move_list;
+  let new_top = ref 0 in
+  let assign (o : Obj_.t) =
+    charge_major rt (costs.Costs.mark_obj_ns *. 0.5);
+    o.Obj_.new_addr <- !new_top;
+    (* Live humongous objects keep pinning their region slack: G1 never
+       moves them. *)
+    new_top := !new_top + Obj_.footprint o
+  in
+  Vec.iter
+    (fun (o : Obj_.t) ->
+      if o.Obj_.mark = epoch && o.Obj_.loc = Obj_.Old then assign o)
+    heap.H1_heap.old_objs;
+  (* PS full collections tenure all young survivors into the old gen. *)
+  let promoted_young = Vec.create () in
+  let collect_young (o : Obj_.t) =
+    if o.Obj_.mark = epoch && Obj_.is_young o then begin
+      assign o;
+      Vec.push promoted_young o
+    end
+  in
+  Vec.iter collect_young heap.H1_heap.eden;
+  Vec.iter collect_young heap.H1_heap.survivor;
+  let precompact_ns, t2 = phase_delta t1 in
+
+  (* --- Phase 3: pointer adjustment --------------------------------- *)
+  Vec.iter
+    (fun (o : Obj_.t) ->
+      if Obj_.is_in_h1 o then
+        Obj_.iter_refs
+          (fun _ ->
+            charge_major rt (costs.Costs.trace_ref_ns *. Rt.gen_mult rt o))
+          o)
+    live;
+  (match rt.Rt.h2 with
+  | None -> ()
+  | Some h2 ->
+      (* Adjust backward references to the new H1 locations. *)
+      charge_major rt
+        (float_of_int !backward_refs *. costs.Costs.trace_ref_ns);
+      (* For each moved object: record new cross-region references and
+         newly-created backward references (§4, pointer adjustment). *)
+      Vec.iter
+        (fun (o : Obj_.t) ->
+          Obj_.iter_refs
+            (fun c ->
+              charge_major rt costs.Costs.trace_ref_ns;
+              match c.Obj_.loc with
+              | Obj_.In_h2 ->
+                  if c.Obj_.h2_region <> o.Obj_.h2_region then
+                    H2.add_dependency h2 ~src_region:o.Obj_.h2_region
+                      ~dst_region:c.Obj_.h2_region
+              | Obj_.Eden | Obj_.Survivor | Obj_.Old ->
+                  H2.note_backward_ref h2 o
+              | Obj_.Freed -> ())
+            o)
+        move_list);
+  let adjust_ns, t3 = phase_delta t2 in
+
+  (* --- Phase 4: compaction ------------------------------------------ *)
+  (* Account the H1 space vacated by objects that moved to H2. *)
+  Vec.iter
+    (fun ((o : Obj_.t), prev_loc, bytes) ->
+      ignore o;
+      match prev_loc with
+      | Obj_.Eden -> heap.H1_heap.eden_used <- heap.H1_heap.eden_used - bytes
+      | Obj_.Survivor ->
+          heap.H1_heap.survivor_used <- heap.H1_heap.survivor_used - bytes
+      | Obj_.Old -> heap.H1_heap.old_used <- heap.H1_heap.old_used - bytes
+      | Obj_.In_h2 | Obj_.Freed -> assert false)
+    prev_locs;
+  (* Slide live old objects and copy young survivors into the old gen. *)
+  let copy_factor = g1_copy_factor rt in
+  let compact_old (o : Obj_.t) =
+    if not (g1_skip_copy rt o) then
+      charge_major rt
+        (float_of_int (Obj_.total_size o)
+        *. costs.Costs.copy_byte_ns
+        *. rt.Rt.profile.Cost_profile.old_mult
+        *. copy_factor);
+    o.Obj_.addr <- o.Obj_.new_addr
+  in
+  let new_old = Vec.create () in
+  Vec.iter
+    (fun (o : Obj_.t) ->
+      if o.Obj_.mark = epoch && o.Obj_.loc = Obj_.Old then begin
+        compact_old o;
+        Vec.push new_old o
+      end
+      else if o.Obj_.loc = Obj_.Old then H1_heap.free_object heap o)
+    heap.H1_heap.old_objs;
+  Vec.clear heap.H1_heap.old_objs;
+  Vec.iter (Vec.push heap.H1_heap.old_objs) new_old;
+  let tenure (o : Obj_.t) =
+    let bytes = Obj_.total_size o in
+    charge_major rt
+      (float_of_int bytes *. costs.Costs.copy_byte_ns
+      *. rt.Rt.profile.Cost_profile.young_mult);
+    H1_heap.promote heap o ~addr:o.Obj_.new_addr;
+    o.Obj_.age <- heap.H1_heap.tenure_threshold
+  in
+  Vec.iter tenure promoted_young;
+  (* Sweep the young spaces. *)
+  Vec.iter
+    (fun (o : Obj_.t) ->
+      if o.Obj_.loc = Obj_.Eden then H1_heap.free_object heap o)
+    heap.H1_heap.eden;
+  Vec.clear heap.H1_heap.eden;
+  Vec.iter
+    (fun (o : Obj_.t) ->
+      if o.Obj_.loc = Obj_.Survivor then H1_heap.free_object heap o)
+    heap.H1_heap.survivor;
+  Vec.clear heap.H1_heap.survivor;
+  heap.H1_heap.old_top <- !new_top;
+  heap.H1_heap.old_used <- !new_top;
+  (* Write the moved objects out to H2 in promotion-buffer batches. *)
+  let bytes_moved =
+    Vec.fold_left (fun acc ((_, _, b) : Obj_.t * Obj_.location * int) -> acc + b)
+      0 prev_locs
+  in
+  (match rt.Rt.h2 with
+  | None -> ()
+  | Some h2 ->
+      H2.flush_promotion_buffers h2;
+      H2.recompute_card_states h2 ~major:true);
+  (* The full collection leaves no old-to-young references. *)
+  Card_table.clear_all heap.H1_heap.cards;
+  let compact_ns, _ = phase_delta t3 in
+
+  (* --- Epilogue ----------------------------------------------------- *)
+  let regions_freed = !regions_freed_now in
+  (* High/low-threshold policy for the next cycle (§3.2). *)
+  (match rt.Rt.h2 with
+  | None -> ()
+  | Some h2 ->
+      let ratio = H1_heap.old_occupancy heap in
+      H2.adapt_thresholds h2 ~live_ratio:ratio;
+      if ratio > H2.high_threshold h2 then
+        rt.Rt.pressure <-
+          (match H2.low_threshold h2 with
+          | Some _ -> Rt.Move_until_low
+          | None -> Rt.Move_all_tagged)
+      else rt.Rt.pressure <- Rt.No_pressure);
+  rt.Rt.in_gc <- false;
+  let total = Clock.sub (Clock.breakdown rt.Rt.clock) t0 in
+  Gc_stats.record rt.Rt.stats
+    (Gc_stats.Major
+       {
+         at_ns = Clock.now_ns rt.Rt.clock;
+         duration_ns = total.Clock.major_gc_ns;
+         phases =
+           {
+             Gc_stats.marking_ns;
+             precompact_ns;
+             adjust_ns;
+             compact_ns;
+           };
+         old_occupancy_after = H1_heap.old_occupancy heap;
+         bytes_moved_to_h2 = bytes_moved;
+         regions_freed;
+       });
+  Gc_stats.record_occupancy rt.Rt.stats ~at_ns:(Clock.now_ns rt.Rt.clock)
+    (H1_heap.old_occupancy heap);
+  if !new_top > heap.H1_heap.old_capacity then
+    raise
+      (Rt.Out_of_memory
+         (Printf.sprintf "live data (%s) exceeds old generation (%s)"
+            (Size.to_string !new_top)
+            (Size.to_string heap.H1_heap.old_capacity)))

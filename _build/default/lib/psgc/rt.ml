@@ -1,0 +1,78 @@
+(* Runtime state shared by the mutator facade ({!Runtime}) and the
+   collector ({!Ps_gc}). Kept in its own module to break the mutual
+   dependency between allocation (which triggers GC) and collection. *)
+
+open Th_sim
+module Obj_ = Th_objmodel.Heap_object
+module Roots = Th_objmodel.Roots
+module H1_heap = Th_minijvm.H1_heap
+module H2 = Th_core.H2
+
+exception Out_of_memory of string
+
+type collector = Ps | Ps_jdk11 | G1
+
+(* Pending move policy decided at the end of the previous major GC. *)
+type move_pressure = No_pressure | Move_all_tagged | Move_until_low
+
+type t = {
+  clock : Clock.t;
+  costs : Costs.t;
+  heap : H1_heap.t;
+  roots : Roots.t;
+  h2 : H2.t option;
+  profile : Cost_profile.t;
+  collector : collector;
+  stats : Gc_stats.t;
+  mutable mark_epoch : int;
+  mutable closure_epoch : int;
+  mutable pressure : move_pressure;
+  mutable in_gc : bool;
+  mutable barrier_checks : int;  (* post-write barriers executed *)
+  mutable g1_humongous_waste : int;  (* wasted bytes in humongous regions *)
+  g1_region_size : int;
+}
+
+let create ?(collector = Ps) ?(profile = Cost_profile.dram) ?h2 ~clock ~costs
+    ~heap () =
+  {
+    clock;
+    costs;
+    heap;
+    roots = Roots.create ();
+    h2;
+    profile;
+    collector;
+    stats = Gc_stats.create ();
+    mark_epoch = 0;
+    closure_epoch = 0;
+    pressure = No_pressure;
+    in_gc = false;
+    barrier_checks = 0;
+    g1_humongous_waste = 0;
+    (* 512 regions: reproduces the array-to-region size ratio of G1 on
+       the paper's heaps (partition arrays spanning a few regions). *)
+    g1_region_size = max (Size.kib 64) (H1_heap.heap_bytes heap / 512);
+  }
+
+let teraheap_enabled t = t.h2 <> None
+
+let charge t cat ns = Clock.advance t.clock cat ns
+
+(* Parallel minor-GC work divides over the GC threads; PS's old-generation
+   (major) collection is single-threaded in OpenJDK8, parallel in the
+   JDK11/G1 configurations. *)
+let charge_minor t ns =
+  charge t Clock.Minor_gc
+    (Costs.parallel t.costs ~threads:t.costs.Costs.gc_threads ns)
+
+let major_threads t =
+  match t.collector with
+  | Ps -> t.costs.Costs.old_gc_threads
+  | Ps_jdk11 | G1 -> t.costs.Costs.gc_threads
+
+let gen_mult t (o : Obj_.t) =
+  match o.Obj_.loc with
+  | Obj_.Eden | Obj_.Survivor -> t.profile.Cost_profile.young_mult
+  | Obj_.Old -> t.profile.Cost_profile.old_mult
+  | Obj_.In_h2 | Obj_.Freed -> 1.0

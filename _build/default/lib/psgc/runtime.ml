@@ -1,0 +1,171 @@
+open Th_sim
+module Obj_ = Th_objmodel.Heap_object
+module Roots = Th_objmodel.Roots
+module Card_table = Th_minijvm.Card_table
+module H1_heap = Th_minijvm.H1_heap
+module H2 = Th_core.H2
+
+type t = Rt.t
+
+exception Out_of_memory = Rt.Out_of_memory
+
+let create = Rt.create
+
+let clock (t : t) = t.Rt.clock
+
+let costs (t : t) = t.Rt.costs
+
+let heap (t : t) = t.Rt.heap
+
+let h2 (t : t) = t.Rt.h2
+
+let stats (t : t) = t.Rt.stats
+
+let roots (t : t) = t.Rt.roots
+
+let teraheap_enabled = Rt.teraheap_enabled
+
+let minor_gc t = if Ps_gc.minor_gc t then Ps_gc.major_gc t
+
+let major_gc t = Ps_gc.major_gc t
+
+(* G1 rounds humongous objects (larger than half a G1 region) up to whole
+   regions; the tail of the last region is dead space pinned for the
+   object's lifetime (§7.1). *)
+let g1_slack (t : t) size =
+  let total = size + Obj_.header_bytes + Obj_.label_word_bytes in
+  let regions = (total + t.Rt.g1_region_size - 1) / t.Rt.g1_region_size in
+  (regions * t.Rt.g1_region_size) - total
+
+(* G1 allocates humongous objects directly in contiguous (old) regions. *)
+let g1_humongous (t : t) kind size =
+  t.Rt.collector = Rt.G1
+  && kind = Obj_.Array_data
+  && size + Obj_.header_bytes + Obj_.label_word_bytes
+     > t.Rt.g1_region_size / 2
+
+let alloc (t : t) ?(kind = Obj_.Data) ~size () =
+  let humongous = g1_humongous t kind size in
+  Rt.charge t Clock.Other t.Rt.costs.Costs.alloc_ns;
+  let alloc_once () =
+    if humongous then begin
+      (* Humongous path: contiguous regions straight in the old
+         generation, with the last region's tail pinned as slack. *)
+      let id = H1_heap.fresh_id t.Rt.heap in
+      let o = Obj_.create ~kind ~id ~size () in
+      let slack = g1_slack t size in
+      o.Obj_.region_slack <- slack;
+      t.Rt.g1_humongous_waste <- t.Rt.g1_humongous_waste + slack;
+      match H1_heap.old_alloc_addr t.Rt.heap (Obj_.footprint o) with
+      | None -> H1_heap.Old_full
+      | Some addr ->
+          o.Obj_.loc <- Obj_.Old;
+          o.Obj_.addr <- addr;
+          Th_sim.Vec.push t.Rt.heap.H1_heap.old_objs o;
+          H1_heap.Allocated o
+    end
+    else H1_heap.alloc t.Rt.heap ~kind ~size
+  in
+  let rec attempt tries =
+    match alloc_once () with
+    | H1_heap.Allocated o -> o
+    | H1_heap.Eden_full ->
+        if tries = 0 then minor_gc t
+        else if tries = 1 then major_gc t
+        else
+          raise
+            (Out_of_memory
+               (Printf.sprintf "cannot allocate %s in eden (%s)"
+                  (Size.to_string size)
+                  (Size.to_string t.Rt.heap.H1_heap.eden_capacity)));
+        attempt (tries + 1)
+    | H1_heap.Old_full ->
+        if tries <= 1 then major_gc t
+        else
+          raise
+            (Out_of_memory
+               (Printf.sprintf
+                  "cannot allocate %s directly in the old generation"
+                  (Size.to_string size)));
+        attempt (tries + 2)
+  in
+  attempt 0
+
+(* Post-write barrier with the TeraHeap reference range check (§4). *)
+let barrier (t : t) (parent : Obj_.t) =
+  t.Rt.barrier_checks <- t.Rt.barrier_checks + 1;
+  (* EnableTeraHeap adds a reference range check to select the H1 or H2
+     card table (§4); the measured overhead stays within a few percent. *)
+  let mult = if Rt.teraheap_enabled t then 1.35 else 1.0 in
+  Rt.charge t Clock.Other (t.Rt.costs.Costs.write_barrier_ns *. mult);
+  match parent.Obj_.loc with
+  | Obj_.Old ->
+      Card_table.mark_dirty t.Rt.heap.H1_heap.cards ~addr:parent.Obj_.addr
+  | Obj_.In_h2 -> (
+      match t.Rt.h2 with
+      | Some h2 -> H2.mutator_write h2 parent
+      | None -> assert false)
+  | Obj_.Eden | Obj_.Survivor -> ()
+  | Obj_.Freed -> invalid_arg "Runtime.write_ref: store into freed object"
+
+let write_ref t parent child =
+  if Obj_.is_freed child then
+    invalid_arg "Runtime.write_ref: reference to freed object";
+  Obj_.add_ref parent child;
+  (* A mutator store can create a new cross-region reference inside H2;
+     record it in the dependency lists so region liveness stays sound
+     (§3.3 allows objects in any region to refer to each other). *)
+  (match (parent.Obj_.loc, child.Obj_.loc, t.Rt.h2) with
+  | Obj_.In_h2, Obj_.In_h2, Some h2
+    when parent.Obj_.h2_region <> child.Obj_.h2_region ->
+      H2.add_dependency h2 ~src_region:parent.Obj_.h2_region
+        ~dst_region:child.Obj_.h2_region
+  | _ -> ());
+  barrier t parent
+
+let unlink_ref t parent child =
+  Obj_.remove_ref parent child;
+  barrier t parent
+
+let replace_refs t parent children =
+  Obj_.clear_refs parent;
+  List.iter (Obj_.add_ref parent) children;
+  barrier t parent
+
+let mutator_compute (t : t) bytes =
+  let ns =
+    float_of_int bytes *. t.Rt.costs.Costs.compute_per_byte_ns
+    *. t.Rt.profile.Cost_profile.mutator_mult
+  in
+  Rt.charge t Clock.Other
+    (Costs.parallel t.Rt.costs ~threads:t.Rt.costs.Costs.mutator_threads ns)
+
+let read_obj (t : t) o =
+  mutator_compute t o.Obj_.size;
+  match (o.Obj_.loc, t.Rt.h2) with
+  | Obj_.In_h2, Some h2 -> H2.mutator_read h2 o
+  | Obj_.In_h2, None -> assert false
+  | (Obj_.Eden | Obj_.Survivor | Obj_.Old), _ -> ()
+  | Obj_.Freed, _ -> invalid_arg "Runtime.read_obj: freed object"
+
+let update_obj (t : t) o =
+  mutator_compute t o.Obj_.size;
+  match (o.Obj_.loc, t.Rt.h2) with
+  | Obj_.In_h2, Some h2 -> H2.mutator_write h2 o
+  | Obj_.In_h2, None -> assert false
+  | (Obj_.Eden | Obj_.Survivor | Obj_.Old), _ -> ()
+  | Obj_.Freed, _ -> invalid_arg "Runtime.update_obj: freed object"
+
+let compute t ~bytes = mutator_compute t bytes
+
+let add_root (t : t) o = Roots.add t.Rt.roots o
+
+let remove_root (t : t) o = Roots.remove t.Rt.roots o
+
+let barrier_checks (t : t) = t.Rt.barrier_checks
+
+let h2_tag_root (t : t) o ~label =
+  match t.Rt.h2 with Some h2 -> H2.h2_tag_root h2 o ~label | None -> ()
+
+let h2_move (t : t) ~label =
+  match t.Rt.h2 with Some h2 -> H2.h2_move h2 ~label | None -> ()

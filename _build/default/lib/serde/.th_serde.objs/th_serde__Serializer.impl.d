@@ -1,0 +1,1 @@
+lib/serde/serializer.ml: Clock Costs Hashtbl List Printf Size Stack Th_objmodel Th_psgc Th_sim

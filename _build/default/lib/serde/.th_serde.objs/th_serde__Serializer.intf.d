@@ -1,0 +1,1 @@
+lib/serde/serializer.mli: Th_objmodel Th_psgc

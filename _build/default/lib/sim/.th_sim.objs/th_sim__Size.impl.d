@@ -1,0 +1,1 @@
+lib/sim/size.ml: Format Printf

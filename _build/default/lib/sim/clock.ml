@@ -1,0 +1,64 @@
+type category = Other | Serde_io | Minor_gc | Major_gc
+
+type breakdown = {
+  other_ns : float;
+  serde_io_ns : float;
+  minor_gc_ns : float;
+  major_gc_ns : float;
+}
+
+type t = {
+  mutable other : float;
+  mutable serde_io : float;
+  mutable minor : float;
+  mutable major : float;
+}
+
+let create () = { other = 0.0; serde_io = 0.0; minor = 0.0; major = 0.0 }
+
+let advance t cat ns =
+  if ns < 0.0 then invalid_arg "Clock.advance: negative charge";
+  match cat with
+  | Other -> t.other <- t.other +. ns
+  | Serde_io -> t.serde_io <- t.serde_io +. ns
+  | Minor_gc -> t.minor <- t.minor +. ns
+  | Major_gc -> t.major <- t.major +. ns
+
+let now_ns t = t.other +. t.serde_io +. t.minor +. t.major
+
+let breakdown t =
+  {
+    other_ns = t.other;
+    serde_io_ns = t.serde_io;
+    minor_gc_ns = t.minor;
+    major_gc_ns = t.major;
+  }
+
+let total_ns b = b.other_ns +. b.serde_io_ns +. b.minor_gc_ns +. b.major_gc_ns
+
+let category_ns b = function
+  | Other -> b.other_ns
+  | Serde_io -> b.serde_io_ns
+  | Minor_gc -> b.minor_gc_ns
+  | Major_gc -> b.major_gc_ns
+
+let sub a b =
+  {
+    other_ns = a.other_ns -. b.other_ns;
+    serde_io_ns = a.serde_io_ns -. b.serde_io_ns;
+    minor_gc_ns = a.minor_gc_ns -. b.minor_gc_ns;
+    major_gc_ns = a.major_gc_ns -. b.major_gc_ns;
+  }
+
+let reset t =
+  t.other <- 0.0;
+  t.serde_io <- 0.0;
+  t.minor <- 0.0;
+  t.major <- 0.0
+
+let pp_breakdown f b =
+  let s ns = ns /. 1e9 in
+  Format.fprintf f
+    "other %.3fs | s/d+io %.3fs | minor gc %.3fs | major gc %.3fs | total %.3fs"
+    (s b.other_ns) (s b.serde_io_ns) (s b.minor_gc_ns) (s b.major_gc_ns)
+    (s (total_ns b))

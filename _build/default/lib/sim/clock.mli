@@ -1,0 +1,45 @@
+(** Simulated time.
+
+    Every modelled operation charges simulated nanoseconds to one of four
+    categories matching the paper's execution-time breakdowns (§6):
+    mutator ("other") time, serialization + I/O wait time, minor-GC time and
+    major-GC time. The clock is the single source of truth for a run's
+    end-to-end time. *)
+
+type category =
+  | Other  (** mutator computation, including page-fault I/O wait *)
+  | Serde_io  (** serialization/deserialization and explicit off-heap I/O *)
+  | Minor_gc
+  | Major_gc
+
+type breakdown = {
+  other_ns : float;
+  serde_io_ns : float;
+  minor_gc_ns : float;
+  major_gc_ns : float;
+}
+
+type t
+
+val create : unit -> t
+
+val advance : t -> category -> float -> unit
+(** [advance t cat ns] adds [ns] simulated nanoseconds to [cat].
+    Negative charges are rejected with [Invalid_argument]. *)
+
+val now_ns : t -> float
+(** Total simulated time elapsed so far. *)
+
+val breakdown : t -> breakdown
+
+val total_ns : breakdown -> float
+
+val category_ns : breakdown -> category -> float
+
+val sub : breakdown -> breakdown -> breakdown
+(** [sub later earlier] is the per-category difference; used for measuring
+    a phase of a run. *)
+
+val reset : t -> unit
+
+val pp_breakdown : Format.formatter -> breakdown -> unit

@@ -1,0 +1,42 @@
+type t = {
+  alloc_ns : float;
+  compute_per_byte_ns : float;
+  trace_ref_ns : float;
+  mark_obj_ns : float;
+  copy_byte_ns : float;
+  card_scan_ns : float;
+  card_obj_scan_ns : float;
+  serde_per_byte_ns : float;
+  serde_per_obj_ns : float;
+  serde_temp_bytes_per_byte : float;
+  write_barrier_ns : float;
+  gc_pause_overhead_ns : float;
+  gc_threads : int;
+  old_gc_threads : int;
+  mutator_threads : int;
+}
+
+let default =
+  {
+    alloc_ns = 20.0;
+    compute_per_byte_ns = 0.8;
+    trace_ref_ns = 14.0;
+    mark_obj_ns = 10.0;
+    copy_byte_ns = 0.1 (* ~10 GB/s DRAM copy *);
+    card_scan_ns = 1.5;
+    card_obj_scan_ns = 25.0;
+    serde_per_byte_ns = 2.2 (* ~450 MB/s Kryo per thread, graph traversal included *);
+    serde_per_obj_ns = 60.0;
+    serde_temp_bytes_per_byte = 1.0;
+    write_barrier_ns = 1.0;
+    gc_pause_overhead_ns = 200_000.0 (* 0.2 ms safepoint *);
+    gc_threads = 16;
+    old_gc_threads = 1;
+    mutator_threads = 8;
+  }
+
+let with_mutator_threads t n = { t with mutator_threads = n }
+
+let parallel _t ~threads ns =
+  if threads <= 1 then ns
+  else ns /. (float_of_int threads *. 0.85)

@@ -1,0 +1,41 @@
+(** CPU-side cost model.
+
+    Charges are expressed per modelled operation (allocate an object, trace a
+    reference, scan a card, serialize a byte, ...). The defaults approximate a
+    2.4 GHz Xeon as used in the paper's NVMe server (Table 1); they matter
+    only through ratios — the evaluation reports normalized times.
+
+    Device-side costs (page reads/writes, NVM loads) live in
+    {!Th_device.Device}. *)
+
+type t = {
+  alloc_ns : float;  (** bump-pointer allocation + header initialisation *)
+  compute_per_byte_ns : float;
+      (** mutator computation per byte of data touched *)
+  trace_ref_ns : float;  (** following one reference during GC tracing *)
+  mark_obj_ns : float;  (** marking one live object *)
+  copy_byte_ns : float;  (** GC copy/compaction, DRAM to DRAM *)
+  card_scan_ns : float;  (** examining one card-table entry *)
+  card_obj_scan_ns : float;
+      (** scanning one object inside a dirty card segment *)
+  serde_per_byte_ns : float;  (** Kryo-like S/D throughput term *)
+  serde_per_obj_ns : float;  (** Kryo-like S/D per-object overhead *)
+  serde_temp_bytes_per_byte : float;
+      (** temporary heap allocation generated per byte serialized; this is
+          the paper's "temporary objects put more pressure on the heap" *)
+  write_barrier_ns : float;  (** post-write barrier, incl. range check *)
+  gc_pause_overhead_ns : float;  (** fixed safepoint cost per GC cycle *)
+  gc_threads : int;  (** parallel GC threads (paper: 16 for minor GC) *)
+  old_gc_threads : int;  (** PS old-generation collection is single-threaded *)
+  mutator_threads : int;  (** executor threads (paper default: 8) *)
+}
+
+val default : t
+(** Calibrated defaults; see DESIGN.md for the datasheet values
+    they approximate. *)
+
+val with_mutator_threads : t -> int -> t
+
+val parallel : t -> threads:int -> float -> float
+(** [parallel c ~threads ns] scales a perfectly-parallel cost over [threads]
+    with a fixed 0.85 parallel efficiency. *)

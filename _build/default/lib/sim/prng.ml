@@ -1,0 +1,60 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = seed }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t = create (next_int64 t)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Mask to 62 bits: a 63-bit shift result can still overflow OCaml's
+     native int and come out negative. *)
+  let x = Int64.to_int (Int64.logand (next_int64 t) 0x3FFFFFFFFFFFFFFFL) in
+  x mod bound
+
+let float t bound =
+  let x = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  (* 53 significant bits, as in the reference splitmix64 double conversion. *)
+  x /. 9007199254740992.0 *. bound
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let pareto t ~alpha ~x_min =
+  let u = float t 1.0 in
+  let u = if u <= 0.0 then 1e-12 else u in
+  x_min /. (u ** (1.0 /. alpha))
+
+let zipf_rank t ~n ~theta =
+  if n <= 0 then invalid_arg "Prng.zipf_rank: n must be positive";
+  if theta <= 0.0 then int t n
+  else begin
+    let u = float t 1.0 in
+    (* Inverse-CDF approximation of a Zipf-like distribution: rank density
+       proportional to (r+1)^(-theta). The theta = 1 case degenerates to the
+       harmonic distribution, whose inverse CDF is n^u. *)
+    let rank =
+      if Float.abs (theta -. 1.0) < 1e-9 then
+        int_of_float (float_of_int n ** u) - 1
+      else begin
+        let r = (float_of_int n ** (1.0 -. theta)) *. u in
+        int_of_float (r ** (1.0 /. (1.0 -. theta)))
+      end
+    in
+    if rank >= n then n - 1 else if rank < 0 then 0 else rank
+  end
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,33 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    Every stochastic choice in the simulator draws from an explicit [Prng.t]
+    so that runs are reproducible and independent components can use
+    independent streams. *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] is a fresh generator. Equal seeds yield equal streams. *)
+
+val split : t -> t
+(** [split t] derives an independent generator, advancing [t]. *)
+
+val next_int64 : t -> int64
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). Requires [bound > 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val bool : t -> bool
+
+val pareto : t -> alpha:float -> x_min:float -> float
+(** Pareto-distributed sample; used for power-law degree distributions. *)
+
+val zipf_rank : t -> n:int -> theta:float -> int
+(** [zipf_rank t ~n ~theta] draws a rank in [0, n) with Zipf-like skew
+    [theta] (0 = uniform), using the inverse-CDF approximation. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

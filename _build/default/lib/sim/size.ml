@@ -1,0 +1,18 @@
+let kib n = n * 1024
+
+let mib n = n * 1024 * 1024
+
+let gib n = n * 1024 * 1024 * 1024
+
+let scale_factor = 1024
+
+let paper_gb n = gib n / scale_factor
+
+let to_string bytes =
+  let b = float_of_int bytes in
+  if bytes < 1024 then Printf.sprintf "%d B" bytes
+  else if bytes < 1024 * 1024 then Printf.sprintf "%.1f KiB" (b /. 1024.0)
+  else if bytes < 1024 * 1024 * 1024 then Printf.sprintf "%.1f MiB" (b /. 1048576.0)
+  else Printf.sprintf "%.1f GiB" (b /. 1073741824.0)
+
+let pp f bytes = Format.pp_print_string f (to_string bytes)

@@ -1,0 +1,26 @@
+(** Byte-size constants and pretty-printing.
+
+    All capacities in the simulator are plain [int] byte counts (OCaml's
+    63-bit ints comfortably hold exabytes). *)
+
+val kib : int -> int
+(** [kib n] is [n] kibibytes. *)
+
+val mib : int -> int
+(** [mib n] is [n] mebibytes. *)
+
+val gib : int -> int
+(** [gib n] is [n] gibibytes. *)
+
+val paper_gb : int -> int
+(** [paper_gb n] converts a capacity the paper states in GB into the scaled
+    simulation capacity (GB / {!scale_factor} = MiB). Dataset, heap, and DRAM
+    sizes from Tables 3 and 4 go through this function. *)
+
+val scale_factor : int
+(** Paper-to-simulation down-scaling of capacities (1024: GB become MiB). *)
+
+val pp : Format.formatter -> int -> unit
+(** Human-readable size, e.g. [pp f 1572864] prints ["1.5 MiB"]. *)
+
+val to_string : int -> string

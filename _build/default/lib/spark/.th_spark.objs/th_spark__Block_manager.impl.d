@@ -1,0 +1,1 @@
+lib/spark/block_manager.ml: Clock Context Hashtbl List Option Th_device Th_minijvm Th_objmodel Th_psgc Th_serde Th_sim

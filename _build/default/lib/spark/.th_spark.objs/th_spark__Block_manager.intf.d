@@ -1,0 +1,1 @@
+lib/spark/block_manager.mli: Context Th_objmodel

@@ -1,0 +1,1 @@
+lib/spark/context.ml: Prng Size Th_device Th_psgc Th_sim

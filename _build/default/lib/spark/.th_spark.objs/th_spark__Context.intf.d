@@ -1,0 +1,1 @@
+lib/spark/context.mli: Th_device Th_psgc Th_sim

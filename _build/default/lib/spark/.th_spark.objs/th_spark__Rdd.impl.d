@@ -1,0 +1,1 @@
+lib/spark/rdd.ml: Context Th_objmodel Th_psgc Th_sim

@@ -1,0 +1,1 @@
+lib/spark/rdd.mli: Context Th_objmodel

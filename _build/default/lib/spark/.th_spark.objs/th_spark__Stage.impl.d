@@ -1,0 +1,1 @@
+lib/spark/stage.ml: Context Costs List Size Th_minijvm Th_objmodel Th_psgc Th_serde Th_sim

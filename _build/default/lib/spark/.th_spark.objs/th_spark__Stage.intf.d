@@ -1,0 +1,1 @@
+lib/spark/stage.mli: Context

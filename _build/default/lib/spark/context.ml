@@ -1,0 +1,37 @@
+open Th_sim
+module Runtime = Th_psgc.Runtime
+module Device = Th_device.Device
+module Page_cache = Th_device.Page_cache
+
+type cache_mode =
+  | Memory_and_ser_offheap of { onheap_fraction : float }
+  | Memory_only
+  | Teraheap_cache
+
+type t = {
+  rt : Runtime.t;
+  mode : cache_mode;
+  offheap : Page_cache.t option;
+  prng : Prng.t;
+  mutable next_rdd_id : int;
+}
+
+let create ?offheap_device ?(offheap_dr2 = Size.paper_gb 16) ~mode rt =
+  let offheap =
+    match (mode, offheap_device) with
+    | Memory_and_ser_offheap _, Some device ->
+        Some
+          (Page_cache.create ~capacity_bytes:offheap_dr2 (Runtime.clock rt)
+             device)
+    | Memory_and_ser_offheap _, None ->
+        invalid_arg "Context.create: Spark-SD needs an off-heap device"
+    | (Memory_only | Teraheap_cache), _ -> None
+  in
+  { rt; mode; offheap; prng = Prng.create 0x5EEDL; next_rdd_id = 0 }
+
+let fresh_rdd_id t =
+  let id = t.next_rdd_id in
+  t.next_rdd_id <- id + 1;
+  id
+
+let runtime t = t.rt

@@ -1,0 +1,40 @@
+(** Mini-Spark execution context.
+
+    Ties a MiniJVM runtime to a cache mode (how [persist()] stores
+    partitions) and, for the off-heap modes, a device-backed serialized
+    cache. The three modes mirror Table 2:
+
+    - [Memory_and_ser_offheap]: Spark-SD — deserialized partitions on-heap
+      up to a budget (50 % of the heap), the rest serialized on the
+      device;
+    - [Memory_only]: all partitions deserialized on-heap (Spark-MO places
+      this heap on NVM in Memory mode via a cost profile);
+    - [Teraheap_cache]: partitions are tagged root key-objects moved to H2
+      through the hint interface (Figure 4). *)
+
+type cache_mode =
+  | Memory_and_ser_offheap of { onheap_fraction : float }
+  | Memory_only
+  | Teraheap_cache
+
+type t = {
+  rt : Th_psgc.Runtime.t;
+  mode : cache_mode;
+  offheap : Th_device.Page_cache.t option;
+      (** serialized off-heap cache (Spark-SD only) *)
+  prng : Th_sim.Prng.t;
+  mutable next_rdd_id : int;
+}
+
+val create :
+  ?offheap_device:Th_device.Device.t ->
+  ?offheap_dr2:int ->
+  mode:cache_mode ->
+  Th_psgc.Runtime.t ->
+  t
+(** [offheap_dr2] is the page-cache DRAM in front of the off-heap cache
+    device (defaults to 16 "GB" scaled, the paper's DR2 for Spark). *)
+
+val fresh_rdd_id : t -> int
+
+val runtime : t -> Th_psgc.Runtime.t

@@ -1,0 +1,1 @@
+lib/workloads/dacapo.ml: Array Clock Costs Prng Queue Size Th_core Th_device Th_minijvm Th_objmodel Th_psgc Th_sim

@@ -1,0 +1,1 @@
+lib/workloads/dacapo.mli: Th_psgc

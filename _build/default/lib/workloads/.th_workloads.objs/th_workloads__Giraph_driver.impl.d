@@ -1,0 +1,1 @@
+lib/workloads/giraph_driver.ml: Giraph_profiles Prng Run_result Size Th_core Th_giraph Th_psgc Th_sim

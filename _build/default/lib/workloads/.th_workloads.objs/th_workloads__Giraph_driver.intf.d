@@ -1,0 +1,1 @@
+lib/workloads/giraph_driver.mli: Giraph_profiles Run_result Th_device Th_giraph Th_psgc

@@ -1,0 +1,1 @@
+lib/workloads/giraph_profiles.ml: List Size String Th_giraph Th_sim

@@ -1,0 +1,1 @@
+lib/workloads/giraph_profiles.mli: Th_giraph

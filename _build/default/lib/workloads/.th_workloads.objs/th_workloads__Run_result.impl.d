@@ -1,0 +1,1 @@
+lib/workloads/run_result.ml: Option Th_core Th_device Th_metrics Th_psgc Th_sim

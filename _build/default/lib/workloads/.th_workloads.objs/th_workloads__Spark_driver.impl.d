@@ -1,0 +1,1 @@
+lib/workloads/spark_driver.ml: List Run_result Size Spark_profiles Th_core Th_psgc Th_sim Th_spark

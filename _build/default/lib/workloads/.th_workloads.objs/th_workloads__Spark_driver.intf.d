@@ -1,0 +1,1 @@
+lib/workloads/spark_driver.mli: Run_result Spark_profiles Th_spark

@@ -1,0 +1,1 @@
+lib/workloads/spark_profiles.ml: List String Th_spark

@@ -1,0 +1,1 @@
+lib/workloads/spark_profiles.mli: Th_spark

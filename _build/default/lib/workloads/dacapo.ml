@@ -1,0 +1,125 @@
+open Th_sim
+module Obj_ = Th_objmodel.Heap_object
+module H1_heap = Th_minijvm.H1_heap
+module Runtime = Th_psgc.Runtime
+module H2 = Th_core.H2
+module Device = Th_device.Device
+
+type benchmark = { name : string; run : Runtime.t -> unit }
+
+let mesh_rewrite =
+  {
+    name = "mesh-rewrite";
+    run =
+      (fun rt ->
+        let holder = Runtime.alloc rt ~size:256 () in
+        Runtime.add_root rt holder;
+        let nodes =
+          Array.init 512 (fun _ ->
+              let o = Runtime.alloc rt ~size:512 () in
+              Runtime.write_ref rt holder o;
+              o)
+        in
+        let prng = Prng.create 42L in
+        for _ = 1 to 100_000 do
+          let a = nodes.(Prng.int prng 512)
+          and b = nodes.(Prng.int prng 512) in
+          Runtime.write_ref rt a b;
+          Runtime.compute rt ~bytes:256;
+          if Obj_.ref_count a > 64 then Runtime.replace_refs rt a [ b ]
+        done;
+        Runtime.remove_root rt holder);
+  }
+
+let lru_cache =
+  {
+    name = "lru-cache";
+    run =
+      (fun rt ->
+        let table = Runtime.alloc rt ~size:1024 () in
+        Runtime.add_root rt table;
+        let prng = Prng.create 7L in
+        let entries = Queue.create () in
+        for _ = 1 to 50_000 do
+          let e = Runtime.alloc rt ~size:(256 + Prng.int prng 512) () in
+          Runtime.write_ref rt table e;
+          Queue.push e entries;
+          Runtime.compute rt ~bytes:128;
+          if Queue.length entries > 256 then begin
+            let victim = Queue.pop entries in
+            if not (Obj_.is_freed victim) then
+              Runtime.unlink_ref rt table victim
+          end
+        done;
+        Runtime.remove_root rt table);
+  }
+
+let tree_rebuild =
+  {
+    name = "tree-rebuild";
+    run =
+      (fun rt ->
+        let rec build depth =
+          let node = Runtime.alloc rt ~size:96 () in
+          if depth > 0 then begin
+            Runtime.write_ref rt node (build (depth - 1));
+            Runtime.write_ref rt node (build (depth - 1))
+          end;
+          node
+        in
+        for _ = 1 to 200 do
+          let root = build 8 in
+          Runtime.add_root rt root;
+          Runtime.compute rt ~bytes:4096;
+          Runtime.remove_root rt root
+        done);
+  }
+
+let producer_consumer =
+  {
+    name = "producer-consumer";
+    run =
+      (fun rt ->
+        let queue_obj = Runtime.alloc rt ~size:512 () in
+        Runtime.add_root rt queue_obj;
+        let backlog = Queue.create () in
+        for _ = 1 to 60_000 do
+          let msg = Runtime.alloc rt ~size:200 () in
+          Runtime.write_ref rt queue_obj msg;
+          Queue.push msg backlog;
+          if Queue.length backlog > 64 then begin
+            let consumed = Queue.pop backlog in
+            if not (Obj_.is_freed consumed) then begin
+              Runtime.read_obj rt consumed;
+              Runtime.unlink_ref rt queue_obj consumed
+            end
+          end
+        done;
+        Runtime.remove_root rt queue_obj);
+  }
+
+let all = [ mesh_rewrite; lru_cache; tree_rebuild; producer_consumer ]
+
+let fresh ~teraheap =
+  let clock = Clock.create () in
+  let costs = Costs.default in
+  let heap = H1_heap.create ~heap_bytes:(Size.mib 64) () in
+  if teraheap then begin
+    let device = Device.create clock Device.Nvme_ssd in
+    let h2 =
+      H2.create ~config:H2.default_config ~clock ~costs ~device
+        ~dr2_bytes:(Size.mib 8) ()
+    in
+    Runtime.create ~h2 ~clock ~costs ~heap ()
+  end
+  else Runtime.create ~clock ~costs ~heap ()
+
+let overhead b =
+  let time ~teraheap =
+    let rt = fresh ~teraheap in
+    b.run rt;
+    (Clock.total_ns (Clock.breakdown (Runtime.clock rt)), Runtime.barrier_checks rt)
+  in
+  let base, _ = time ~teraheap:false in
+  let th, barriers = time ~teraheap:true in
+  ((th -. base) /. base, barriers)

@@ -1,0 +1,35 @@
+(** A DaCapo-style micro-suite of mutation-heavy synthetic programs.
+
+    The paper evaluates the post-write-barrier overhead of
+    [EnableTeraHeap] with the DaCapo benchmarks, reporting a mean
+    overhead within 3 % (§4). This module provides four programs with
+    distinct reference-mutation patterns to reproduce that measurement:
+    each executes the same simulated work with and without TeraHeap
+    enabled, so the delta isolates the extra range check in the barrier. *)
+
+type benchmark = {
+  name : string;
+  run : Th_psgc.Runtime.t -> unit;
+}
+
+val mesh_rewrite : benchmark
+(** A fixed object mesh whose edges are rewritten randomly (xalan-like
+    pointer churn). *)
+
+val lru_cache : benchmark
+(** A bounded map with continuous insert/evict traffic (h2-like). *)
+
+val tree_rebuild : benchmark
+(** Builds and discards binary trees (the classic GC stress pattern). *)
+
+val producer_consumer : benchmark
+(** A bounded queue of short-lived records flowing through pinned
+    endpoints (tradebeans-like). *)
+
+val all : benchmark list
+
+val overhead :
+  benchmark -> (float * int)
+(** [overhead b] runs [b] twice on fresh 64 MiB runtimes — vanilla, then
+    with TeraHeap enabled — and returns the relative time overhead along
+    with the number of post-write barriers executed. *)

@@ -1,0 +1,13 @@
+(** Executes a Giraph workload profile on a configured runtime. *)
+
+val run :
+  label:string ->
+  Th_psgc.Runtime.t ->
+  mode:Th_giraph.Engine.mode ->
+  ?ooc_device:Th_device.Device.t ->
+  ?scale:float ->
+  ?seed:int64 ->
+  Giraph_profiles.t ->
+  Run_result.t
+(** [scale] multiplies the dataset size (default 1.0). OOMs are caught
+    and reported, matching the paper's missing bars. *)

@@ -1,0 +1,159 @@
+open Th_sim
+module Engine = Th_giraph.Engine
+
+type t = {
+  name : string;
+  dataset_gb : int;
+  dram_gb : int;
+  dram_small_gb : int;
+  ooc_heap_gb : int;
+  ooc_dr2_gb : int;
+  th_h1_gb : int;
+  th_dr2_gb : int;
+  algo : Engine.algorithm;
+}
+
+let msg_bytes_per_edge = 8
+
+let full_volume ~superstep:_ ~total_edges = total_edges * msg_bytes_per_edge
+
+let decaying_volume rate ~superstep ~total_edges =
+  let f = rate ** float_of_int (superstep - 1) in
+  int_of_float (f *. float_of_int (total_edges * msg_bytes_per_edge))
+
+(* Frontier wave for traversal algorithms: narrow start, peak in the
+   middle supersteps, narrow tail. *)
+let wave peak_step width ~superstep =
+  let d = float_of_int (superstep - peak_step) /. width in
+  exp (-.(d *. d))
+
+let wave_volume peak width ~superstep ~total_edges =
+  let f = wave peak width ~superstep in
+  int_of_float (f *. float_of_int (total_edges * msg_bytes_per_edge))
+
+let pagerank =
+  {
+    name = "PR";
+    dataset_gb = 85;
+    dram_gb = 85;
+    dram_small_gb = 74;
+    ooc_heap_gb = 70;
+    ooc_dr2_gb = 15;
+    th_h1_gb = 50;
+    th_dr2_gb = 35;
+    algo =
+      {
+        Engine.name = "PR";
+        supersteps = 12;
+        message_bytes = full_volume;
+        combine_factor = 3.0;
+        active_fraction = (fun ~superstep:_ -> 1.0);
+        update_fraction = 1.0;
+      };
+  }
+
+let cdlp =
+  {
+    pagerank with
+    name = "CDLP";
+    ooc_heap_gb = 70;
+    th_h1_gb = 60;
+    th_dr2_gb = 25;
+    algo =
+      {
+        Engine.name = "CDLP";
+        supersteps = 10;
+        message_bytes = decaying_volume 0.92;
+        combine_factor = 2.0;
+        active_fraction = (fun ~superstep:_ -> 1.0);
+        update_fraction = 0.7;
+      };
+  }
+
+let wcc =
+  {
+    pagerank with
+    name = "WCC";
+    th_h1_gb = 60;
+    th_dr2_gb = 25;
+    algo =
+      {
+        Engine.name = "WCC";
+        supersteps = 12;
+        message_bytes = decaying_volume 0.65;
+        combine_factor = 2.0;
+        active_fraction =
+          (fun ~superstep -> 0.65 ** float_of_int (superstep - 1));
+        update_fraction = 0.6;
+      };
+  }
+
+let bfs =
+  {
+    name = "BFS";
+    dataset_gb = 65;
+    dram_gb = 65;
+    dram_small_gb = 57;
+    ooc_heap_gb = 48;
+    ooc_dr2_gb = 17;
+    th_h1_gb = 35;
+    th_dr2_gb = 30;
+    algo =
+      {
+        Engine.name = "BFS";
+        supersteps = 10;
+        message_bytes = wave_volume 4 1.6;
+        combine_factor = 1.5;
+        active_fraction = (fun ~superstep -> wave 4 1.6 ~superstep);
+        update_fraction = 0.9;
+      };
+  }
+
+let sssp =
+  {
+    name = "SSSP";
+    dataset_gb = 90;
+    dram_gb = 90;
+    dram_small_gb = 78;
+    ooc_heap_gb = 75;
+    ooc_dr2_gb = 15;
+    th_h1_gb = 50;
+    th_dr2_gb = 40;
+    algo =
+      {
+        Engine.name = "SSSP";
+        supersteps = 14;
+        message_bytes = wave_volume 6 2.8;
+        combine_factor = 1.5;
+        active_fraction = (fun ~superstep -> wave 6 2.8 ~superstep);
+        update_fraction = 0.9;
+      };
+  }
+
+let all = [ pagerank; cdlp; wcc; bfs; sssp ]
+
+let by_name name =
+  List.find
+    (fun t -> String.lowercase_ascii t.name = String.lowercase_ascii name)
+    all
+
+(* Average out-degree and edge entry size of the datagen-fb graphs. *)
+let avg_degree = 30
+
+let edge_bytes = 16
+
+let graph_params t ~scale =
+  let dataset_bytes =
+    int_of_float (scale *. float_of_int (Size.paper_gb t.dataset_gb))
+  in
+  (* Per-vertex footprint: value object + out-edges array. *)
+  let per_vertex =
+    Th_giraph.Graph.vertex_value_bytes + (avg_degree * edge_bytes) + 32 + 48
+  in
+  let vertices = max 64 (dataset_bytes * 4 / 5 / per_vertex) in
+  {
+    Th_giraph.Engine.partitions = 16;
+    vertices;
+    avg_degree;
+    edge_bytes;
+  }

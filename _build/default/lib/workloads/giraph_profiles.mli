@@ -1,0 +1,32 @@
+(** The five LDBC Graphalytics workloads for Giraph (§6, Table 4), with
+    BSP algorithm shapes (superstep count, message-volume and frontier
+    profiles) and the paper's memory configurations. *)
+
+type t = {
+  name : string;
+  dataset_gb : int;
+  dram_gb : int;  (** full configuration (Figure 6's larger bar) *)
+  dram_small_gb : int;  (** reduced-DRAM configuration *)
+  ooc_heap_gb : int;  (** Giraph-OOC heap (Table 4) *)
+  ooc_dr2_gb : int;
+  th_h1_gb : int;  (** TeraHeap H1 (Table 4) *)
+  th_dr2_gb : int;
+  algo : Th_giraph.Engine.algorithm;
+}
+
+val msg_bytes_per_edge : int
+
+val pagerank : t
+val cdlp : t
+val wcc : t
+val bfs : t
+val sssp : t
+
+val all : t list
+
+val by_name : string -> t
+
+val graph_params : t -> scale:float -> Th_giraph.Engine.params
+(** Derive generator parameters (vertices, degree, edge bytes) from the
+    dataset size; [scale] further scales the vertex count (Figure 13b's
+    larger datasets and Figure 9b's 91 GB runs). *)

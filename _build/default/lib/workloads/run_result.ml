@@ -1,0 +1,51 @@
+module Runtime = Th_psgc.Runtime
+module Gc_stats = Th_psgc.Gc_stats
+module H2 = Th_core.H2
+module Device = Th_device.Device
+module Heap_census = Th_psgc.Heap_census
+
+type t = {
+  label : string;
+  breakdown : Th_sim.Clock.breakdown option;
+  oom_reason : string option;
+  minor_gcs : int;
+  major_gcs : int;
+  h2_stats : H2.stats option;
+  gc_stats : Gc_stats.t option;
+  h2_device : Device.stats option;
+  census : Heap_census.entry list option;
+      (* live-heap composition captured at OOM *)
+}
+
+let ok ~label rt ?h2_device () =
+  let stats = Runtime.stats rt in
+  {
+    label;
+    breakdown = Some (Th_sim.Clock.breakdown (Runtime.clock rt));
+    oom_reason = None;
+    minor_gcs = Gc_stats.minor_count stats;
+    major_gcs = Gc_stats.major_count stats;
+    h2_stats = Option.map H2.stats (Runtime.h2 rt);
+    gc_stats = Some stats;
+    h2_device = Option.map Device.stats h2_device;
+    census = None;
+  }
+
+let oom ?reason ~label rt =
+  let stats = Runtime.stats rt in
+  {
+    label;
+    breakdown = None;
+    oom_reason = reason;
+    minor_gcs = Gc_stats.minor_count stats;
+    major_gcs = Gc_stats.major_count stats;
+    h2_stats = Option.map H2.stats (Runtime.h2 rt);
+    gc_stats = Some stats;
+    h2_device = None;
+    census = Some (Heap_census.of_runtime rt);
+  }
+
+let to_report_row t =
+  match t.breakdown with
+  | Some b -> Th_metrics.Report.row t.label b
+  | None -> Th_metrics.Report.oom t.label

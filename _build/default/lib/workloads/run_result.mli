@@ -1,0 +1,27 @@
+(** Outcome of one simulated workload run. *)
+
+type t = {
+  label : string;
+  breakdown : Th_sim.Clock.breakdown option;  (** [None] marks an OOM *)
+  oom_reason : string option;
+  minor_gcs : int;
+  major_gcs : int;
+  h2_stats : Th_core.H2.stats option;
+  gc_stats : Th_psgc.Gc_stats.t option;
+  h2_device : Th_device.Device.stats option;
+  census : Th_psgc.Heap_census.entry list option;
+      (** live-heap composition captured at OOM *)
+}
+
+val ok :
+  label:string ->
+  Th_psgc.Runtime.t ->
+  ?h2_device:Th_device.Device.t ->
+  unit ->
+  t
+
+val oom : ?reason:string -> label:string -> Th_psgc.Runtime.t -> t
+(** Capture a run that died with [Out_of_memory] (partial GC statistics
+    are still recorded). *)
+
+val to_report_row : t -> Th_metrics.Report.row

@@ -1,0 +1,18 @@
+(** Executes a Spark workload profile against a configured context.
+
+    Phases: (1) generate the input and cache the working RDD via
+    [persist()]; (2) run the iterative computation, each iteration reading
+    every cached partition, shuffling and producing transient records;
+    workloads with churn re-cache a new RDD generation periodically and
+    unpersist the previous one. *)
+
+val run :
+  ?dataset_scale:float ->
+  label:string ->
+  Th_spark.Context.t ->
+  Spark_profiles.t ->
+  Run_result.t
+(** [dataset_scale] multiplies the dataset size (Figure 12c sizes the
+    inputs to Panthera's 64 GB heap; Figure 13b grows them).
+    Out-of-memory conditions are caught and reported as an OOM result,
+    matching the paper's missing bars. *)

@@ -1,0 +1,207 @@
+module Rdd = Th_spark.Rdd
+
+type t = {
+  name : string;
+  dataset_gb : int;
+  sd_dram_gb : int list;
+  th_dram_gb : int list;
+  mo_heap_gb : int;
+  iterations : int;
+  cached_fraction : float;
+  shuffle_fraction : float;
+  transient_fraction : float;
+  layout : Rdd.layout;
+  sequential : bool;
+  recache_period : int option;
+  compute_factor : float;
+  stages_per_iter : int;
+  intermediate_fraction : float;
+}
+
+let dr2_gb = 16
+
+(* GraphX workloads: iterative graph computation caching the working
+   graph; every few iterations the rank/frontier RDD is re-cached and the
+   previous generation unpersisted. *)
+
+let pagerank =
+  {
+    name = "PR";
+    dataset_gb = 80;
+    sd_dram_gb = [ 32; 48; 80; 144 ];
+    th_dram_gb = [ 32; 80 ];
+    mo_heap_gb = 1024;
+    iterations = 15;
+    cached_fraction = 0.9;
+    shuffle_fraction = 0.25;
+    transient_fraction = 6.0;
+    layout = Rdd.Chunked;
+    sequential = false;
+    recache_period = Some 5;
+    compute_factor = 6.0;
+    stages_per_iter = 12;
+    intermediate_fraction = 0.0;
+  }
+
+let connected_components =
+  {
+    pagerank with
+    name = "CC";
+    dataset_gb = 84;
+    sd_dram_gb = [ 33; 50; 84; 152 ];
+    th_dram_gb = [ 33; 84 ];
+    iterations = 12;
+    recache_period = Some 6;
+  }
+
+let shortest_path =
+  {
+    pagerank with
+    name = "SSSP";
+    dataset_gb = 58;
+    sd_dram_gb = [ 27; 37; 58; 100 ];
+    th_dram_gb = [ 37; 58 ];
+    mo_heap_gb = 650;
+    iterations = 14;
+    shuffle_fraction = 0.2;
+    recache_period = Some 7;
+  }
+
+let svd_plus_plus =
+  {
+    pagerank with
+    name = "SVD";
+    dataset_gb = 40;
+    sd_dram_gb = [ 22; 28; 40; 64 ];
+    th_dram_gb = [ 28; 40 ];
+    mo_heap_gb = 500;
+    iterations = 12;
+    cached_fraction = 0.95;
+    shuffle_fraction = 0.3;
+    transient_fraction = 2.2;
+    recache_period = Some 4;
+  }
+
+let triangle_counts =
+  {
+    name = "TR";
+    dataset_gb = 80;
+    sd_dram_gb = [ 59; 70; 80 ];
+    th_dram_gb = [ 59; 80 ];
+    mo_heap_gb = 64;
+    iterations = 8;
+    (* The cached data fits in the on-heap cache (§7.1), so S/D cost under
+       TeraHeap matches Spark-SD. *)
+    cached_fraction = 0.3;
+    shuffle_fraction = 0.5;
+    transient_fraction = 2.4;
+    layout = Rdd.Chunked;
+    sequential = false;
+    recache_period = None;
+    compute_factor = 5.0;
+    stages_per_iter = 6;
+    intermediate_fraction = 0.20;
+  }
+
+(* MLlib workloads: 100 training iterations streaming over a cached
+   training set (§7.1: "streaming access on cached RDD elements in each
+   iteration of the ML training phase"). *)
+
+let linear_regression =
+  {
+    name = "LR";
+    dataset_gb = 70;
+    sd_dram_gb = [ 29; 43; 70; 124 ];
+    th_dram_gb = [ 43; 70 ];
+    mo_heap_gb = 1084;
+    iterations = 100;
+    cached_fraction = 1.0;
+    shuffle_fraction = 0.02;
+    transient_fraction = 0.5;
+    layout = Rdd.Chunked;
+    sequential = true;
+    recache_period = None;
+    compute_factor = 1.5;
+    stages_per_iter = 1;
+    intermediate_fraction = 0.15;
+  }
+
+let logistic_regression = { linear_regression with name = "LgR" }
+
+let svm =
+  {
+    linear_regression with
+    name = "SVM";
+    dataset_gb = 48;
+    sd_dram_gb = [ 28; 32; 36; 48 ];
+    th_dram_gb = [ 36; 48 ];
+    mo_heap_gb = 620;
+    (* Columnar feature matrices: humongous objects under G1 (§7.1). *)
+    layout = Rdd.Columnar;
+  }
+
+let bayes_classifier =
+  {
+    name = "BC";
+    dataset_gb = 98;
+    sd_dram_gb = [ 53; 57; 98; 180 ];
+    th_dram_gb = [ 57; 98 ];
+    mo_heap_gb = 82;
+    iterations = 5;
+    cached_fraction = 0.35;
+    shuffle_fraction = 0.1;
+    transient_fraction = 1.6;
+    layout = Rdd.Columnar;
+    sequential = false;
+    recache_period = None;
+    compute_factor = 4.0;
+    stages_per_iter = 4;
+    intermediate_fraction = 0.23;
+  }
+
+let rdd_relation =
+  {
+    name = "RL";
+    dataset_gb = 63;
+    sd_dram_gb = [ 24; 37; 63 ];
+    th_dram_gb = [ 37; 63 ];
+    mo_heap_gb = 96;
+    iterations = 10;
+    cached_fraction = 0.6;
+    shuffle_fraction = 0.4;
+    transient_fraction = 2.0;
+    layout = Rdd.Columnar;
+    sequential = false;
+    recache_period = None;
+    compute_factor = 4.0;
+    stages_per_iter = 6;
+    intermediate_fraction = 0.13;
+  }
+
+let kmeans =
+  {
+    linear_regression with
+    name = "KM";
+    iterations = 50;
+    transient_fraction = 0.5;
+    intermediate_fraction = 0.12;
+  }
+
+let all =
+  [
+    pagerank;
+    connected_components;
+    shortest_path;
+    svd_plus_plus;
+    triangle_counts;
+    linear_regression;
+    logistic_regression;
+    svm;
+    bayes_classifier;
+    rdd_relation;
+  ]
+
+let by_name name =
+  List.find
+    (fun t -> String.lowercase_ascii t.name = String.lowercase_ascii name)
+    (kmeans :: all)

@@ -1,0 +1,57 @@
+(** The ten Spark workloads of §6 (SparkBench), with their Table-3
+    configurations and Figure-6 DRAM sweep points.
+
+    All paper capacities are in GB and are scaled by
+    {!Th_sim.Size.paper_gb} when instantiated. Behavioural knobs
+    (iterations, cached fraction, shuffle intensity, layout, access
+    pattern) encode how each workload exercises the compute cache. *)
+
+type t = {
+  name : string;
+  dataset_gb : int;
+  sd_dram_gb : int list;  (** Figure 6 Spark-SD DRAM points, ascending *)
+  th_dram_gb : int list;  (** Figure 6 TeraHeap DRAM points *)
+  mo_heap_gb : int;  (** Table 3 Spark-MO heap (NVM Memory mode) *)
+  iterations : int;
+  cached_fraction : float;  (** share of the dataset kept via [persist()] *)
+  shuffle_fraction : float;  (** dataset share shuffled per iteration *)
+  transient_fraction : float;  (** per-iteration short-lived garbage *)
+  layout : Th_spark.Rdd.layout;
+  sequential : bool;  (** streaming access; TeraHeap uses huge pages *)
+  recache_period : int option;
+      (** churn: a new cached RDD generation every [k] iterations *)
+  compute_factor : float;
+      (** mutator CPU work per byte of cached data touched, relative to
+          the base cost model (graph analytics is compute-heavy, ML
+          training streams) *)
+  stages_per_iter : int;
+      (** stages per iteration (GraphX Pregel supersteps span several
+          stages; ML training is one stage per iteration) *)
+  intermediate_fraction : float;
+      (** execution-memory live set per iteration (aggregation buffers,
+          candidate sets) as a fraction of the dataset; pinned for the
+          iteration, then garbage *)
+}
+
+val dr2_gb : int
+(** DRAM devoted to the system/page cache in the Spark configurations
+    (16 GB, §6). Heap (or H1) is DRAM minus this. *)
+
+val pagerank : t
+val connected_components : t
+val shortest_path : t
+val svd_plus_plus : t
+val triangle_counts : t
+val linear_regression : t
+val logistic_regression : t
+val svm : t
+val bayes_classifier : t
+val rdd_relation : t
+val kmeans : t
+(** Only evaluated in the Panthera comparison (Figure 12c). *)
+
+val all : t list
+(** The ten Figure-6/8/12a/12b workloads (without KMeans). *)
+
+val by_name : string -> t
+(** Raises [Not_found] for unknown names. *)

@@ -1,0 +1,1 @@
+test/test_dacapo.ml: Alcotest Clock Costs List Size Th_giraph Th_minijvm Th_objmodel Th_psgc Th_sim Th_workloads

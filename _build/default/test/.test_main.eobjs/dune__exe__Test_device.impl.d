@@ -1,0 +1,1 @@
+test/test_device.ml: Alcotest Clock List QCheck QCheck_alcotest Size Th_device Th_sim

@@ -1,0 +1,1 @@
+test/test_gc_props.ml: Array Clock Costs Format Hashtbl List Printf QCheck QCheck_alcotest Size String Th_core Th_device Th_minijvm Th_objmodel Th_psgc Th_sim Vec

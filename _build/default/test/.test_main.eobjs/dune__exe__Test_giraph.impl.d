@@ -1,0 +1,1 @@
+test/test_giraph.ml: Alcotest Array Clock Costs List Prng Size Th_core Th_device Th_giraph Th_minijvm Th_objmodel Th_psgc Th_sim Vec

@@ -1,0 +1,1 @@
+test/test_h2.ml: Alcotest Clock Costs Float List Size Th_core Th_device Th_objmodel Th_sim

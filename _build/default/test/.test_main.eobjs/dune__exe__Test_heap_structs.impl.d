@@ -1,0 +1,1 @@
+test/test_heap_structs.ml: Alcotest List QCheck QCheck_alcotest Size Th_core Th_minijvm Th_objmodel Th_sim

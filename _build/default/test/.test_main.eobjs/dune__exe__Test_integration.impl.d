@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Clock List Printf Th_baselines Th_device Th_psgc Th_sim Th_workloads

@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Clock List QCheck QCheck_alcotest Th_metrics Th_sim

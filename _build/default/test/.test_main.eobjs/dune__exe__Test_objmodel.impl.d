@@ -1,0 +1,1 @@
+test/test_objmodel.ml: Alcotest Array Hashtbl List QCheck QCheck_alcotest Th_objmodel

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Clock Costs List Size Th_core Th_device Th_minijvm Th_objmodel Th_psgc Th_sim

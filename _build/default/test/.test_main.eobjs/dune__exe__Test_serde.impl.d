@@ -1,0 +1,1 @@
+test/test_serde.ml: Alcotest Clock Costs List Size Th_minijvm Th_objmodel Th_psgc Th_serde Th_sim

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Clock Costs List Prng QCheck QCheck_alcotest Size Th_sim Vec

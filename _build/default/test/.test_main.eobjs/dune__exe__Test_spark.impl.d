@@ -1,0 +1,1 @@
+test/test_spark.ml: Alcotest Clock Costs List Option Size Th_core Th_device Th_minijvm Th_objmodel Th_psgc Th_sim Th_spark

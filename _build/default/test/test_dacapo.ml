@@ -1,0 +1,97 @@
+(* Tests for the DaCapo-style barrier-overhead micro-suite and the heap
+   census / cost-profile helpers. *)
+
+module Dacapo = Th_workloads.Dacapo
+module Cost_profile = Th_psgc.Cost_profile
+module Heap_census = Th_psgc.Heap_census
+module Runtime = Th_psgc.Runtime
+module H1_heap = Th_minijvm.H1_heap
+module Obj_ = Th_objmodel.Heap_object
+open Th_sim
+
+let test_benchmarks_run_cleanly () =
+  List.iter
+    (fun (b : Dacapo.benchmark) ->
+      let ov, barriers = Dacapo.overhead b in
+      Alcotest.(check bool)
+        (b.Dacapo.name ^ " executed barriers")
+        true (barriers > 1000);
+      Alcotest.(check bool)
+        (b.Dacapo.name ^ " overhead within the paper's 3%")
+        true
+        (ov >= 0.0 && ov < 0.03))
+    Dacapo.all
+
+let test_census_groups_by_kind () =
+  let clock = Clock.create () in
+  let heap = H1_heap.create ~heap_bytes:(Size.mib 8) () in
+  let rt = Runtime.create ~clock ~costs:Costs.default ~heap () in
+  let root = Runtime.alloc rt ~size:100 () in
+  Runtime.add_root rt root;
+  for _ = 1 to 5 do
+    let a = Runtime.alloc rt ~kind:Obj_.Array_data ~size:1000 () in
+    Runtime.write_ref rt root a
+  done;
+  let entries = Heap_census.of_runtime rt in
+  let arrays =
+    List.find (fun e -> e.Heap_census.kind = Obj_.Array_data) entries
+  in
+  Alcotest.(check int) "five arrays" 5 arrays.Heap_census.count;
+  Alcotest.(check bool) "bytes accounted" true
+    (arrays.Heap_census.bytes >= 5 * 1000)
+
+let test_cost_profiles () =
+  Alcotest.(check (float 1e-9)) "dram is neutral" 1.0
+    Cost_profile.dram.Cost_profile.old_mult;
+  let mo = Cost_profile.nvm_memory_mode ~dram_bytes:100 ~heap_bytes:400 in
+  Alcotest.(check bool) "memory mode pays NVM latency" true
+    (mo.Cost_profile.old_mult > 1.5);
+  let full = Cost_profile.nvm_memory_mode ~dram_bytes:400 ~heap_bytes:400 in
+  Alcotest.(check bool) "bigger DRAM cache helps" true
+    (full.Cost_profile.old_mult < mo.Cost_profile.old_mult);
+  Alcotest.(check bool) "panthera old gen on NVM" true
+    (Cost_profile.panthera.Cost_profile.old_mult > 2.0);
+  Alcotest.(check (float 1e-9)) "panthera young gen on DRAM" 1.0
+    Cost_profile.panthera.Cost_profile.young_mult
+
+let test_profiles_well_formed () =
+  List.iter
+    (fun (p : Th_workloads.Spark_profiles.t) ->
+      Alcotest.(check bool) (p.Th_workloads.Spark_profiles.name ^ " dataset") true
+        (p.Th_workloads.Spark_profiles.dataset_gb > 0);
+      Alcotest.(check bool) "dram ascending" true
+        (let l = p.Th_workloads.Spark_profiles.sd_dram_gb in
+         List.sort compare l = l);
+      Alcotest.(check bool) "cached fraction sane" true
+        (p.Th_workloads.Spark_profiles.cached_fraction > 0.0
+        && p.Th_workloads.Spark_profiles.cached_fraction <= 1.0))
+    Th_workloads.Spark_profiles.all;
+  List.iter
+    (fun (p : Th_workloads.Giraph_profiles.t) ->
+      let params = Th_workloads.Giraph_profiles.graph_params p ~scale:1.0 in
+      Alcotest.(check bool)
+        (p.Th_workloads.Giraph_profiles.name ^ " vertices positive")
+        true
+        (params.Th_giraph.Engine.vertices > 0))
+    Th_workloads.Giraph_profiles.all
+
+let test_by_name_lookup () =
+  Alcotest.(check string) "case-insensitive" "PR"
+    (Th_workloads.Spark_profiles.by_name "pr").Th_workloads.Spark_profiles.name;
+  Alcotest.(check bool) "unknown raises" true
+    (try
+       ignore (Th_workloads.Spark_profiles.by_name "nope");
+       false
+     with Not_found -> true)
+
+let suite =
+  [
+    Alcotest.test_case "DaCapo suite overheads within 3%" `Slow
+      test_benchmarks_run_cleanly;
+    Alcotest.test_case "heap census groups by kind" `Quick
+      test_census_groups_by_kind;
+    Alcotest.test_case "cost profiles" `Quick test_cost_profiles;
+    Alcotest.test_case "workload profiles well-formed" `Quick
+      test_profiles_well_formed;
+    Alcotest.test_case "by_name lookup" `Quick test_by_name_lookup;
+  ]

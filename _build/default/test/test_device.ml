@@ -1,0 +1,154 @@
+(* Tests for the storage substrate: device cost model, traffic counters,
+   LRU page cache, readahead detection, writeback. *)
+
+open Th_sim
+module Device = Th_device.Device
+module Page_cache = Th_device.Page_cache
+
+let fresh_device ?(kind = Device.Nvme_ssd) () =
+  let clock = Clock.create () in
+  (clock, Device.create clock kind)
+
+let test_random_read_amplification () =
+  let _, d = fresh_device () in
+  (* A 100-byte random read is charged a whole 4 KiB page. *)
+  Device.read d ~cat:Clock.Other ~random:true 100;
+  Alcotest.(check int) "amplified to a page" 4096 (Device.stats d).Device.bytes_read
+
+let test_sequential_read_not_amplified () =
+  let _, d = fresh_device () in
+  Device.read d ~cat:Clock.Other ~random:false 100;
+  Alcotest.(check int) "charged as-is" 100 (Device.stats d).Device.bytes_read
+
+let test_random_dearer_than_sequential () =
+  let _, d = fresh_device () in
+  let seq = Device.read_cost_ns d ~random:false (Size.kib 64) in
+  let rand = Device.read_cost_ns d ~random:true (Size.kib 64) in
+  Alcotest.(check bool) "random pays per-page latencies" true (rand > seq)
+
+let test_nvme_slower_than_nvm () =
+  let _, nvme = fresh_device () in
+  let _, nvm = fresh_device ~kind:Device.Nvm_app_direct () in
+  (* Byte-addressable NVM wins on small random accesses: a 256 B load
+     costs one 256 B block, while the SSD pays a whole 4 KiB page. *)
+  Alcotest.(check bool) "NVM random reads are cheaper" true
+    (Device.read_cost_ns nvm ~random:true 256
+    < Device.read_cost_ns nvme ~random:true 256)
+
+let test_rmw_counts_both_directions () =
+  let _, d = fresh_device () in
+  Device.read_modify_write d ~cat:Clock.Other 1000;
+  let s = Device.stats d in
+  Alcotest.(check int) "read side" 4096 s.Device.bytes_read;
+  Alcotest.(check int) "write side" 4096 s.Device.bytes_written
+
+let test_clock_charged () =
+  let clock, d = fresh_device () in
+  Device.read d ~cat:Clock.Serde_io ~random:true 4096;
+  let b = Clock.breakdown clock in
+  Alcotest.(check bool) "charged to s/d+io" true (b.Clock.serde_io_ns > 0.0);
+  Alcotest.(check (float 0.0)) "not to other" 0.0 b.Clock.other_ns
+
+let fresh_cache ?(capacity = Size.kib 64) () =
+  let clock = Clock.create () in
+  let d = Device.create clock Device.Nvme_ssd in
+  (clock, d, Page_cache.create ~capacity_bytes:capacity clock d)
+
+let test_cache_hit_after_miss () =
+  let _, _, c = fresh_cache () in
+  Page_cache.access c ~cat:Clock.Other ~write:false ~offset:0 ~len:100;
+  Page_cache.access c ~cat:Clock.Other ~write:false ~offset:0 ~len:100;
+  let s = Page_cache.stats c in
+  Alcotest.(check int) "one miss" 1 s.Page_cache.misses;
+  Alcotest.(check int) "one hit" 1 s.Page_cache.hits
+
+let test_cache_lru_eviction () =
+  (* Capacity 16 pages; touch 17 distinct pages; the first is evicted. *)
+  let _, _, c = fresh_cache () in
+  for i = 0 to 16 do
+    Page_cache.access c ~cat:Clock.Other ~write:false ~offset:(i * 4096) ~len:1
+  done;
+  Alcotest.(check int) "resident capped" 16 (Page_cache.resident_pages c);
+  Page_cache.access c ~cat:Clock.Other ~write:false ~offset:0 ~len:1;
+  let s = Page_cache.stats c in
+  Alcotest.(check int) "page 0 missed again" 18 s.Page_cache.misses
+
+let test_cache_dirty_writeback_on_eviction () =
+  let _, d, c = fresh_cache () in
+  Page_cache.access c ~cat:Clock.Other ~write:true ~offset:0 ~len:100;
+  for i = 1 to 16 do
+    Page_cache.access c ~cat:Clock.Other ~write:false ~offset:(i * 4096) ~len:1
+  done;
+  Alcotest.(check bool) "dirty page written back" true
+    ((Device.stats d).Device.bytes_written >= 4096)
+
+let test_cache_invalidate_skips_writeback () =
+  let _, d, c = fresh_cache () in
+  Page_cache.access c ~cat:Clock.Other ~write:true ~offset:0 ~len:4096;
+  let written_before = (Device.stats d).Device.bytes_written in
+  Page_cache.invalidate_range c ~offset:0 ~len:4096;
+  Alcotest.(check int) "no writeback on invalidate" written_before
+    (Device.stats d).Device.bytes_written;
+  Alcotest.(check int) "page dropped" 0 (Page_cache.resident_pages c)
+
+let test_cache_readahead_cheaper () =
+  (* Sequential stream across calls: later misses are charged at
+     bandwidth without per-request latency. *)
+  let run offsets =
+    let clock, _, c = fresh_cache ~capacity:(Size.mib 4) () in
+    List.iter
+      (fun off ->
+        Page_cache.access c ~cat:Clock.Other ~write:false ~offset:off
+          ~len:4096)
+      offsets;
+    Clock.now_ns clock
+  in
+  let sequential = run [ 0; 4096; 8192; 12288; 16384 ] in
+  let scattered = run [ 0; 40960; 8192; 53248; 16384 ] in
+  Alcotest.(check bool) "sequential stream cheaper" true
+    (sequential < scattered)
+
+let test_cache_flush () =
+  let _, d, c = fresh_cache () in
+  Page_cache.access c ~cat:Clock.Other ~write:true ~offset:0 ~len:8192;
+  Page_cache.flush c ~cat:Clock.Other;
+  Alcotest.(check bool) "flush wrote dirty pages" true
+    ((Device.stats d).Device.bytes_written >= 8192)
+
+let prop_cache_resident_bounded =
+  QCheck.Test.make ~name:"page cache never exceeds capacity" ~count:100
+    QCheck.(list (int_range 0 255))
+    (fun pages ->
+      let _, _, c = fresh_cache ~capacity:(Size.kib 32) () in
+      List.iter
+        (fun p ->
+          Page_cache.access c ~cat:Clock.Other ~write:(p mod 3 = 0)
+            ~offset:(p * 4096) ~len:4096)
+        pages;
+      Page_cache.resident_pages c <= Page_cache.capacity_pages c)
+
+let suite =
+  [
+    Alcotest.test_case "random reads amplified to pages" `Quick
+      test_random_read_amplification;
+    Alcotest.test_case "sequential reads not amplified" `Quick
+      test_sequential_read_not_amplified;
+    Alcotest.test_case "random dearer than sequential" `Quick
+      test_random_dearer_than_sequential;
+    Alcotest.test_case "NVM cheaper than NVMe for small reads" `Quick
+      test_nvme_slower_than_nvm;
+    Alcotest.test_case "rmw counts both directions" `Quick
+      test_rmw_counts_both_directions;
+    Alcotest.test_case "device charges the right clock category" `Quick
+      test_clock_charged;
+    Alcotest.test_case "cache hit after miss" `Quick test_cache_hit_after_miss;
+    Alcotest.test_case "cache LRU eviction" `Quick test_cache_lru_eviction;
+    Alcotest.test_case "dirty writeback on eviction" `Quick
+      test_cache_dirty_writeback_on_eviction;
+    Alcotest.test_case "invalidate skips writeback" `Quick
+      test_cache_invalidate_skips_writeback;
+    Alcotest.test_case "readahead makes streams cheaper" `Quick
+      test_cache_readahead_cheaper;
+    Alcotest.test_case "flush writes dirty pages" `Quick test_cache_flush;
+    QCheck_alcotest.to_alcotest prop_cache_resident_bounded;
+  ]

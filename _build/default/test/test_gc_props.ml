@@ -1,0 +1,350 @@
+(* Property-based tests of the collector's safety and liveness
+   invariants, driven by randomly generated mutator programs.
+
+   A "program" is a list of operations (allocate, link, unlink, pin,
+   unpin, tag, advise, GC) executed against a small heap with TeraHeap
+   enabled. After the program runs, we compare the simulated heap state
+   against a full-reachability oracle. *)
+
+open Th_sim
+module Obj_ = Th_objmodel.Heap_object
+module Roots = Th_objmodel.Roots
+module H1_heap = Th_minijvm.H1_heap
+module H2 = Th_core.H2
+module H2_card_table = Th_core.H2_card_table
+module Runtime = Th_psgc.Runtime
+module Device = Th_device.Device
+
+type op =
+  | Alloc of int  (* size selector *)
+  | Link of int * int  (* parent idx, child idx into live table *)
+  | Unlink of int * int
+  | Pin of int
+  | Unpin of int
+  | Tag of int * int  (* obj idx, label *)
+  | Advise of int
+  | Minor
+  | Major
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (6, map (fun s -> Alloc s) (int_range 0 3));
+        (6, map2 (fun a b -> Link (a, b)) (int_range 0 63) (int_range 0 63));
+        (2, map2 (fun a b -> Unlink (a, b)) (int_range 0 63) (int_range 0 63));
+        (3, map (fun a -> Pin a) (int_range 0 63));
+        (2, map (fun a -> Unpin a) (int_range 0 63));
+        (2, map2 (fun a l -> Tag (a, l)) (int_range 0 63) (int_range 0 7));
+        (2, map (fun l -> Advise l) (int_range 0 7));
+        (1, return Minor);
+        (1, return Major);
+      ])
+
+let program_gen = QCheck.Gen.(list_size (int_range 10 120) op_gen)
+
+let op_to_string = function
+  | Alloc s -> Printf.sprintf "Alloc %d" s
+  | Link (a, b) -> Printf.sprintf "Link(%d,%d)" a b
+  | Unlink (a, b) -> Printf.sprintf "Unlink(%d,%d)" a b
+  | Pin a -> Printf.sprintf "Pin %d" a
+  | Unpin a -> Printf.sprintf "Unpin %d" a
+  | Tag (a, l) -> Printf.sprintf "Tag(%d,%d)" a l
+  | Advise l -> Printf.sprintf "Advise %d" l
+  | Minor -> "Minor"
+  | Major -> "Major"
+
+let arbitrary_program =
+  QCheck.make
+    ~print:(fun p -> String.concat "; " (List.map op_to_string p))
+    ~shrink:QCheck.Shrink.list program_gen
+
+(* Execute a program; returns the runtime plus the table of every object
+   ever allocated and the currently pinned set. *)
+let base_config =
+  {
+    H2.default_config with
+    H2.region_size = Size.kib 64;
+    capacity = Size.mib 16;
+  }
+
+let execute ?(config = base_config) program =
+  let clock = Clock.create () in
+  let costs = Costs.default in
+  let heap = H1_heap.create ~heap_bytes:(Size.mib 2) () in
+  let device = Device.create clock Device.Nvme_ssd in
+  let h2 = H2.create ~config ~clock ~costs ~device ~dr2_bytes:(Size.kib 256) () in
+  let rt = Runtime.create ~h2 ~clock ~costs ~heap () in
+  let table = Vec.create () in
+  let pinned : (int, Obj_.t) Hashtbl.t = Hashtbl.create 16 in
+  let sizes = [| 64; 256; 1024; 4096 |] in
+  let get idx =
+    if Vec.is_empty table then None
+    else begin
+      let o = Vec.get table (idx mod Vec.length table) in
+      if Obj_.is_freed o then None else Some o
+    end
+  in
+  (try
+     List.iter
+       (fun op ->
+         match op with
+         | Alloc s ->
+             let o = Runtime.alloc rt ~size:sizes.(s) () in
+             (* Pin transiently through the table? No: objects are only
+                live if pinned or linked from a pinned object. *)
+             Vec.push table o
+         | Link (a, b) -> (
+             match (get a, get b) with
+             | Some pa, Some cb when pa != cb -> Runtime.write_ref rt pa cb
+             | _ -> ())
+         | Unlink (a, b) -> (
+             match (get a, get b) with
+             | Some pa, Some cb -> Runtime.unlink_ref rt pa cb
+             | _ -> ())
+         | Pin a -> (
+             match get a with
+             | Some o when not (Hashtbl.mem pinned o.Obj_.id) ->
+                 Runtime.add_root rt o;
+                 Hashtbl.replace pinned o.Obj_.id o
+             | _ -> ())
+         | Unpin a -> (
+             match get a with
+             | Some o when Hashtbl.mem pinned o.Obj_.id ->
+                 Runtime.remove_root rt o;
+                 Hashtbl.remove pinned o.Obj_.id
+             | _ -> ())
+         | Tag (a, label) -> (
+             match get a with
+             | Some o -> Runtime.h2_tag_root rt o ~label
+             | _ -> ())
+         | Advise label -> Runtime.h2_move rt ~label
+         | Minor -> Runtime.minor_gc rt
+         | Major -> Runtime.major_gc rt)
+       program
+   with Runtime.Out_of_memory _ | H2.Out_of_h2_space -> ());
+  (rt, table, pinned)
+
+let roots_of rt = Roots.to_list (Runtime.roots rt)
+
+(* Invariant 1: no reachable object is ever freed. *)
+let prop_no_reachable_object_freed =
+  QCheck.Test.make ~name:"GC never frees a reachable object" ~count:120
+    arbitrary_program
+    (fun program ->
+      let rt, _, _ = execute program in
+      Runtime.major_gc rt;
+      let reachable =
+        Obj_.reachable ~roots:(roots_of rt) ~fence_h2:false
+      in
+      Hashtbl.fold
+        (fun _ (o : Obj_.t) ok ->
+          if Obj_.is_freed o then begin
+            Printf.eprintf "[freed-but-reachable] %s region=%d label=%d\n%!"
+              (Format.asprintf "%a" Obj_.pp o)
+              o.Obj_.h2_region o.Obj_.label;
+            false
+          end
+          else ok)
+        reachable true)
+
+(* Invariant 2: completeness of H1 reclamation modulo TeraHeap's
+   designed-in conservatism. The collector treats every H1 object
+   referenced from H2 as live (backward references found through the
+   card table, §3.4) without scanning H2 — so H1 objects on H1<->H2
+   cycles are retained even when globally unreachable, and backward
+   references from a still-unreclaimed dead region pin their targets
+   for one extra cycle. The right oracle is therefore: reachable from
+   the GC roots plus the backward-reference targets of all current H2
+   residents, with tracing fenced at the H1/H2 boundary. Anything
+   outside that set must be gone after two collections. *)
+let prop_unreachable_h1_reclaimed =
+  QCheck.Test.make ~name:"major GCs reclaim all dead H1 objects" ~count:120
+    arbitrary_program
+    (fun program ->
+      let rt, table, _ = execute program in
+      Runtime.major_gc rt;
+      Runtime.major_gc rt;
+      let backward_targets = ref [] in
+      (match Runtime.h2 rt with
+      | Some h2 ->
+          Th_core.H2.iter_objects h2 (fun h ->
+              Obj_.iter_refs
+                (fun c ->
+                  if Obj_.is_in_h1 c then
+                    backward_targets := c :: !backward_targets)
+                h)
+      | None -> ());
+      let retained =
+        Obj_.reachable
+          ~roots:(roots_of rt @ !backward_targets)
+          ~fence_h2:true
+      in
+      let ok = ref true in
+      Vec.iter
+        (fun (o : Obj_.t) ->
+          if Obj_.is_in_h1 o && not (Hashtbl.mem retained o.Obj_.id) then
+            ok := false)
+        table;
+      !ok)
+
+(* Invariant 3: space accounting matches the objects actually resident. *)
+let prop_h1_accounting_consistent =
+  QCheck.Test.make ~name:"H1 used bytes match resident objects" ~count:120
+    arbitrary_program
+    (fun program ->
+      let rt, _, _ = execute program in
+      Runtime.major_gc rt;
+      let heap = Runtime.heap rt in
+      let sum = ref 0 in
+      Vec.iter (fun o -> sum := !sum + Obj_.footprint o) heap.H1_heap.old_objs;
+      !sum = heap.H1_heap.old_used
+      && heap.H1_heap.eden_used = 0
+      && heap.H1_heap.survivor_used = 0)
+
+(* Invariant 4: a freed H2 region really had no incoming references —
+   equivalently, no living object anywhere still references a freed
+   object. *)
+let prop_no_live_object_references_freed =
+  QCheck.Test.make ~name:"no live object references a freed one" ~count:120
+    arbitrary_program
+    (fun program ->
+      let rt, table, _ = execute program in
+      Runtime.major_gc rt;
+      let ok = ref true in
+      Vec.iter
+        (fun (o : Obj_.t) ->
+          if not (Obj_.is_freed o) then
+            Obj_.iter_refs
+              (fun c ->
+                (* Backward/forward references from live objects must
+                   never dangle. *)
+                if Obj_.is_freed c then ok := false)
+              o)
+        table;
+      !ok)
+
+(* Invariant 5: objects moved by one h2_move land in regions owned by
+   their label. *)
+let prop_label_grouping =
+  QCheck.Test.make ~name:"H2 regions group objects by label" ~count:120
+    arbitrary_program
+    (fun program ->
+      let rt, table, _ = execute program in
+      Runtime.major_gc rt;
+      (* Collect region -> labels mapping over H2 residents. *)
+      let region_label : (int, int) Hashtbl.t = Hashtbl.create 16 in
+      let ok = ref true in
+      Vec.iter
+        (fun (o : Obj_.t) ->
+          if o.Obj_.loc = Obj_.In_h2 then
+            match Hashtbl.find_opt region_label o.Obj_.h2_region with
+            | None -> Hashtbl.replace region_label o.Obj_.h2_region o.Obj_.label
+            | Some l -> if l <> o.Obj_.label then ok := false)
+        table;
+      !ok)
+
+(* Invariant 6: card-table soundness — any H2-resident object holding a
+   reference to a young H1 object lies in a segment whose card is dirty
+   or youngGen, so the next minor GC will find the backward reference. *)
+let prop_backward_ref_cards_sound =
+  QCheck.Test.make ~name:"H2 cards cover all backward refs to young objects"
+    ~count:120 arbitrary_program
+    (fun program ->
+      let rt, table, _ = execute program in
+      match Runtime.h2 rt with
+      | None -> true
+      | Some h2 ->
+          let ct = H2.card_table h2 in
+          let cfg = H2.config h2 in
+          let ok = ref true in
+          Vec.iter
+            (fun (o : Obj_.t) ->
+              if o.Obj_.loc = Obj_.In_h2 then begin
+                let has_young = ref false in
+                Obj_.iter_refs
+                  (fun c -> if Obj_.is_young c then has_young := true)
+                  o;
+                if !has_young then begin
+                  let gaddr =
+                    (o.Obj_.h2_region * cfg.H2.region_size) + o.Obj_.addr
+                  in
+                  let seg = H2_card_table.segment_of ct ~gaddr in
+                  match H2_card_table.state ct ~seg with
+                  | H2_card_table.Dirty | H2_card_table.Young_gen -> ()
+                  | H2_card_table.Clean | H2_card_table.Old_gen -> ok := false
+                end
+              end)
+            table;
+          !ok)
+
+(* Invariant 7: dependency-list reclamation is never less conservative
+   than the Union-Find alternative would allow it to be unsafe — freed
+   regions cannot be reachable from H1 roots. *)
+let prop_freed_regions_unreachable =
+  QCheck.Test.make ~name:"freed H2 objects are unreachable from roots"
+    ~count:120 arbitrary_program
+    (fun program ->
+      let rt, table, _ = execute program in
+      Runtime.major_gc rt;
+      let reachable = Obj_.reachable ~roots:(roots_of rt) ~fence_h2:false in
+      let ok = ref true in
+      Vec.iter
+        (fun (o : Obj_.t) ->
+          if Obj_.is_freed o && Hashtbl.mem reachable o.Obj_.id then
+            ok := false)
+        table;
+      !ok)
+
+(* The safety invariant must hold under every H2 configuration variant:
+   the Union-Find reclamation mode, size-segregated placement, unaligned
+   (vanilla) card stripes, and dynamic thresholds. *)
+let prop_safety_under_config name config =
+  QCheck.Test.make ~name ~count:80 arbitrary_program (fun program ->
+      let rt, table, _ = execute ~config program in
+      Runtime.major_gc rt;
+      let reachable = Obj_.reachable ~roots:(roots_of rt) ~fence_h2:false in
+      Hashtbl.fold
+        (fun _ (o : Obj_.t) ok -> ok && not (Obj_.is_freed o))
+        reachable true
+      && Th_sim.Vec.fold_left
+           (fun ok (o : Obj_.t) ->
+             ok
+             &&
+             if Obj_.is_freed o then
+               not (Hashtbl.mem reachable o.Obj_.id)
+             else true)
+           true table)
+
+let prop_safety_region_groups =
+  prop_safety_under_config "safety holds under Union-Find region groups"
+    { base_config with H2.reclaim_mode = H2.Region_groups }
+
+let prop_safety_size_segregated =
+  prop_safety_under_config "safety holds under size-segregated placement"
+    { base_config with H2.placement = H2.Size_segregated }
+
+let prop_safety_unaligned_stripes =
+  prop_safety_under_config "safety holds with vanilla (unaligned) stripes"
+    { base_config with H2.stripe_aligned = false }
+
+let prop_safety_dynamic_thresholds =
+  prop_safety_under_config "safety holds with dynamic thresholds"
+    { base_config with H2.dynamic_thresholds = true }
+
+let props =
+  [
+    prop_no_reachable_object_freed;
+    prop_safety_region_groups;
+    prop_safety_size_segregated;
+    prop_safety_unaligned_stripes;
+    prop_safety_dynamic_thresholds;
+    prop_unreachable_h1_reclaimed;
+    prop_h1_accounting_consistent;
+    prop_no_live_object_references_freed;
+    prop_label_grouping;
+    prop_backward_ref_cards_sound;
+    prop_freed_regions_unreachable;
+  ]
+
+let suite = List.map QCheck_alcotest.to_alcotest props

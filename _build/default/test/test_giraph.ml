@@ -1,0 +1,228 @@
+(* Tests for the mini-Giraph framework: graph loading, message stores,
+   the out-of-core scheduler, and the BSP engine end to end. *)
+
+open Th_sim
+module Obj_ = Th_objmodel.Heap_object
+module H1_heap = Th_minijvm.H1_heap
+module H2 = Th_core.H2
+module Runtime = Th_psgc.Runtime
+module Device = Th_device.Device
+module Graph = Th_giraph.Graph
+module Msg_store = Th_giraph.Msg_store
+module Ooc = Th_giraph.Ooc
+module Engine = Th_giraph.Engine
+
+let fresh_rt ?(heap_bytes = Size.mib 32) ?h2 () =
+  let clock = Clock.create () in
+  let heap = H1_heap.create ~heap_bytes () in
+  match h2 with
+  | Some true ->
+      let device = Device.create clock Device.Nvme_ssd in
+      let h2 =
+        H2.create ~config:H2.default_config ~clock ~costs:Costs.default
+          ~device ~dr2_bytes:(Size.mib 8) ()
+      in
+      (Runtime.create ~h2 ~clock ~costs:Costs.default ~heap (), Some h2)
+  | _ -> (Runtime.create ~clock ~costs:Costs.default ~heap (), None)
+
+let load rt ?(vertices = 400) ?(partitions = 4) ?(on_vertex = fun _ -> ()) () =
+  Graph.load rt ~prng:(Prng.create 11L) ~partitions ~vertices ~avg_degree:8
+    ~edge_bytes:16 ~on_vertex_loaded:on_vertex ()
+
+let test_graph_load_structure () =
+  let rt, _ = fresh_rt () in
+  let g = load rt () in
+  Alcotest.(check int) "partitions" 4 (Array.length g.Graph.partitions);
+  Alcotest.(check int) "vertices" 400
+    (Array.fold_left
+       (fun acc p -> acc + Array.length p.Graph.vertices)
+       0 g.Graph.partitions);
+  Alcotest.(check bool) "edges counted" true (g.Graph.total_edges > 400);
+  (* Every vertex has its value object linked under the partition and its
+     out-edges array linked under the vertex. *)
+  Graph.iter_vertices g (fun p v ->
+      Alcotest.(check bool) "vobj under partition" true
+        (List.memq v.Graph.vobj (Obj_.refs_list p.Graph.pobj));
+      Alcotest.(check bool) "edges under vobj" true
+        (List.memq v.Graph.edges_obj (Obj_.refs_list v.Graph.vobj)))
+
+let test_graph_survives_gc () =
+  let rt, _ = fresh_rt () in
+  let g = load rt () in
+  Runtime.major_gc rt;
+  Graph.iter_vertices g (fun _ v ->
+      Alcotest.(check bool) "vertex alive" false (Obj_.is_freed v.Graph.vobj))
+
+let test_msg_store_append_consume () =
+  let rt, _ = fresh_rt () in
+  let anchor = Runtime.alloc rt ~size:64 () in
+  Runtime.add_root rt anchor;
+  let store = Msg_store.create rt ~anchor ~superstep:1 in
+  Msg_store.append rt store ~bytes:(Size.kib 200) ~on_chunk_created:(fun _ -> ());
+  Alcotest.(check int) "bytes tracked" (Size.kib 200) store.Msg_store.bytes;
+  Alcotest.(check bool) "chunked into 64KiB arrays" true
+    (Vec.length store.Msg_store.chunks = 4);
+  Msg_store.consume rt store;
+  Msg_store.drop rt store ~anchor;
+  Runtime.major_gc rt;
+  Vec.iter
+    (fun c -> Alcotest.(check bool) "chunks reclaimed" true (Obj_.is_freed c))
+    store.Msg_store.chunks
+
+let test_msg_store_spill_stream () =
+  let rt, _ = fresh_rt () in
+  let clock = Runtime.clock rt in
+  let device = Device.create clock Device.Nvme_ssd in
+  let cache =
+    Th_device.Page_cache.create ~capacity_bytes:(Size.kib 256) clock device
+  in
+  let anchor = Runtime.alloc rt ~size:64 () in
+  Runtime.add_root rt anchor;
+  let store = Msg_store.create rt ~anchor ~superstep:1 in
+  Msg_store.append rt store ~bytes:(Size.kib 512) ~on_chunk_created:(fun _ -> ());
+  let written = Msg_store.offload rt store ~cache ~offset:0 in
+  Alcotest.(check bool) "spilled all chunks" true (written >= Size.kib 512);
+  Alcotest.(check int) "nothing resident" 0 (Vec.length store.Msg_store.chunks);
+  (* Streamed consumption reads the spill back without re-anchoring it. *)
+  Msg_store.consume_streamed rt store ~cache;
+  Alcotest.(check bool) "device read back" true
+    ((Device.stats device).Device.bytes_read >= Size.kib 512)
+
+let test_msg_store_partial_spill_keeps_tail () =
+  let rt, _ = fresh_rt () in
+  let clock = Runtime.clock rt in
+  let device = Device.create clock Device.Nvme_ssd in
+  let cache =
+    Th_device.Page_cache.create ~capacity_bytes:(Size.kib 256) clock device
+  in
+  let anchor = Runtime.alloc rt ~size:64 () in
+  Runtime.add_root rt anchor;
+  let store = Msg_store.create rt ~anchor ~superstep:1 in
+  Msg_store.append rt store ~bytes:(Size.kib 512) ~on_chunk_created:(fun _ -> ());
+  ignore (Msg_store.spill rt store ~cache ~offset:0 ~keep_chunks:2);
+  Alcotest.(check int) "open tail stays resident" 2
+    (Vec.length store.Msg_store.chunks)
+
+let test_ooc_budget_enforced () =
+  let rt, _ = fresh_rt () in
+  let g = load rt ~vertices:800 ~partitions:8 () in
+  let device = Device.create (Runtime.clock rt) Device.Nvme_ssd in
+  let ooc =
+    Ooc.create rt ~device ~dr2_bytes:(Size.kib 512) ~threshold:0.0
+  in
+  Array.iter (Ooc.note_processed ooc) g.Graph.partitions;
+  Ooc.enforce_budget ooc g ~max_resident:3;
+  Th_device.Page_cache.flush (Ooc.page_cache ooc) ~cat:Clock.Other;
+  let resident =
+    Array.fold_left
+      (fun n (p : Graph.partition) ->
+        if p.Graph.offloaded_edge_bytes = 0 then n + 1 else n)
+      0 g.Graph.partitions
+  in
+  Alcotest.(check int) "at most 3 resident" 3 resident;
+  Alcotest.(check bool) "edges written once" true
+    ((Device.stats device).Device.bytes_written > 0)
+
+let test_ooc_reload_and_reoffload_free () =
+  let rt, _ = fresh_rt () in
+  let g = load rt ~vertices:800 ~partitions:8 () in
+  let device = Device.create (Runtime.clock rt) Device.Nvme_ssd in
+  let ooc = Ooc.create rt ~device ~dr2_bytes:(Size.kib 64) ~threshold:0.0 in
+  Array.iter (Ooc.note_processed ooc) g.Graph.partitions;
+  Ooc.enforce_budget ooc g ~max_resident:0;
+  Th_device.Page_cache.flush (Ooc.page_cache ooc) ~cat:Clock.Other;
+  let written_once = (Device.stats device).Device.bytes_written in
+  let p = g.Graph.partitions.(0) in
+  Ooc.ensure_resident ooc g p;
+  Alcotest.(check int) "resident again" 0 p.Graph.offloaded_edge_bytes;
+  Ooc.note_processed ooc p;
+  Ooc.enforce_budget ooc g ~max_resident:0;
+  Th_device.Page_cache.flush (Ooc.page_cache ooc) ~cat:Clock.Other;
+  (* Edges are immutable: re-offloading a reloaded partition writes
+     nothing new. *)
+  Alcotest.(check int) "no second write of immutable edges" written_once
+    (Device.stats device).Device.bytes_written
+
+let tiny_algo =
+  {
+    Engine.name = "tiny";
+    supersteps = 4;
+    message_bytes = (fun ~superstep:_ ~total_edges -> total_edges * 4);
+    combine_factor = 2.0;
+    active_fraction = (fun ~superstep:_ -> 1.0);
+    update_fraction = 0.5;
+  }
+
+let tiny_params =
+  { Engine.partitions = 4; vertices = 400; avg_degree = 8; edge_bytes = 16 }
+
+let test_engine_in_memory () =
+  let rt, _ = fresh_rt () in
+  let r =
+    Engine.run rt ~mode:Engine.In_memory ~prng:(Prng.create 5L)
+      ~algo:tiny_algo tiny_params
+  in
+  Alcotest.(check int) "all supersteps ran" 4 r.Engine.supersteps_run;
+  Alcotest.(check bool) "messages flowed" true
+    (r.Engine.total_messages_bytes > 0)
+
+(* Message-heavy variant: enough per-superstep volume to force in-run
+   collections, so message regions move to H2 and die superstep by
+   superstep. *)
+let pressure_algo =
+  {
+    tiny_algo with
+    Engine.supersteps = 6;
+    message_bytes = (fun ~superstep:_ ~total_edges -> total_edges * 400);
+    combine_factor = 1.0;
+  }
+
+let test_engine_teraheap_moves_edges_and_messages () =
+  let rt, h2 = fresh_rt ~heap_bytes:(Size.mib 4) ~h2:true () in
+  let (_ : Engine.result) =
+    Engine.run rt ~mode:Engine.Teraheap ~prng:(Prng.create 5L)
+      ~algo:pressure_algo tiny_params
+  in
+  (* Dropped message stores become dead regions at the next full GC. *)
+  Runtime.major_gc rt;
+  match h2 with
+  | None -> Alcotest.fail "expected H2"
+  | Some h2 ->
+      let s = H2.stats h2 in
+      Alcotest.(check bool) "objects moved to H2" true (s.H2.moves_to_h2 > 0);
+      Alcotest.(check bool) "consumed message regions reclaimed" true
+        (s.H2.regions_reclaimed > 0)
+
+let test_engine_ooc_offloads () =
+  let rt, _ = fresh_rt ~heap_bytes:(Size.mib 6) () in
+  let device = Device.create (Runtime.clock rt) Device.Nvme_ssd in
+  let (_ : Engine.result) =
+    Engine.run rt
+      ~mode:(Engine.Out_of_core { threshold = 0.5 })
+      ~ooc_device:device ~ooc_dr2:(Size.kib 512) ~prng:(Prng.create 5L)
+      ~algo:tiny_algo
+      { tiny_params with Engine.vertices = 20_000 }
+  in
+  Alcotest.(check bool) "device traffic from offloading" true
+    ((Device.stats device).Device.bytes_written > 0)
+
+let suite =
+  [
+    Alcotest.test_case "graph load structure" `Quick test_graph_load_structure;
+    Alcotest.test_case "graph survives GC" `Quick test_graph_survives_gc;
+    Alcotest.test_case "message store append/consume/drop" `Quick
+      test_msg_store_append_consume;
+    Alcotest.test_case "message store spill + streamed consume" `Quick
+      test_msg_store_spill_stream;
+    Alcotest.test_case "partial spill keeps the open tail" `Quick
+      test_msg_store_partial_spill_keeps_tail;
+    Alcotest.test_case "out-of-core budget enforced" `Quick
+      test_ooc_budget_enforced;
+    Alcotest.test_case "immutable edges written to device once" `Quick
+      test_ooc_reload_and_reoffload_free;
+    Alcotest.test_case "engine runs in-memory" `Quick test_engine_in_memory;
+    Alcotest.test_case "engine + TeraHeap moves edges and messages" `Quick
+      test_engine_teraheap_moves_edges_and_messages;
+    Alcotest.test_case "engine + out-of-core offloads" `Quick
+      test_engine_ooc_offloads;
+  ]

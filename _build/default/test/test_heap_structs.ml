@@ -1,0 +1,218 @@
+(* Tests for H1 heap layout/accounting and the two card tables. *)
+
+open Th_sim
+module Obj_ = Th_objmodel.Heap_object
+module Card_table = Th_minijvm.Card_table
+module H1_heap = Th_minijvm.H1_heap
+module H2_card_table = Th_core.H2_card_table
+
+(* ---- H1 card table ---- *)
+
+let test_card_mark_and_clear () =
+  let ct = Card_table.create ~capacity_bytes:(Size.kib 64) () in
+  Card_table.mark_dirty ct ~addr:1000;
+  let card = Card_table.card_of_addr ct 1000 in
+  Alcotest.(check bool) "dirty" true (Card_table.is_dirty ct ~card);
+  Alcotest.(check int) "count" 1 (Card_table.dirty_count ct);
+  Card_table.mark_dirty ct ~addr:1001;
+  Alcotest.(check int) "same card counted once" 1 (Card_table.dirty_count ct);
+  Card_table.clear_card ct ~card;
+  Alcotest.(check bool) "cleared" false (Card_table.is_dirty ct ~card);
+  Alcotest.(check int) "count back to zero" 0 (Card_table.dirty_count ct)
+
+let test_card_512b_granularity () =
+  let ct = Card_table.create ~capacity_bytes:(Size.kib 64) () in
+  Alcotest.(check int) "512B cards" 128 (Card_table.num_cards ct);
+  Alcotest.(check bool) "adjacent bytes share a card" true
+    (Card_table.card_of_addr ct 0 = Card_table.card_of_addr ct 511);
+  Alcotest.(check bool) "next card at 512" false
+    (Card_table.card_of_addr ct 511 = Card_table.card_of_addr ct 512)
+
+let test_card_out_of_range () =
+  let ct = Card_table.create ~capacity_bytes:(Size.kib 4) () in
+  Alcotest.check_raises "address out of range"
+    (Invalid_argument "Card_table.card_of_addr: address out of range")
+    (fun () -> Card_table.mark_dirty ct ~addr:(Size.kib 4))
+
+(* ---- H1 heap ---- *)
+
+let test_h1_sizing_defaults () =
+  (* NewRatio=2, SurvivorRatio=8: young = heap/3, eden = 8/10 young. *)
+  let h = H1_heap.create ~heap_bytes:(Size.mib 30) () in
+  Alcotest.(check int) "young third" (Size.mib 10) (H1_heap.young_bytes h);
+  Alcotest.(check int) "old two thirds" (Size.mib 20) h.H1_heap.old_capacity;
+  Alcotest.(check int) "eden 8/10 of young" (Size.mib 8) h.H1_heap.eden_capacity;
+  Alcotest.(check int) "whole heap accounted" (Size.mib 30) (H1_heap.heap_bytes h)
+
+let test_h1_alloc_accounting () =
+  let h = H1_heap.create ~heap_bytes:(Size.mib 3) () in
+  (match H1_heap.alloc h ~kind:Obj_.Data ~size:1000 with
+  | H1_heap.Allocated o ->
+      Alcotest.(check int) "eden used" (Obj_.total_size o) h.H1_heap.eden_used
+  | _ -> Alcotest.fail "expected allocation");
+  Alcotest.(check bool) "occupancy positive" true (H1_heap.occupancy h > 0.0)
+
+let test_h1_eden_full () =
+  let h = H1_heap.create ~heap_bytes:(Size.kib 300) () in
+  let rec fill n =
+    match H1_heap.alloc h ~kind:Obj_.Data ~size:(Size.kib 4) with
+    | H1_heap.Allocated _ when n < 1000 -> fill (n + 1)
+    | H1_heap.Allocated _ -> Alcotest.fail "eden never filled"
+    | H1_heap.Eden_full -> ()
+    | H1_heap.Old_full -> Alcotest.fail "unexpected old-full"
+  in
+  fill 0
+
+let test_h1_large_object_goes_old () =
+  let h = H1_heap.create ~heap_bytes:(Size.mib 3) () in
+  let big = (h.H1_heap.eden_capacity / 2) + 100 in
+  match H1_heap.alloc h ~kind:Obj_.Array_data ~size:big with
+  | H1_heap.Allocated o ->
+      Alcotest.(check bool) "old gen" true (o.Obj_.loc = Obj_.Old);
+      Alcotest.(check bool) "address assigned" true (o.Obj_.addr >= 0)
+  | _ -> Alcotest.fail "expected old-gen allocation"
+
+let test_h1_old_bump_allocation () =
+  let h = H1_heap.create ~heap_bytes:(Size.mib 3) () in
+  let a1 = H1_heap.old_alloc_addr h 100 in
+  let a2 = H1_heap.old_alloc_addr h 100 in
+  Alcotest.(check (option int)) "first at 0" (Some 0) a1;
+  Alcotest.(check (option int)) "bumped" (Some 100) a2;
+  Alcotest.(check int) "used tracked" 200 h.H1_heap.old_used
+
+let test_h1_old_full () =
+  let h = H1_heap.create ~heap_bytes:(Size.mib 3) () in
+  Alcotest.(check (option int)) "over capacity refused" None
+    (H1_heap.old_alloc_addr h (Size.mib 4))
+
+let test_h1_double_free_detected () =
+  let h = H1_heap.create ~heap_bytes:(Size.mib 3) () in
+  match H1_heap.alloc h ~kind:Obj_.Data ~size:64 with
+  | H1_heap.Allocated o ->
+      H1_heap.free_object h o;
+      Alcotest.check_raises "double free"
+        (Invalid_argument "H1_heap.free_object: double free") (fun () ->
+          H1_heap.free_object h o)
+  | _ -> Alcotest.fail "expected allocation"
+
+(* ---- H2 card table ---- *)
+
+let test_h2_states () =
+  let ct = H2_card_table.create ~capacity_bytes:(Size.mib 1) () in
+  let seg = H2_card_table.segment_of ct ~gaddr:5000 in
+  Alcotest.(check bool) "initially clean" true
+    (H2_card_table.state ct ~seg = H2_card_table.Clean);
+  H2_card_table.mark_dirty ct ~gaddr:5000;
+  Alcotest.(check bool) "dirty after store" true
+    (H2_card_table.state ct ~seg = H2_card_table.Dirty);
+  H2_card_table.set_state ct ~seg H2_card_table.Old_gen;
+  Alcotest.(check bool) "downgraded to oldGen" true
+    (H2_card_table.state ct ~seg = H2_card_table.Old_gen);
+  Alcotest.(check int) "non-clean tracked" 1 (H2_card_table.non_clean_count ct)
+
+let test_h2_minor_scan_selects_dirty_and_young () =
+  let ct = H2_card_table.create ~capacity_bytes:(Size.mib 1) () in
+  H2_card_table.set_state ct ~seg:1 H2_card_table.Dirty;
+  H2_card_table.set_state ct ~seg:2 H2_card_table.Young_gen;
+  H2_card_table.set_state ct ~seg:3 H2_card_table.Old_gen;
+  let minor = ref [] and major = ref [] in
+  H2_card_table.iter_minor_scan ct ~lo:0 ~hi:(H2_card_table.num_segments ct)
+    (fun seg _ -> minor := seg :: !minor);
+  H2_card_table.iter_major_scan ct ~lo:0 ~hi:(H2_card_table.num_segments ct)
+    (fun seg _ -> major := seg :: !major);
+  Alcotest.(check (list int)) "minor skips oldGen" [ 2; 1 ] !minor;
+  Alcotest.(check (list int)) "major includes oldGen" [ 3; 2; 1 ] !major
+
+let test_h2_sticky_boundary_cards () =
+  (* Unaligned (vanilla) layout: a dirty boundary card is never cleaned. *)
+  let ct =
+    H2_card_table.create ~segment_size:512 ~stripe_aligned:false
+      ~stripe_size:(Size.kib 4) ~capacity_bytes:(Size.kib 64) ()
+  in
+  (* Segment 0 is the first card of stripe 0: boundary. *)
+  H2_card_table.mark_dirty ct ~gaddr:0;
+  H2_card_table.set_state ct ~seg:0 H2_card_table.Clean;
+  Alcotest.(check bool) "boundary card stays dirty" true
+    (H2_card_table.state ct ~seg:0 = H2_card_table.Dirty);
+  (* An interior card can be cleaned. *)
+  H2_card_table.mark_dirty ct ~gaddr:(512 * 3);
+  H2_card_table.set_state ct ~seg:3 H2_card_table.Clean;
+  Alcotest.(check bool) "interior card cleaned" true
+    (H2_card_table.state ct ~seg:3 = H2_card_table.Clean)
+
+let test_h2_aligned_boundary_cards_clean () =
+  let ct =
+    H2_card_table.create ~segment_size:512 ~stripe_aligned:true
+      ~stripe_size:(Size.kib 4) ~capacity_bytes:(Size.kib 64) ()
+  in
+  H2_card_table.mark_dirty ct ~gaddr:0;
+  H2_card_table.set_state ct ~seg:0 H2_card_table.Clean;
+  Alcotest.(check bool) "TeraHeap alignment removes stickiness" true
+    (H2_card_table.state ct ~seg:0 = H2_card_table.Clean)
+
+let test_h2_clear_range_overrides_sticky () =
+  let ct =
+    H2_card_table.create ~segment_size:512 ~stripe_aligned:false
+      ~stripe_size:(Size.kib 4) ~capacity_bytes:(Size.kib 64) ()
+  in
+  H2_card_table.mark_dirty ct ~gaddr:0;
+  H2_card_table.clear_range ct ~lo:0 ~hi:8;
+  Alcotest.(check int) "bulk region reclamation clears all" 0
+    (H2_card_table.non_clean_count ct)
+
+let test_h2_metadata_bytes () =
+  let ct = H2_card_table.create ~segment_size:4096 ~capacity_bytes:(Size.mib 4) () in
+  Alcotest.(check int) "one byte per segment" 1024
+    (H2_card_table.metadata_bytes ct)
+
+let prop_h2_non_clean_counter_consistent =
+  QCheck.Test.make ~name:"h2 card non-clean counter matches states" ~count:100
+    QCheck.(list (pair (int_range 0 63) (int_range 0 3)))
+    (fun ops ->
+      let ct =
+        H2_card_table.create ~segment_size:512 ~capacity_bytes:(Size.kib 32) ()
+      in
+      List.iter
+        (fun (seg, st) ->
+          let state =
+            match st with
+            | 0 -> H2_card_table.Clean
+            | 1 -> H2_card_table.Dirty
+            | 2 -> H2_card_table.Young_gen
+            | _ -> H2_card_table.Old_gen
+          in
+          H2_card_table.set_state ct ~seg state)
+        ops;
+      let actual = ref 0 in
+      H2_card_table.iter_major_scan ct ~lo:0
+        ~hi:(H2_card_table.num_segments ct) (fun _ _ -> incr actual);
+      !actual = H2_card_table.non_clean_count ct)
+
+let suite =
+  [
+    Alcotest.test_case "h1 card mark/clear" `Quick test_card_mark_and_clear;
+    Alcotest.test_case "h1 card granularity" `Quick test_card_512b_granularity;
+    Alcotest.test_case "h1 card range check" `Quick test_card_out_of_range;
+    Alcotest.test_case "h1 sizing follows PS defaults" `Quick
+      test_h1_sizing_defaults;
+    Alcotest.test_case "h1 alloc accounting" `Quick test_h1_alloc_accounting;
+    Alcotest.test_case "h1 eden fills" `Quick test_h1_eden_full;
+    Alcotest.test_case "h1 large objects allocate old" `Quick
+      test_h1_large_object_goes_old;
+    Alcotest.test_case "h1 old-gen bump allocation" `Quick
+      test_h1_old_bump_allocation;
+    Alcotest.test_case "h1 old-gen capacity enforced" `Quick test_h1_old_full;
+    Alcotest.test_case "h1 double free detected" `Quick
+      test_h1_double_free_detected;
+    Alcotest.test_case "h2 card four states" `Quick test_h2_states;
+    Alcotest.test_case "h2 minor scan skips oldGen segments" `Quick
+      test_h2_minor_scan_selects_dirty_and_young;
+    Alcotest.test_case "h2 unaligned boundary cards sticky" `Quick
+      test_h2_sticky_boundary_cards;
+    Alcotest.test_case "h2 aligned boundary cards cleanable" `Quick
+      test_h2_aligned_boundary_cards_clean;
+    Alcotest.test_case "h2 clear_range overrides stickiness" `Quick
+      test_h2_clear_range_overrides_sticky;
+    Alcotest.test_case "h2 card metadata size" `Quick test_h2_metadata_bytes;
+    QCheck_alcotest.to_alcotest prop_h2_non_clean_counter_consistent;
+  ]

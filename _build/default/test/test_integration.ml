@@ -1,0 +1,199 @@
+(* End-to-end integration tests: whole workloads through the baseline
+   setups, checking the headline claims of the paper hold in the
+   simulation (who wins, OOM behaviour, GC reductions). These mirror the
+   bench harness but assert rather than print. *)
+
+open Th_sim
+module Setups = Th_baselines.Setups
+module Spark_profiles = Th_workloads.Spark_profiles
+module Giraph_profiles = Th_workloads.Giraph_profiles
+module Spark_driver = Th_workloads.Spark_driver
+module Giraph_driver = Th_workloads.Giraph_driver
+module Run_result = Th_workloads.Run_result
+module Rt = Th_psgc.Rt
+
+let total (r : Run_result.t) =
+  match r.Run_result.breakdown with
+  | Some b -> Clock.total_ns b
+  | None -> Alcotest.failf "%s unexpectedly OOMed" r.Run_result.label
+
+let serde (r : Run_result.t) =
+  match r.Run_result.breakdown with
+  | Some b -> b.Clock.serde_io_ns
+  | None -> nan
+
+let run_sd ?dram (p : Spark_profiles.t) =
+  let dram =
+    match dram with
+    | Some d -> d
+    | None -> List.fold_left max 0 p.Spark_profiles.th_dram_gb
+  in
+  let s = Setups.spark_sd ~heap_gb:(dram - Spark_profiles.dr2_gb) () in
+  Spark_driver.run ~label:"sd" s.Setups.ctx p
+
+let run_th ?dram (p : Spark_profiles.t) =
+  let dram =
+    match dram with
+    | Some d -> d
+    | None -> List.fold_left max 0 p.Spark_profiles.th_dram_gb
+  in
+  let s =
+    Setups.spark_teraheap
+      ~huge_pages:p.Spark_profiles.sequential
+      ~h1_gb:(dram - Spark_profiles.dr2_gb)
+      ~dr2_gb:Spark_profiles.dr2_gb ()
+  in
+  Spark_driver.run ~label:"th" s.Setups.ctx p
+
+let test_th_beats_sd_on_pagerank () =
+  let p = Spark_profiles.pagerank in
+  let sd = run_sd p and th = run_th p in
+  Alcotest.(check bool) "TeraHeap faster at equal DRAM" true
+    (total th < total sd);
+  Alcotest.(check bool) "S/D largely eliminated" true
+    (serde th < 0.5 *. serde sd);
+  Alcotest.(check bool) "far fewer major GCs" true
+    (th.Run_result.major_gcs * 3 < sd.Run_result.major_gcs)
+
+let test_th_survives_reduced_dram () =
+  (* Paper: TeraHeap provides better performance with up to 4.6x less
+     DRAM. At PR's smallest configuration Spark-SD OOMs while TeraHeap
+     completes and still beats the big-DRAM native run. *)
+  let p = Spark_profiles.pagerank in
+  let sd_small = run_sd ~dram:32 p in
+  Alcotest.(check bool) "Spark-SD OOMs at 32GB" true
+    (sd_small.Run_result.breakdown = None);
+  let th_small = run_th ~dram:32 p in
+  let sd_large = run_sd ~dram:80 p in
+  Alcotest.(check bool) "TeraHeap@32 completes and beats Spark-SD@80" true
+    (total th_small < total sd_large)
+
+let test_g1_fragmentation_oom () =
+  (* §7.1: G1 cannot run SVM, BC, RL due to humongous fragmentation. *)
+  List.iter
+    (fun name ->
+      let p = Spark_profiles.by_name name in
+      let dram = List.fold_left max 0 p.Spark_profiles.th_dram_gb in
+      let s =
+        Setups.spark_sd ~collector:Rt.G1
+          ~heap_gb:(dram - Spark_profiles.dr2_gb)
+          ()
+      in
+      let r = Spark_driver.run ~label:("g1-" ^ name) s.Setups.ctx p in
+      Alcotest.(check bool) (name ^ " OOMs under G1") true
+        (r.Run_result.breakdown = None))
+    [ "SVM"; "BC"; "RL" ];
+  (* G1 + TeraHeap removes the fragmentation: the humongous cached data
+     moves to H2 (§7.1's sketched combination). *)
+  List.iter
+    (fun name ->
+      let p = Spark_profiles.by_name name in
+      let dram = List.fold_left max 0 p.Spark_profiles.th_dram_gb in
+      let s =
+        Setups.spark_teraheap ~collector:Rt.G1
+          ~huge_pages:p.Spark_profiles.sequential
+          ~h1_gb:(dram - Spark_profiles.dr2_gb)
+          ~dr2_gb:Spark_profiles.dr2_gb ()
+      in
+      let r = Spark_driver.run ~label:("g1+th-" ^ name) s.Setups.ctx p in
+      Alcotest.(check bool) (name ^ " runs under G1 + TeraHeap") true
+        (r.Run_result.breakdown <> None))
+    [ "SVM"; "BC"; "RL" ];
+  (* ...and chunked-layout workloads run fine under plain G1. *)
+  let p = Spark_profiles.pagerank in
+  let s = Setups.spark_sd ~collector:Rt.G1 ~heap_gb:64 () in
+  let r = Spark_driver.run ~label:"g1-PR" s.Setups.ctx p in
+  Alcotest.(check bool) "PR runs under G1" true
+    (r.Run_result.breakdown <> None)
+
+let test_th_beats_giraph_ooc () =
+  List.iter
+    (fun (p : Giraph_profiles.t) ->
+      let ooc =
+        let s = Setups.giraph_ooc ~heap_gb:p.Giraph_profiles.ooc_heap_gb () in
+        Giraph_driver.run ~label:"ooc" s.Setups.rt ~mode:s.Setups.mode
+          ?ooc_device:s.Setups.ooc_device p
+      in
+      let th =
+        let s =
+          Setups.giraph_teraheap ~h1_gb:p.Giraph_profiles.th_h1_gb
+            ~dr2_gb:p.Giraph_profiles.th_dr2_gb ()
+        in
+        Giraph_driver.run ~label:"th" s.Setups.rt ~mode:s.Setups.mode p
+      in
+      Alcotest.(check bool)
+        (p.Giraph_profiles.name ^ ": TeraHeap beats Giraph-OOC")
+        true
+        (total th < total ooc))
+    [ Giraph_profiles.pagerank; Giraph_profiles.bfs ]
+
+let test_panthera_loses_to_th () =
+  let p = Spark_profiles.pagerank in
+  let scale = 0.5 in
+  let panthera =
+    let s = Setups.spark_panthera ~heap_gb:64 () in
+    Spark_driver.run ~dataset_scale:scale ~label:"panthera" s.Setups.ctx p
+  in
+  let th =
+    let s =
+      Setups.spark_teraheap ~device_kind:Th_device.Device.Nvm_app_direct
+        ~h1_gb:16 ~dr2_gb:16 ()
+    in
+    Spark_driver.run ~dataset_scale:scale ~label:"th" s.Setups.ctx p
+  in
+  Alcotest.(check bool) "TeraHeap beats Panthera at equal DRAM+NVM" true
+    (total th < total panthera)
+
+let test_spark_mo_loses_to_th () =
+  let p = Spark_profiles.pagerank in
+  let mo =
+    let s = Setups.spark_mo ~heap_gb:160 ~dram_gb:80 () in
+    Spark_driver.run ~label:"mo" s.Setups.ctx p
+  in
+  let th =
+    let s =
+      Setups.spark_teraheap ~device_kind:Th_device.Device.Nvm_app_direct
+        ~h1_gb:64 ~dr2_gb:16 ()
+    in
+    Spark_driver.run ~label:"th" s.Setups.ctx p
+  in
+  Alcotest.(check bool) "TeraHeap beats Spark-MO" true (total th < total mo)
+
+let test_all_spark_profiles_run_or_oom_cleanly () =
+  (* Every workload/DRAM point either completes or reports a clean OOM —
+     no exceptions escape, results carry GC statistics. *)
+  List.iter
+    (fun (p : Spark_profiles.t) ->
+      List.iter
+        (fun dram ->
+          let r = run_sd ~dram p in
+          Alcotest.(check bool) "gc stats present" true
+            (r.Run_result.gc_stats <> None))
+        p.Spark_profiles.sd_dram_gb;
+      List.iter
+        (fun dram ->
+          let r = run_th ~dram p in
+          Alcotest.(check bool)
+            (Printf.sprintf "TeraHeap %s@%d completes" p.Spark_profiles.name
+               dram)
+            true
+            (r.Run_result.breakdown <> None))
+        p.Spark_profiles.th_dram_gb)
+    Spark_profiles.all
+
+let suite =
+  [
+    Alcotest.test_case "TeraHeap beats Spark-SD on PageRank" `Slow
+      test_th_beats_sd_on_pagerank;
+    Alcotest.test_case "TeraHeap runs where Spark-SD OOMs" `Slow
+      test_th_survives_reduced_dram;
+    Alcotest.test_case "G1 humongous fragmentation OOMs SVM/BC/RL" `Slow
+      test_g1_fragmentation_oom;
+    Alcotest.test_case "TeraHeap beats Giraph-OOC" `Slow
+      test_th_beats_giraph_ooc;
+    Alcotest.test_case "TeraHeap beats Panthera" `Slow
+      test_panthera_loses_to_th;
+    Alcotest.test_case "TeraHeap beats Spark-MO" `Slow test_spark_mo_loses_to_th;
+    Alcotest.test_case "all Spark profiles run or OOM cleanly" `Slow
+      test_all_spark_profiles_run_or_oom_cleanly;
+  ]

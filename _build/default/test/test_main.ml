@@ -1,0 +1,17 @@
+let () =
+  Alcotest.run "teraheap"
+    [
+      ("sim", Test_sim.suite);
+      ("device", Test_device.suite);
+      ("objmodel", Test_objmodel.suite);
+      ("heap-structs", Test_heap_structs.suite);
+      ("h2", Test_h2.suite);
+      ("serde", Test_serde.suite);
+      ("runtime", Test_runtime.suite);
+      ("gc-properties", Test_gc_props.suite);
+      ("spark", Test_spark.suite);
+      ("giraph", Test_giraph.suite);
+      ("metrics", Test_metrics.suite);
+      ("dacapo-misc", Test_dacapo.suite);
+      ("integration", Test_integration.suite);
+    ]

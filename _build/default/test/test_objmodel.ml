@@ -1,0 +1,119 @@
+(* Tests for the object-graph model and the GC root set. *)
+
+module Obj_ = Th_objmodel.Heap_object
+module Roots = Th_objmodel.Roots
+
+let mk ?(size = 64) ?(kind = Obj_.Data) id = Obj_.create ~kind ~id ~size ()
+
+let test_total_size_includes_headers () =
+  let o = mk ~size:100 0 in
+  Alcotest.(check int) "header + label word" (100 + 16 + 8) (Obj_.total_size o)
+
+let test_footprint_includes_slack () =
+  let o = mk ~size:100 0 in
+  o.Obj_.region_slack <- 28;
+  Alcotest.(check int) "slack pinned" (Obj_.total_size o + 28) (Obj_.footprint o)
+
+let test_refs_add_remove () =
+  let a = mk 0 and b = mk 1 and c = mk 2 in
+  Obj_.add_ref a b;
+  Obj_.add_ref a c;
+  Alcotest.(check int) "two refs" 2 (Obj_.ref_count a);
+  Obj_.remove_ref a b;
+  Alcotest.(check int) "one ref" 1 (Obj_.ref_count a);
+  Alcotest.(check bool) "c remains" true (List.memq c (Obj_.refs_list a));
+  Obj_.remove_ref a b;
+  Alcotest.(check int) "removing absent ref is a no-op" 1 (Obj_.ref_count a)
+
+let test_set_ref_bounds () =
+  let a = mk 0 and b = mk 1 in
+  Obj_.add_ref a b;
+  Alcotest.check_raises "slot out of range"
+    (Invalid_argument "Heap_object.set_ref") (fun () -> Obj_.set_ref a 1 b)
+
+let test_excluded_kinds () =
+  Alcotest.(check bool) "metadata excluded" true
+    (Obj_.excluded_from_closure (mk ~kind:Obj_.Jvm_metadata 0));
+  Alcotest.(check bool) "weak ref excluded" true
+    (Obj_.excluded_from_closure (mk ~kind:Obj_.Weak_reference 1));
+  Alcotest.(check bool) "data included" false
+    (Obj_.excluded_from_closure (mk 2))
+
+let test_reachable_basic () =
+  let a = mk 0 and b = mk 1 and c = mk 2 and d = mk 3 in
+  Obj_.add_ref a b;
+  Obj_.add_ref b c;
+  (* d is unreachable *)
+  let r = Obj_.reachable ~roots:[ a ] ~fence_h2:false in
+  Alcotest.(check int) "three reachable" 3 (Hashtbl.length r);
+  Alcotest.(check bool) "d not reachable" false (Hashtbl.mem r d.Obj_.id)
+
+let test_reachable_handles_cycles () =
+  let a = mk 0 and b = mk 1 in
+  Obj_.add_ref a b;
+  Obj_.add_ref b a;
+  let r = Obj_.reachable ~roots:[ a ] ~fence_h2:false in
+  Alcotest.(check int) "cycle terminates" 2 (Hashtbl.length r)
+
+let test_reachable_fences_h2 () =
+  let a = mk 0 and b = mk 1 and c = mk 2 in
+  Obj_.add_ref a b;
+  Obj_.add_ref b c;
+  b.Obj_.loc <- Obj_.In_h2;
+  let r = Obj_.reachable ~roots:[ a ] ~fence_h2:true in
+  Alcotest.(check bool) "b seen" true (Hashtbl.mem r b.Obj_.id);
+  Alcotest.(check bool) "fence stops at b: c unseen" false
+    (Hashtbl.mem r c.Obj_.id)
+
+let test_roots_refcounted () =
+  let r = Roots.create () in
+  let o = mk 0 in
+  Roots.add r o;
+  Roots.add r o;
+  Roots.remove r o;
+  Alcotest.(check bool) "still a root after one removal" true (Roots.is_root o);
+  Alcotest.(check int) "counted once in the set" 1 (Roots.count r);
+  Roots.remove r o;
+  Alcotest.(check bool) "fully removed" false (Roots.is_root o);
+  Alcotest.(check int) "empty" 0 (Roots.count r)
+
+let test_roots_remove_unregistered () =
+  let r = Roots.create () in
+  let o = mk 0 in
+  Roots.remove r o;
+  Alcotest.(check int) "no-op" 0 (Roots.count r)
+
+let prop_reachable_subset_of_graph =
+  (* Build a random graph; everything reachable must be in the node set,
+     and roots are always reachable. *)
+  QCheck.Test.make ~name:"reachability is sound" ~count:100
+    QCheck.(pair (int_range 1 40) (list (pair (int_range 0 39) (int_range 0 39))))
+    (fun (n, edges) ->
+      let nodes = Array.init n (fun i -> mk i) in
+      List.iter
+        (fun (a, b) ->
+          if a < n && b < n then Obj_.add_ref nodes.(a) nodes.(b))
+        edges;
+      let r = Obj_.reachable ~roots:[ nodes.(0) ] ~fence_h2:false in
+      Hashtbl.mem r 0 && Hashtbl.length r <= n)
+
+let suite =
+  [
+    Alcotest.test_case "total_size includes headers" `Quick
+      test_total_size_includes_headers;
+    Alcotest.test_case "footprint includes region slack" `Quick
+      test_footprint_includes_slack;
+    Alcotest.test_case "add/remove refs" `Quick test_refs_add_remove;
+    Alcotest.test_case "set_ref bounds-checked" `Quick test_set_ref_bounds;
+    Alcotest.test_case "metadata/weak refs excluded from closures" `Quick
+      test_excluded_kinds;
+    Alcotest.test_case "reachability basic" `Quick test_reachable_basic;
+    Alcotest.test_case "reachability terminates on cycles" `Quick
+      test_reachable_handles_cycles;
+    Alcotest.test_case "reachability fences H2" `Quick test_reachable_fences_h2;
+    Alcotest.test_case "roots are reference-counted" `Quick
+      test_roots_refcounted;
+    Alcotest.test_case "removing unregistered root is no-op" `Quick
+      test_roots_remove_unregistered;
+    QCheck_alcotest.to_alcotest prop_reachable_subset_of_graph;
+  ]

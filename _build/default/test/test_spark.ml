@@ -1,0 +1,213 @@
+(* Tests for the mini-Spark framework: RDDs, the block manager in its
+   three cache modes, stage execution. *)
+
+open Th_sim
+module Obj_ = Th_objmodel.Heap_object
+module H1_heap = Th_minijvm.H1_heap
+module H2 = Th_core.H2
+module Runtime = Th_psgc.Runtime
+module Device = Th_device.Device
+module Context = Th_spark.Context
+module Rdd = Th_spark.Rdd
+module Block_manager = Th_spark.Block_manager
+module Stage = Th_spark.Stage
+
+let sd_ctx ?(heap_bytes = Size.mib 24) () =
+  let clock = Clock.create () in
+  let heap = H1_heap.create ~heap_bytes () in
+  let rt = Runtime.create ~clock ~costs:Costs.default ~heap () in
+  let device = Device.create clock Device.Nvme_ssd in
+  Context.create ~offheap_device:device
+    ~mode:(Context.Memory_and_ser_offheap { onheap_fraction = 0.5 })
+    rt
+
+let th_ctx ?(heap_bytes = Size.mib 24) () =
+  let clock = Clock.create () in
+  let heap = H1_heap.create ~heap_bytes () in
+  let device = Device.create clock Device.Nvme_ssd in
+  let h2 =
+    H2.create ~config:H2.default_config ~clock ~costs:Costs.default ~device
+      ~dr2_bytes:(Size.mib 8) ()
+  in
+  let rt = Runtime.create ~h2 ~clock ~costs:Costs.default ~heap () in
+  Context.create ~mode:Context.Teraheap_cache rt
+
+let test_rdd_shapes_dataset () =
+  let ctx = th_ctx () in
+  let rdd = Rdd.of_dataset ctx ~bytes:(Size.mib 4) () in
+  Alcotest.(check int) "default partitions" 16 rdd.Rdd.partitions;
+  Alcotest.(check bool) "partition bytes about dataset/16" true
+    (abs (Rdd.partition_bytes rdd - (Size.mib 4 / 16)) < Size.kib 8)
+
+let test_build_partition_pinned () =
+  let ctx = th_ctx () in
+  let rdd =
+    Rdd.create ctx ~partitions:4 ~elems_per_partition:32 ~elem_size:512 ()
+  in
+  let rt = Context.runtime ctx in
+  let group = Rdd.build_partition ctx rdd in
+  Runtime.major_gc rt;
+  Alcotest.(check bool) "pinned during construction window" false
+    (Obj_.is_freed group);
+  Alcotest.(check int) "all elements present" 32 (Obj_.ref_count group);
+  Runtime.remove_root rt group
+
+let test_columnar_layout_has_batches () =
+  let ctx = th_ctx () in
+  let rdd =
+    Rdd.create ctx ~layout:Rdd.Columnar ~partitions:1
+      ~elems_per_partition:1024 ~elem_size:1024 ()
+  in
+  let rt = Context.runtime ctx in
+  let group = Rdd.build_partition ctx rdd in
+  let arrays =
+    List.filter
+      (fun (o : Obj_.t) -> o.Obj_.kind = Obj_.Array_data)
+      (Obj_.refs_list group)
+  in
+  Alcotest.(check bool) "several columnar batches" true
+    (List.length arrays >= 5);
+  List.iter
+    (fun (o : Obj_.t) ->
+      Alcotest.(check bool) "batch-sized arrays" true
+        (o.Obj_.size <= Rdd.columnar_batch_bytes))
+    arrays;
+  Runtime.remove_root rt group
+
+let cache_one ctx rdd =
+  let rt = Context.runtime ctx in
+  let bm = Block_manager.create ctx in
+  let group = Rdd.build_partition ctx rdd in
+  Block_manager.put bm ~rdd_id:rdd.Rdd.id ~pidx:0 group;
+  Runtime.remove_root rt group;
+  (bm, group)
+
+let test_bm_teraheap_tags_and_advises () =
+  let ctx = th_ctx () in
+  let rdd =
+    Rdd.create ctx ~partitions:1 ~elems_per_partition:16 ~elem_size:512 ()
+  in
+  let bm, group = cache_one ctx rdd in
+  Alcotest.(check (option bool)) "entry tracked" (Some true)
+    (Option.map
+       (fun k -> k = Block_manager.In_teraheap)
+       (Block_manager.entry_kind bm ~rdd_id:rdd.Rdd.id ~pidx:0));
+  Alcotest.(check int) "label is the RDD id" rdd.Rdd.id group.Obj_.label;
+  (* The advised move happens at the next major GC. *)
+  Runtime.major_gc (Context.runtime ctx);
+  Alcotest.(check bool) "moved to H2" true (group.Obj_.loc = Obj_.In_h2)
+
+let test_bm_sd_spills_over_budget () =
+  let ctx = sd_ctx ~heap_bytes:(Size.mib 12) () in
+  let rdd =
+    Rdd.create ctx ~partitions:8 ~elems_per_partition:512 ~elem_size:1024 ()
+  in
+  let rt = Context.runtime ctx in
+  let bm = Block_manager.create ctx in
+  for pidx = 0 to rdd.Rdd.partitions - 1 do
+    let group = Rdd.build_partition ctx rdd in
+    Block_manager.put bm ~rdd_id:rdd.Rdd.id ~pidx group;
+    Runtime.remove_root rt group
+  done;
+  let kinds =
+    List.init rdd.Rdd.partitions (fun pidx ->
+        Block_manager.entry_kind bm ~rdd_id:rdd.Rdd.id ~pidx)
+  in
+  Alcotest.(check bool) "some on-heap" true
+    (List.mem (Some Block_manager.On_heap) kinds);
+  Alcotest.(check bool) "overflow serialized off-heap" true
+    (List.mem (Some Block_manager.Off_heap) kinds)
+
+let test_bm_get_offheap_deserializes () =
+  let ctx = sd_ctx ~heap_bytes:(Size.mib 12) () in
+  let rdd =
+    Rdd.create ctx ~partitions:8 ~elems_per_partition:512 ~elem_size:1024 ()
+  in
+  let rt = Context.runtime ctx in
+  let bm = Block_manager.create ctx in
+  for pidx = 0 to rdd.Rdd.partitions - 1 do
+    let group = Rdd.build_partition ctx rdd in
+    Block_manager.put bm ~rdd_id:rdd.Rdd.id ~pidx group;
+    Runtime.remove_root rt group
+  done;
+  (* Find an off-heap partition and read it: a fresh group materialises. *)
+  let offheap_pidx = ref (-1) in
+  for pidx = 0 to rdd.Rdd.partitions - 1 do
+    if
+      Block_manager.entry_kind bm ~rdd_id:rdd.Rdd.id ~pidx
+      = Some Block_manager.Off_heap
+    then offheap_pidx := pidx
+  done;
+  let sd_before = (Clock.breakdown (Runtime.clock rt)).Clock.serde_io_ns in
+  let seen = ref 0 in
+  Block_manager.get bm ~rdd_id:rdd.Rdd.id ~pidx:!offheap_pidx
+    ~consume:(fun group -> seen := Obj_.ref_count group);
+  Alcotest.(check int) "rebuilt with all elements" 512 !seen;
+  Alcotest.(check bool) "paid S/D + I/O" true
+    ((Clock.breakdown (Runtime.clock rt)).Clock.serde_io_ns > sd_before)
+
+let test_bm_unpersist_releases () =
+  let ctx = th_ctx () in
+  let rdd =
+    Rdd.create ctx ~partitions:1 ~elems_per_partition:16 ~elem_size:512 ()
+  in
+  let bm, group = cache_one ctx rdd in
+  let rt = Context.runtime ctx in
+  Runtime.major_gc rt;
+  Block_manager.unpersist bm ~rdd_id:rdd.Rdd.id;
+  Runtime.major_gc rt;
+  Alcotest.(check bool) "H2 region reclaimed after unpersist" true
+    (Obj_.is_freed group);
+  Alcotest.(check int) "no blocks left" 0 (Block_manager.cached_blocks bm)
+
+let test_bm_double_put_rejected () =
+  let ctx = th_ctx () in
+  let rdd =
+    Rdd.create ctx ~partitions:1 ~elems_per_partition:4 ~elem_size:128 ()
+  in
+  let bm, _ = cache_one ctx rdd in
+  let rt = Context.runtime ctx in
+  let group = Rdd.build_partition ctx rdd in
+  Alcotest.check_raises "duplicate block"
+    (Invalid_argument "Block_manager.put: block already cached") (fun () ->
+      Block_manager.put bm ~rdd_id:rdd.Rdd.id ~pidx:0 group);
+  Runtime.remove_root rt group
+
+let test_stage_releases_buffers () =
+  let ctx = th_ctx () in
+  let rt = Context.runtime ctx in
+  let roots_before = Th_objmodel.Roots.count (Runtime.roots rt) in
+  Stage.run ctx ~shuffle_bytes:(Size.mib 1) ~transient_bytes:(Size.kib 256)
+    ~work:(fun () -> ())
+    ();
+  Alcotest.(check int) "no pinned buffers leak" roots_before
+    (Th_objmodel.Roots.count (Runtime.roots rt))
+
+let test_stage_charges_shuffle_serde () =
+  let ctx = th_ctx () in
+  let rt = Context.runtime ctx in
+  Stage.run ctx ~shuffle_bytes:(Size.mib 1) ~work:(fun () -> ()) ();
+  Alcotest.(check bool) "shuffle pays S/D" true
+    ((Clock.breakdown (Runtime.clock rt)).Clock.serde_io_ns > 0.0)
+
+let suite =
+  [
+    Alcotest.test_case "rdd shapes a dataset" `Quick test_rdd_shapes_dataset;
+    Alcotest.test_case "partition pinned while building" `Quick
+      test_build_partition_pinned;
+    Alcotest.test_case "columnar layout builds batch arrays" `Quick
+      test_columnar_layout_has_batches;
+    Alcotest.test_case "TeraHeap mode tags and advises" `Quick
+      test_bm_teraheap_tags_and_advises;
+    Alcotest.test_case "Spark-SD spills over the storage budget" `Quick
+      test_bm_sd_spills_over_budget;
+    Alcotest.test_case "off-heap get deserializes" `Quick
+      test_bm_get_offheap_deserializes;
+    Alcotest.test_case "unpersist releases H2 regions" `Quick
+      test_bm_unpersist_releases;
+    Alcotest.test_case "double put rejected" `Quick test_bm_double_put_rejected;
+    Alcotest.test_case "stage unpins its buffers" `Quick
+      test_stage_releases_buffers;
+    Alcotest.test_case "stage charges shuffle S/D" `Quick
+      test_stage_charges_shuffle_serde;
+  ]
