@@ -12,6 +12,11 @@ module Gc_stats = Th_psgc.Gc_stats
 module Runtime = Th_psgc.Runtime
 module H2 = Th_core.H2
 
+let outcome_name = function
+  | Run_result.Completed -> "completed"
+  | Run_result.Degraded -> "degraded"
+  | Run_result.Oom -> "oom"
+
 let print_result (r : Run_result.t) =
   (match r.Run_result.breakdown with
   | None ->
@@ -22,6 +27,9 @@ let print_result (r : Run_result.t) =
       | None -> ())
   | Some b ->
       Format.printf "%s: %a@." r.Run_result.label Clock.pp_breakdown b);
+  (match r.Run_result.outcome with
+  | Run_result.Completed -> ()
+  | outcome -> Printf.printf "  outcome: %s\n" (outcome_name outcome));
   Printf.printf "  minor GCs: %d   major GCs: %d\n" r.Run_result.minor_gcs
     r.Run_result.major_gcs;
   (match r.Run_result.h2_stats with
@@ -34,11 +42,14 @@ let print_result (r : Run_result.t) =
         s.H2.regions_allocated s.H2.regions_reclaimed s.H2.regions_active
         s.H2.dep_nodes
   | None -> ());
-  match r.Run_result.h2_device with
+  (match r.Run_result.h2_device with
   | Some d -> Format.printf "  H2 device: %a@." Th_device.Device.pp_stats d
+  | None -> ());
+  match r.Run_result.faults with
+  | Some fs -> Th_metrics.Report.print_fault_summary ~label:"run" fs
   | None -> ()
 
-let run_spark name system threads dram_override =
+let run_spark name system threads dram_override faults =
   let p = Spark_profiles.by_name name in
   let costs = Costs.with_mutator_threads Setups.default_costs threads in
   let dram =
@@ -48,54 +59,63 @@ let run_spark name system threads dram_override =
   let heap_gb = dram - Spark_profiles.dr2_gb in
   let setup, label =
     match system with
-    | "sd" -> (Setups.spark_sd ~costs ~heap_gb (), "Spark-SD")
+    | "sd" -> (Setups.spark_sd ~costs ?faults ~heap_gb (), "Spark-SD")
     | "sd-nvm" ->
         ( Setups.spark_sd ~device_kind:Th_device.Device.Nvm_app_direct ~costs
-            ~heap_gb (),
+            ?faults ~heap_gb (),
           "Spark-SD/NVM" )
     | "mo" ->
         ( Setups.spark_mo ~costs ~heap_gb:p.Spark_profiles.mo_heap_gb
             ~dram_gb:dram (),
           "Spark-MO" )
     | "ps11" ->
-        (Setups.spark_sd ~collector:Th_psgc.Rt.Ps_jdk11 ~costs ~heap_gb (), "PS/JDK11")
+        ( Setups.spark_sd ~collector:Th_psgc.Rt.Ps_jdk11 ~costs ?faults
+            ~heap_gb (),
+          "PS/JDK11" )
     | "g1" ->
-        (Setups.spark_sd ~collector:Th_psgc.Rt.G1 ~costs ~heap_gb (), "G1/JDK17")
+        ( Setups.spark_sd ~collector:Th_psgc.Rt.G1 ~costs ?faults ~heap_gb (),
+          "G1/JDK17" )
     | "panthera" -> (Setups.spark_panthera ~costs ~heap_gb:64 (), "Panthera")
     | "th" ->
         ( Setups.spark_teraheap ~costs ~huge_pages:p.Spark_profiles.sequential
-            ~h1_gb:heap_gb ~dr2_gb:Spark_profiles.dr2_gb (),
+            ?faults ~h1_gb:heap_gb ~dr2_gb:Spark_profiles.dr2_gb (),
           "TeraHeap" )
     | "th-nvm" ->
         ( Setups.spark_teraheap ~device_kind:Th_device.Device.Nvm_app_direct
-            ~costs ~huge_pages:p.Spark_profiles.sequential ~h1_gb:heap_gb
-            ~dr2_gb:Spark_profiles.dr2_gb (),
+            ~costs ~huge_pages:p.Spark_profiles.sequential ?faults
+            ~h1_gb:heap_gb ~dr2_gb:Spark_profiles.dr2_gb (),
           "TeraHeap/NVM" )
     | other -> failwith ("unknown spark system: " ^ other)
   in
   let label = Printf.sprintf "%s %s (DRAM %dGB)" p.Spark_profiles.name label dram in
-  print_result (Spark_driver.run ~label setup.Setups.ctx p)
+  print_result
+    (Spark_driver.run ~label ?h2_device:setup.Setups.h2_device
+       ?faults:setup.Setups.faults setup.Setups.ctx p)
 
-let run_giraph name system threads =
+let run_giraph name system threads faults =
   let p = Giraph_profiles.by_name name in
   let costs = Costs.with_mutator_threads Setups.default_costs threads in
   let result =
     match system with
     | "ooc" ->
         let s =
-          Setups.giraph_ooc ~costs ~heap_gb:p.Giraph_profiles.ooc_heap_gb ()
+          Setups.giraph_ooc ~costs ?faults
+            ~heap_gb:p.Giraph_profiles.ooc_heap_gb ()
         in
         Giraph_driver.run
           ~label:(p.Giraph_profiles.name ^ " Giraph-OOC")
-          s.Setups.rt ~mode:s.Setups.mode ?ooc_device:s.Setups.ooc_device p
+          s.Setups.rt ~mode:s.Setups.mode ?ooc_device:s.Setups.ooc_device
+          ?faults:s.Setups.g_faults p
     | "th" ->
         let s =
-          Setups.giraph_teraheap ~costs ~h1_gb:p.Giraph_profiles.th_h1_gb
+          Setups.giraph_teraheap ~costs ?faults
+            ~h1_gb:p.Giraph_profiles.th_h1_gb
             ~dr2_gb:p.Giraph_profiles.th_dr2_gb ()
         in
         Giraph_driver.run
           ~label:(p.Giraph_profiles.name ^ " TeraHeap")
-          s.Setups.rt ~mode:s.Setups.mode p
+          s.Setups.rt ~mode:s.Setups.mode ?h2_device:s.Setups.g_h2_device
+          ?faults:s.Setups.g_faults p
     | other -> failwith ("unknown giraph system: " ^ other)
   in
   print_result result
@@ -135,15 +155,34 @@ let dram =
         ~doc:"total DRAM (paper GB); 0 uses the workload's largest Figure-6 \
               configuration (Spark only)")
 
+let fault_spec_conv =
+  let parse s =
+    match Fault.parse s with
+    | Result.Ok plan -> Ok plan
+    | Result.Error msg -> Error (`Msg msg)
+  in
+  Arg.conv ~docv:"SPEC" (parse, fun ppf p -> Format.fprintf ppf "%s" (Fault.to_string p))
+
+let faults =
+  Arg.(
+    value
+    & opt (some fault_spec_conv) None
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:"Fault-injection plan for the storage devices: 'default', \
+              'harsh', or comma-separated key=value pairs (seed, read_err, \
+              write_err, spike, spike_factor, spike_us, stall, stall_us, \
+              full, full_us), e.g. 'default,seed=7'. Same seed, same \
+              injected fault sequence.")
+
 let cmd =
   let doc = "Run one big-data workload on the TeraHeap simulator" in
   Cmd.v
     (Cmd.info "teraheap_sim" ~doc)
     Term.(
-      const (fun fw wl sys thr dram ->
+      const (fun fw wl sys thr dram faults ->
           match fw with
-          | `Spark -> run_spark wl sys thr dram
-          | `Giraph -> run_giraph wl sys thr)
-      $ framework $ workload $ system $ threads $ dram)
+          | `Spark -> run_spark wl sys thr dram faults
+          | `Giraph -> run_giraph wl sys thr faults)
+      $ framework $ workload $ system $ threads $ dram $ faults)
 
 let () = exit (Cmd.eval cmd)

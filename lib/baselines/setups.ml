@@ -13,6 +13,7 @@ type spark = {
   clock : Clock.t;
   h2_device : Device.t option;
   offheap_device : Device.t option;
+  faults : Fault.t option;
 }
 
 type giraph = {
@@ -21,9 +22,14 @@ type giraph = {
   mode : Engine.mode;
   ooc_device : Device.t option;
   g_h2_device : Device.t option;
+  g_faults : Fault.t option;
 }
 
 let default_costs = Costs.default
+
+(* One injector per setup: all of the setup's devices share it, so its
+   counters aggregate the whole run's faults and recoveries. *)
+let make_faults = Option.map Fault.create
 
 (* H2 is provisioned generously: the paper maps it over a 1 TB file. *)
 let default_h2_capacity_gb = 1024
@@ -40,17 +46,18 @@ let make_h2 ?(h2_config = H2.default_config) ?(huge_pages = false) ~clock
   H2.create ~config ~clock ~costs ~device ~dr2_bytes ()
 
 let spark_sd ?(device_kind = Device.Nvme_ssd) ?(collector = Rt.Ps)
-    ?(costs = default_costs) ~heap_gb () =
+    ?(costs = default_costs) ?faults ~heap_gb () =
   let clock = Clock.create () in
   let heap = H1_heap.create ~heap_bytes:(Size.paper_gb heap_gb) () in
   let rt = Runtime.create ~collector ~clock ~costs ~heap () in
-  let device = Device.create clock device_kind in
+  let faults = make_faults faults in
+  let device = Device.create ?faults clock device_kind in
   let ctx =
     Context.create ~offheap_device:device
       ~mode:(Context.Memory_and_ser_offheap { onheap_fraction = 0.5 })
       rt
   in
-  { ctx; clock; h2_device = None; offheap_device = Some device }
+  { ctx; clock; h2_device = None; offheap_device = Some device; faults }
 
 let spark_mo ?(costs = default_costs) ~heap_gb ~dram_gb () =
   let clock = Clock.create () in
@@ -61,20 +68,21 @@ let spark_mo ?(costs = default_costs) ~heap_gb ~dram_gb () =
   in
   let rt = Runtime.create ~profile ~clock ~costs ~heap () in
   let ctx = Context.create ~mode:Context.Memory_only rt in
-  { ctx; clock; h2_device = None; offheap_device = None }
+  { ctx; clock; h2_device = None; offheap_device = None; faults = None }
 
 let spark_teraheap ?(device_kind = Device.Nvme_ssd) ?(collector = Rt.Ps)
-    ?(costs = default_costs) ?h2_config ?huge_pages ~h1_gb ~dr2_gb () =
+    ?(costs = default_costs) ?h2_config ?huge_pages ?faults ~h1_gb ~dr2_gb () =
   let clock = Clock.create () in
   let heap = H1_heap.create ~heap_bytes:(Size.paper_gb h1_gb) () in
-  let device = Device.create clock device_kind in
+  let faults = make_faults faults in
+  let device = Device.create ?faults clock device_kind in
   let h2 =
     make_h2 ?h2_config ?huge_pages ~clock ~costs ~device
       ~dr2_bytes:(Size.paper_gb dr2_gb) ()
   in
   let rt = Runtime.create ~collector ~h2 ~clock ~costs ~heap () in
   let ctx = Context.create ~mode:Context.Teraheap_cache rt in
-  { ctx; clock; h2_device = Some device; offheap_device = None }
+  { ctx; clock; h2_device = Some device; offheap_device = None; faults }
 
 let spark_panthera ?(costs = default_costs) ~heap_gb () =
   let clock = Clock.create () in
@@ -87,25 +95,30 @@ let spark_panthera ?(costs = default_costs) ~heap_gb () =
     Runtime.create ~profile:Cost_profile.panthera ~clock ~costs ~heap ()
   in
   let ctx = Context.create ~mode:Context.Memory_only rt in
-  { ctx; clock; h2_device = None; offheap_device = None }
+  { ctx; clock; h2_device = None; offheap_device = None; faults = None }
 
-let giraph_ooc ?(costs = default_costs) ?(threshold = 0.75) ~heap_gb () =
+let giraph_ooc ?(costs = default_costs) ?(threshold = 0.75) ?faults ~heap_gb
+    () =
   let clock = Clock.create () in
   let heap = H1_heap.create ~heap_bytes:(Size.paper_gb heap_gb) () in
   let rt = Runtime.create ~clock ~costs ~heap () in
-  let device = Device.create clock Device.Nvme_ssd in
+  let faults = make_faults faults in
+  let device = Device.create ?faults clock Device.Nvme_ssd in
   {
     rt;
     g_clock = clock;
     mode = Engine.Out_of_core { threshold };
     ooc_device = Some device;
     g_h2_device = None;
+    g_faults = faults;
   }
 
-let giraph_teraheap ?(costs = default_costs) ?h2_config ~h1_gb ~dr2_gb () =
+let giraph_teraheap ?(costs = default_costs) ?h2_config ?faults ~h1_gb
+    ~dr2_gb () =
   let clock = Clock.create () in
   let heap = H1_heap.create ~heap_bytes:(Size.paper_gb h1_gb) () in
-  let device = Device.create clock Device.Nvme_ssd in
+  let faults = make_faults faults in
+  let device = Device.create ?faults clock Device.Nvme_ssd in
   let h2 =
     make_h2 ?h2_config ~clock ~costs ~device ~dr2_bytes:(Size.paper_gb dr2_gb)
       ()
@@ -117,4 +130,5 @@ let giraph_teraheap ?(costs = default_costs) ?h2_config ~h1_gb ~dr2_gb () =
     mode = Engine.Teraheap;
     ooc_device = None;
     g_h2_device = Some device;
+    g_faults = faults;
   }

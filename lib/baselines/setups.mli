@@ -10,6 +10,9 @@ type spark = {
   clock : Th_sim.Clock.t;
   h2_device : Th_device.Device.t option;
   offheap_device : Th_device.Device.t option;
+  faults : Th_sim.Fault.t option;
+      (** the injector shared by the setup's devices, when fault
+          injection was requested *)
 }
 
 type giraph = {
@@ -18,9 +21,17 @@ type giraph = {
   mode : Th_giraph.Engine.mode;
   ooc_device : Th_device.Device.t option;
   g_h2_device : Th_device.Device.t option;
+  g_faults : Th_sim.Fault.t option;
 }
 
 val default_costs : Th_sim.Costs.t
+
+(** Constructors that take a device accept [?faults], a
+    {!Th_sim.Fault.spec}: the setup then creates one injector, attaches
+    it to its devices, and exposes it in the record so drivers can
+    snapshot its counters into the {!Th_workloads.Run_result}. Setups
+    without a device (Spark-MO, Panthera) have nowhere to inject faults
+    and expose [None]. *)
 
 (** {1 Spark} *)
 
@@ -28,6 +39,7 @@ val spark_sd :
   ?device_kind:Th_device.Device.kind ->
   ?collector:Th_psgc.Rt.collector ->
   ?costs:Th_sim.Costs.t ->
+  ?faults:Th_sim.Fault.spec ->
   heap_gb:int ->
   unit ->
   spark
@@ -48,6 +60,7 @@ val spark_teraheap :
   ?costs:Th_sim.Costs.t ->
   ?h2_config:Th_core.H2.config ->
   ?huge_pages:bool ->
+  ?faults:Th_sim.Fault.spec ->
   h1_gb:int ->
   dr2_gb:int ->
   unit ->
@@ -67,6 +80,7 @@ val spark_panthera : ?costs:Th_sim.Costs.t -> heap_gb:int -> unit -> spark
 val giraph_ooc :
   ?costs:Th_sim.Costs.t ->
   ?threshold:float ->
+  ?faults:Th_sim.Fault.spec ->
   heap_gb:int ->
   unit ->
   giraph
@@ -76,6 +90,7 @@ val giraph_ooc :
 val giraph_teraheap :
   ?costs:Th_sim.Costs.t ->
   ?h2_config:Th_core.H2.config ->
+  ?faults:Th_sim.Fault.spec ->
   h1_gb:int ->
   dr2_gb:int ->
   unit ->

@@ -1,6 +1,7 @@
 open Th_sim
 module Obj_ = Th_objmodel.Heap_object
 module Device = Th_device.Device
+module Io_retry = Th_device.Io_retry
 module Page_cache = Th_device.Page_cache
 
 exception Out_of_h2_space
@@ -52,6 +53,9 @@ type stats = {
   moves_to_h2 : int;
   bytes_moved : int;
   minor_scan_time_ns : float;
+  degraded_moves : int;
+  objects_deferred : int;
+  flush_deferrals : int;
 }
 
 type region = {
@@ -90,6 +94,10 @@ type t = {
   mutable bytes_moved : int;
   mutable minor_scan_ns : float;
       (* simulated time spent scanning H2 cards/objects during minor GC *)
+  (* degraded-mode accounting *)
+  mutable degraded_moves : int;
+  mutable objects_deferred : int;
+  mutable flush_deferrals : int;
   samples : region_sample Vec.t;
 }
 
@@ -142,6 +150,9 @@ let create ~config:cfg ~clock ~costs ~device ~dr2_bytes () =
     moves = 0;
     bytes_moved = 0;
     minor_scan_ns = 0.0;
+    degraded_moves = 0;
+    objects_deferred = 0;
+    flush_deferrals = 0;
     samples = Vec.create ();
   }
 
@@ -181,6 +192,15 @@ let tagged_roots t =
 let forget_tagged_root t o =
   Vec.filter_in_place (fun (x : Obj_.t) -> x != o) t.tagged
 
+(* A degraded compaction left this labelled object in H1. Its original
+   root may itself have moved — and self-cleaned off the tagged list —
+   so the object re-enters the list to drive the retry at the next major
+   GC. [h2_tag_root] would refuse it (the label is already set); the
+   caller guarantees it is not already listed. *)
+let retag_deferred t (o : Obj_.t) =
+  if o.Obj_.label >= 0 && o.Obj_.loc <> Obj_.In_h2 && o.Obj_.loc <> Obj_.Freed
+  then Vec.push t.tagged o
+
 (* ------------------------------------------------------------------ *)
 (* Union-Find over regions (Region_groups mode)                        *)
 
@@ -202,14 +222,34 @@ let uf_union t a b =
 
 let align8 n = (n + 7) land lnot 7
 
+let note_fault_degraded t ~objects =
+  match Device.faults t.device with
+  | Some f -> Fault.note_h2_degraded f ~objects ()
+  | None -> ()
+
+let note_move_degraded t ~objects =
+  t.degraded_moves <- t.degraded_moves + 1;
+  t.objects_deferred <- t.objects_deferred + objects;
+  note_fault_degraded t ~objects
+
 let flush_buffer t (r : region) =
   if r.buffer_fill > 0 then begin
     (* Explicit asynchronous batched write to the device (§3.2), plus the
        DRAM-side copy into the promotion buffer. *)
     Clock.advance t.clock Clock.Major_gc
       (float_of_int r.buffer_fill *. t.costs.Costs.copy_byte_ns);
-    Device.write t.device ~cat:Clock.Major_gc ~random:false r.buffer_fill;
-    r.buffer_fill <- 0
+    match
+      Device.write ~checked:true t.device ~cat:Clock.Major_gc ~random:false
+        r.buffer_fill
+    with
+    | () -> r.buffer_fill <- 0
+    | exception Io_retry.Io_error _ ->
+        (* A transient write failure outlasted the retry budget (e.g. a
+           device-full window): the batch stays staged in DRAM and the
+           flush is retried at the next compaction phase. The objects are
+           already placed, so only the device write is deferred. *)
+        t.flush_deferrals <- t.flush_deferrals + 1;
+        note_fault_degraded t ~objects:0
   end
 
 (* Allocator bucket: one open region per label, or per (label, size
@@ -581,6 +621,9 @@ let stats t =
     moves_to_h2 = t.moves;
     bytes_moved = t.bytes_moved;
     minor_scan_time_ns = t.minor_scan_ns;
+    degraded_moves = t.degraded_moves;
+    objects_deferred = t.objects_deferred;
+    flush_deferrals = t.flush_deferrals;
   }
 
 let metadata_bytes t =

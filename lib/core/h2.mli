@@ -70,6 +70,15 @@ type stats = {
   bytes_moved : int;
   minor_scan_time_ns : float;
       (** cumulative minor-GC time spent scanning H2 cards and objects *)
+  degraded_moves : int;
+      (** compaction phases that hit [Out_of_h2_space] and fell back to
+          leaving the remaining tagged objects in H1 *)
+  objects_deferred : int;
+      (** marked objects left in H1 by those degraded compactions; they
+          are retried at the next major GC *)
+  flush_deferrals : int;
+      (** promotion-buffer flushes whose device write exhausted its fault
+          retries; the batch stays staged and is re-flushed later *)
 }
 
 type t
@@ -111,6 +120,12 @@ val tagged_roots : t -> Th_objmodel.Heap_object.t list
 
 val forget_tagged_root : t -> Th_objmodel.Heap_object.t -> unit
 
+val retag_deferred : t -> Th_objmodel.Heap_object.t -> unit
+(** Put a labelled object a degraded compaction left in H1 back on the
+    tagged list, so the next major GC retries moving it even when its
+    original root has already moved to H2. The caller must ensure the
+    object is not already listed. *)
+
 (** {1 Allocation (major-GC compaction phase)} *)
 
 val alloc : t -> Th_objmodel.Heap_object.t -> label:int -> unit
@@ -122,7 +137,15 @@ val alloc : t -> Th_objmodel.Heap_object.t -> label:int -> unit
 
 val flush_promotion_buffers : t -> unit
 (** Drain all promotion buffers with batched sequential device writes,
-    charged to major-GC time (the compaction phase's device I/O). *)
+    charged to major-GC time (the compaction phase's device I/O). A write
+    that exhausts its fault retries leaves the batch staged in DRAM
+    (counted in [flush_deferrals]) to be retried at the next flush — the
+    placed objects are unaffected. *)
+
+val note_move_degraded : t -> objects:int -> unit
+(** Called by the collector when compaction ran out of H2 space and left
+    [objects] marked objects behind in H1: records the degraded-mode
+    event here and on the device's fault injector, if any. *)
 
 (** {1 Liveness and reclamation (§3.3)} *)
 

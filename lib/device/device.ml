@@ -1,3 +1,5 @@
+module Fault = Th_sim.Fault
+
 type kind = Dram | Nvme_ssd | Nvm_app_direct | Nvm_memory_mode
 
 type params = {
@@ -19,6 +21,8 @@ type stats = {
 type t = {
   params : params;
   clock : Th_sim.Clock.t;
+  faults : Fault.t option;
+  retry : Io_retry.policy;
   mutable bytes_read : int;
   mutable bytes_written : int;
   mutable read_ops : int;
@@ -68,13 +72,15 @@ let params_of_kind = function
         write_bw_gbps = 2.0;
       }
 
-let create ?params clock kind =
+let create ?params ?faults ?(retry = Io_retry.default) clock kind =
   let params =
     match params with Some p -> p | None -> params_of_kind kind
   in
   {
     params;
     clock;
+    faults;
+    retry;
     bytes_read = 0;
     bytes_written = 0;
     read_ops = 0;
@@ -82,6 +88,8 @@ let create ?params clock kind =
   }
 
 let kind t = t.params.kind
+
+let faults t = t.faults
 
 let page_size t = t.params.page_size
 
@@ -113,28 +121,76 @@ let write_cost_ns t ~random bytes =
   end
   else t.params.write_latency_ns +. transfer_ns bytes t.params.write_bw_gbps
 
-let read t ~cat ~random bytes =
+(* Perform one request of pure cost [cost_ns], drawing fault outcomes from
+   the injector. A failed attempt pays one request latency before the
+   error comes back; spike/stall surcharges and timeout waits are recorded
+   as fault penalty so a run satisfies
+   [total = pure costs + backoff + penalty]. Checked operations propagate
+   {!Io_retry.Io_error} after bounded retries; unchecked operations
+   (the kernel mmap path) classify exhaustion as a timeout, wait it out
+   and complete — the mutator never sees EIO. *)
+let perform t ~cat ~checked ~op ~cost_ns =
+  match t.faults with
+  | Some f when Fault.enabled f ->
+      let latency_ns, opname, outcome_of =
+        match op with
+        | `Read -> (t.params.read_latency_ns, "read", Fault.on_read)
+        | `Write -> (t.params.write_latency_ns, "write", Fault.on_write)
+      in
+      let attempt _n =
+        match outcome_of f ~now_ns:(Th_sim.Clock.now_ns t.clock) with
+        | Fault.Ok ->
+            Th_sim.Clock.advance t.clock cat cost_ns;
+            Result.Ok ()
+        | Fault.Spike m ->
+            Th_sim.Clock.advance t.clock cat (cost_ns *. m);
+            Fault.note_penalty f (cost_ns *. (m -. 1.0));
+            Result.Ok ()
+        | Fault.Stall extra ->
+            Th_sim.Clock.advance t.clock cat (cost_ns +. extra);
+            Fault.note_penalty f extra;
+            Result.Ok ()
+        | Fault.Transient_error | Fault.Device_full ->
+            Th_sim.Clock.advance t.clock cat latency_ns;
+            Fault.note_penalty f latency_ns;
+            Result.Error `Transient
+      in
+      let go () =
+        Io_retry.run t.retry ~clock:t.clock ~cat ~faults:f ~op:opname attempt
+      in
+      if checked then go ()
+      else begin
+        try go ()
+        with Io_retry.Io_error _ ->
+          Th_sim.Clock.advance t.clock cat
+            (t.retry.Io_retry.timeout_ns +. cost_ns);
+          Fault.note_penalty f t.retry.Io_retry.timeout_ns
+      end
+  | Some _ | None -> Th_sim.Clock.advance t.clock cat cost_ns
+
+let read ?(checked = false) t ~cat ~random bytes =
   if bytes > 0 then begin
     let charged = if random then round_to_pages t bytes else bytes in
     t.bytes_read <- t.bytes_read + charged;
     t.read_ops <- t.read_ops + 1;
-    Th_sim.Clock.advance t.clock cat (read_cost_ns t ~random bytes)
+    perform t ~cat ~checked ~op:`Read ~cost_ns:(read_cost_ns t ~random bytes)
   end
 
-let read_continuation ?(overlap = 1.0) t ~cat bytes =
+let read_continuation ?(overlap = 1.0) ?(checked = false) t ~cat bytes =
   if bytes > 0 then begin
     t.bytes_read <- t.bytes_read + bytes;
     t.read_ops <- t.read_ops + 1;
-    Th_sim.Clock.advance t.clock cat
-      (overlap *. transfer_ns bytes t.params.read_bw_gbps)
+    perform t ~cat ~checked ~op:`Read
+      ~cost_ns:(overlap *. transfer_ns bytes t.params.read_bw_gbps)
   end
 
-let write t ~cat ~random bytes =
+let write ?(checked = false) t ~cat ~random bytes =
   if bytes > 0 then begin
     let charged = if random then round_to_pages t bytes else bytes in
     t.bytes_written <- t.bytes_written + charged;
     t.write_ops <- t.write_ops + 1;
-    Th_sim.Clock.advance t.clock cat (write_cost_ns t ~random bytes)
+    perform t ~cat ~checked ~op:`Write
+      ~cost_ns:(write_cost_ns t ~random bytes)
   end
 
 let read_modify_write t ~cat bytes =

@@ -5,7 +5,17 @@
     amortise the latency over the stream (modern NVMe queues and OS
     readahead hide per-page latency for sequential access, cf. paper §2 and
     [41]). Byte-addressable devices (DRAM, NVM App-Direct) use their access
-    granularity instead of a 4 KiB page. *)
+    granularity instead of a 4 KiB page.
+
+    A device may carry a {!Th_sim.Fault} injector: each request then draws
+    a fault outcome — transient errors retried with exponential backoff
+    through the {!Io_retry} policy, tail-latency spike episodes, writeback
+    stalls, device-full windows — and every fault-induced wait is charged
+    to the simulated clock. Unchecked operations (the kernel mmap path)
+    never fail: exhausted retries are classified as a timeout, charged,
+    and the request completes. [~checked:true] operations instead raise
+    {!Io_retry.Io_error} after bounded retries, for callers that can
+    recover (lineage recomputation, deferred flushes). *)
 
 type kind =
   | Dram
@@ -35,25 +45,42 @@ type t
 val params_of_kind : kind -> params
 (** Datasheet-derived presets; see DESIGN.md. *)
 
-val create : ?params:params -> Th_sim.Clock.t -> kind -> t
-(** [create clock kind] is a device charging its accesses to [clock]. *)
+val create :
+  ?params:params ->
+  ?faults:Th_sim.Fault.t ->
+  ?retry:Io_retry.policy ->
+  Th_sim.Clock.t ->
+  kind ->
+  t
+(** [create clock kind] is a device charging its accesses to [clock].
+    [faults] attaches a fault injector; [retry] overrides the
+    {!Io_retry.default} policy. *)
 
 val kind : t -> kind
+
+val faults : t -> Th_sim.Fault.t option
+(** The device's fault injector, if any — also the aggregation point for
+    retry/recompute counters recorded by layers above the device. *)
 
 val page_size : t -> int
 
 val read :
+  ?checked:bool ->
   t -> cat:Th_sim.Clock.category -> random:bool -> int -> unit
 (** [read t ~cat ~random bytes] charges one read request of [bytes] bytes.
     [random] requests pay the full per-request latency and round the
     transfer up to page granularity (the paper's I/O amplification);
-    sequential requests are charged at bandwidth. *)
+    sequential requests are charged at bandwidth. With [checked] (default
+    false), exhausted fault retries raise {!Io_retry.Io_error} instead of
+    being absorbed as a charged timeout. *)
 
 val write :
+  ?checked:bool ->
   t -> cat:Th_sim.Clock.category -> random:bool -> int -> unit
 
 val read_continuation :
-  ?overlap:float -> t -> cat:Th_sim.Clock.category -> int -> unit
+  ?overlap:float -> ?checked:bool ->
+  t -> cat:Th_sim.Clock.category -> int -> unit
 (** Continuation of a detected sequential stream (OS readahead): charged
     at pure transfer bandwidth, without the per-request latency.
     [overlap] scales the charge below 1.0 when the transfer proceeds

@@ -1,0 +1,46 @@
+module Clock = Th_sim.Clock
+module Fault = Th_sim.Fault
+
+type policy = {
+  max_retries : int;
+  base_backoff_ns : float;
+  backoff_multiplier : float;
+  max_backoff_ns : float;
+  timeout_ns : float;
+}
+
+let default =
+  {
+    max_retries = 4;
+    base_backoff_ns = 20_000.0;
+    backoff_multiplier = 2.0;
+    max_backoff_ns = 1_000_000.0;
+    timeout_ns = 5_000_000.0;
+  }
+
+let backoff_ns p ~attempt =
+  if attempt <= 0 then 0.0
+  else
+    Float.min p.max_backoff_ns
+      (p.base_backoff_ns *. (p.backoff_multiplier ** float_of_int (attempt - 1)))
+
+exception Io_error of { op : string; attempts : int }
+
+let run policy ~clock ~cat ~faults ~op attempt =
+  let rec go n =
+    match attempt n with
+    | Ok v -> v
+    | Error `Transient ->
+        if n >= policy.max_retries then begin
+          Fault.note_exhausted faults;
+          raise (Io_error { op; attempts = n + 1 })
+        end
+        else begin
+          let wait = backoff_ns policy ~attempt:(n + 1) in
+          Fault.note_retry faults;
+          Fault.note_backoff faults wait;
+          Clock.advance clock cat wait;
+          go (n + 1)
+        end
+  in
+  go 0

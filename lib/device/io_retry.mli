@@ -1,0 +1,48 @@
+(** Retry policy for device I/O under fault injection.
+
+    Transient device errors are retried a bounded number of times with
+    exponential backoff; every backoff wait is charged to the simulated
+    {!Th_sim.Clock} under the category of the failed operation, so retries
+    show up in the §6 execution-time breakdowns exactly where a real
+    system would lose the time. When the attempt budget is exhausted the
+    loop raises {!Io_error}: checked callers recover by recomputation or
+    deferral, while the device's unchecked (kernel mmap-path) operations
+    catch it, classify the episode as a timeout, charge the timeout wait
+    and complete — the kernel page-fault path never returns EIO to the
+    mutator in this model, it waits. *)
+
+type policy = {
+  max_retries : int;  (** attempts beyond the first *)
+  base_backoff_ns : float;  (** backoff before the first retry *)
+  backoff_multiplier : float;  (** exponential growth per retry *)
+  max_backoff_ns : float;  (** backoff cap *)
+  timeout_ns : float;
+      (** wait charged when an unchecked operation exhausts its attempts
+          and the episode is classified as a timeout rather than an
+          error *)
+}
+
+val default : policy
+(** 4 retries, 20 us base backoff doubling to a 1 ms cap, 5 ms timeout. *)
+
+val backoff_ns : policy -> attempt:int -> float
+(** Backoff charged before retry number [attempt] (1-based), capped at
+    [max_backoff_ns]. *)
+
+exception Io_error of { op : string; attempts : int }
+(** Raised when every attempt of a retry loop failed. *)
+
+val run :
+  policy ->
+  clock:Th_sim.Clock.t ->
+  cat:Th_sim.Clock.category ->
+  faults:Th_sim.Fault.t ->
+  op:string ->
+  (int -> ('a, [ `Transient ]) result) ->
+  'a
+(** [run policy ~clock ~cat ~faults ~op attempt] calls [attempt n] with
+    n = 0, 1, ... until it succeeds, for at most [1 + max_retries]
+    attempts. Each failure charges exponential backoff to [clock] under
+    [cat] and records the retry and its backoff in [faults]; exhaustion
+    raises {!Io_error}. The [attempt] callback charges its own device
+    time. *)

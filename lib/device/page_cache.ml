@@ -47,6 +47,8 @@ let create ?page_size ~capacity_bytes clock device =
 
 let page_size t = t.page_size
 
+let device t = t.device
+
 let capacity_pages t = t.capacity
 
 (* Doubly-linked LRU list maintenance. *)
@@ -95,7 +97,7 @@ let insert t ~cat page ~dirty =
    accounted as mutator compute, so only a small residual is charged. *)
 let hit_cost_ns _t = 10.0
 
-let access t ~cat ~write ~offset ~len =
+let access ?(checked = false) t ~cat ~write ~offset ~len =
   if len > 0 then begin
     let first = offset / t.page_size in
     let last = (offset + len - 1) / t.page_size in
@@ -115,8 +117,8 @@ let access t ~cat ~write ~offset ~len =
           let overlap =
             match cat with Th_sim.Clock.Other -> 0.35 | _ -> 1.0
           in
-          Device.read_continuation t.device ~cat ~overlap bytes
-        else Device.read t.device ~cat ~random:(!miss_run = 1) bytes;
+          Device.read_continuation t.device ~cat ~overlap ~checked bytes
+        else Device.read t.device ~cat ~random:(!miss_run = 1) ~checked bytes;
         t.last_miss_page <- !run_start + !miss_run - 1;
         miss_run := 0
       end

@@ -23,13 +23,19 @@ val create :
 
 val page_size : t -> int
 
+val device : t -> Device.t
+
 val capacity_pages : t -> int
 
 val access :
+  ?checked:bool ->
   t -> cat:Th_sim.Clock.category -> write:bool -> offset:int -> len:int -> unit
 (** [access t ~cat ~write ~offset ~len] touches the byte range, faulting
     missing pages and charging the clock. A whole-page-aligned write skips
-    the fetch (write-allocate without read). *)
+    the fetch (write-allocate without read). With [checked] (default
+    false), a miss whose device read exhausts its fault retries raises
+    {!Io_retry.Io_error}; callers recover by recomputing the lost data.
+    Unchecked accesses never fail (the kernel fault path waits instead). *)
 
 val invalidate_range : t -> offset:int -> len:int -> unit
 (** Drop pages without writeback; used when the backing region is freed

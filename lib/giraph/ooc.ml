@@ -123,6 +123,11 @@ let enforce_budget_list t candidates ~max_resident =
 let enforce_budget t (g : Graph.t) ~max_resident =
   enforce_budget_list t (Array.to_list g.Graph.partitions) ~max_resident
 
+(* Re-reading a partition's edges from the original input split (the
+   recovery path when the off-heap copy is unreadable) costs compute
+   proportional to the edge payload: parse and partition again. *)
+let reread_compute_factor = 3.0
+
 let ensure_resident t (g : Graph.t) (p : Graph.partition) =
   if p.Graph.offloaded_edge_bytes > 0 then begin
     let offset =
@@ -130,8 +135,24 @@ let ensure_resident t (g : Graph.t) (p : Graph.partition) =
       | Some off -> off
       | None -> 0
     in
-    Page_cache.access t.cache ~cat:Clock.Serde_io ~write:false ~offset
-      ~len:p.Graph.offloaded_edge_bytes;
+    (match
+       Page_cache.access t.cache ~checked:true ~cat:Clock.Serde_io
+         ~write:false ~offset ~len:p.Graph.offloaded_edge_bytes
+     with
+    | () -> ()
+    | exception Th_device.Io_retry.Io_error _ ->
+        (* The off-heap copy stayed unreadable past the retry budget:
+           rebuild the partition from the input graph instead of failing
+           the superstep. The allocation loop below re-creates the edge
+           arrays either way. *)
+        (match Th_device.Device.faults (Page_cache.device t.cache) with
+        | Some f -> Th_sim.Fault.note_recompute f
+        | None -> ());
+        Runtime.compute t.rt
+          ~bytes:
+            (int_of_float
+               (reread_compute_factor
+               *. float_of_int p.Graph.offloaded_edge_bytes)));
     Array.iter
       (fun (v : Graph.vertex) ->
         let size = (v.Graph.degree * g.Graph.edge_bytes) + 32 in

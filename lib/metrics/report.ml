@@ -1,4 +1,5 @@
 open Th_sim
+module Fault = Th_sim.Fault
 
 type row = { label : string; breakdown : Clock.breakdown option }
 
@@ -78,6 +79,22 @@ let print_series ~title ~header rows =
   in
   print_row header;
   List.iter print_row rows
+
+let print_fault_summary ~label (fs : Fault.stats) =
+  Printf.printf "  faults[%s]: %d injected (%dr/%dw err, %d spiked, %d stalls, %d enospc)\n"
+    label
+    (Fault.faults_injected fs)
+    fs.Fault.read_errors fs.Fault.write_errors fs.Fault.spiked_ops
+    fs.Fault.stalls fs.Fault.enospc_rejections;
+  Printf.printf
+    "    recovery: %d retries (%.3f ms backoff, %.3f ms penalty), %d exhausted, %d recomputes\n"
+    fs.Fault.retries
+    (fs.Fault.backoff_ns /. 1e6)
+    (fs.Fault.penalty_ns /. 1e6)
+    fs.Fault.exhausted_retries fs.Fault.recomputes;
+  if fs.Fault.h2_degraded_events > 0 then
+    Printf.printf "    h2 degraded mode: %d events, %d objects left in H1\n"
+      fs.Fault.h2_degraded_events fs.Fault.h2_objects_deferred
 
 let speedup ~baseline b =
   let tb = Clock.total_ns baseline and t = Clock.total_ns b in

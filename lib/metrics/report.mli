@@ -27,6 +27,11 @@ val first_total : row list -> float option
 val print_series : title:string -> header:string list -> string list list -> unit
 (** Generic aligned table for non-breakdown figures. *)
 
+val print_fault_summary : label:string -> Th_sim.Fault.stats -> unit
+(** Print a run's fault-injection and recovery counters: injected faults
+    by kind, retry/backoff totals, exhausted retries, recomputations and
+    H2 degraded-mode events. *)
+
 val speedup : baseline:Th_sim.Clock.breakdown -> Th_sim.Clock.breakdown -> float
 (** [speedup ~baseline b] is the fractional improvement of [b] over
     [baseline]: [(t_base - t) / t_base]. *)

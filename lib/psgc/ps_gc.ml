@@ -220,7 +220,9 @@ let major_gc (rt : Rt.t) =
         (* Forward reference (H1 to H2): fence, set the region live bit. *)
         (match rt.Rt.h2 with
         | Some h2 -> H2.mark_live_from_h1 h2 o
-        | None -> assert false)
+        | None ->
+            Rt.invalid_heap_state ~object_id:o.Obj_.id
+              ~phase:"major marking: In_h2 object without an H2 heap")
     | Obj_.Freed -> ()
     | Obj_.Eden | Obj_.Survivor | Obj_.Old ->
         if o.Obj_.mark <> epoch then begin
@@ -354,16 +356,50 @@ let major_gc (rt : Rt.t) =
   (* --- Phase 2: precompaction -------------------------------------- *)
   (* Place move candidates in H2 regions keyed by label, then assign
      sliding-compaction addresses to the H1 survivors. *)
+  (* Graceful degradation: running out of H2 space mid-compaction no
+     longer aborts the run. The remaining candidates stay in H1 — their
+     location and mark are untouched, so the normal compaction paths
+     below keep them — and, since a tagged root self-cleans only once
+     moved, the whole group is retried at the next major GC. *)
   let prev_locs = Vec.create () in
+  let moved = Vec.create () in
+  let deferred_objs = Vec.create () in
+  let h2_full = ref false in
   Vec.iter
     (fun (o : Obj_.t) ->
-      Vec.push prev_locs (o, o.Obj_.loc, Obj_.total_size o);
       match rt.Rt.h2 with
+      | None ->
+          Rt.invalid_heap_state ~object_id:o.Obj_.id
+            ~phase:"precompaction: move candidate without an H2 heap"
       | Some h2 ->
-          charge_major rt (costs.Costs.mark_obj_ns *. 0.5);
-          H2.alloc h2 o ~label:o.Obj_.label
-      | None -> assert false)
+          if !h2_full then Vec.push deferred_objs o
+          else begin
+            charge_major rt (costs.Costs.mark_obj_ns *. 0.5);
+            let loc = o.Obj_.loc and bytes = Obj_.total_size o in
+            match H2.alloc h2 o ~label:o.Obj_.label with
+            | () ->
+                Vec.push prev_locs (o, loc, bytes);
+                Vec.push moved o
+            | exception H2.Out_of_h2_space ->
+                h2_full := true;
+                Vec.push deferred_objs o
+          end)
     move_list;
+  (match (rt.Rt.h2, !h2_full) with
+  | Some h2, true ->
+      H2.note_move_degraded h2 ~objects:(Vec.length deferred_objs);
+      (* Re-tag the leftovers: their group root may itself have moved
+         (self-cleaning off the tagged list), in which case nothing else
+         would bring them to H2 at the next major GC. *)
+      let listed = Hashtbl.create 64 in
+      List.iter
+        (fun (o : Obj_.t) -> Hashtbl.replace listed o.Obj_.id ())
+        (H2.tagged_roots h2);
+      Vec.iter
+        (fun (o : Obj_.t) ->
+          if not (Hashtbl.mem listed o.Obj_.id) then H2.retag_deferred h2 o)
+        deferred_objs
+  | (Some _ | None), _ -> ());
   let new_top = ref 0 in
   let assign (o : Obj_.t) =
     charge_major rt (costs.Costs.mark_obj_ns *. 0.5);
@@ -419,20 +455,21 @@ let major_gc (rt : Rt.t) =
                   H2.note_backward_ref h2 o
               | Obj_.Freed -> ())
             o)
-        move_list);
+        moved);
   let adjust_ns, t3 = phase_delta t2 in
 
   (* --- Phase 4: compaction ------------------------------------------ *)
   (* Account the H1 space vacated by objects that moved to H2. *)
   Vec.iter
     (fun ((o : Obj_.t), prev_loc, bytes) ->
-      ignore o;
       match prev_loc with
       | Obj_.Eden -> heap.H1_heap.eden_used <- heap.H1_heap.eden_used - bytes
       | Obj_.Survivor ->
           heap.H1_heap.survivor_used <- heap.H1_heap.survivor_used - bytes
       | Obj_.Old -> heap.H1_heap.old_used <- heap.H1_heap.old_used - bytes
-      | Obj_.In_h2 | Obj_.Freed -> assert false)
+      | Obj_.In_h2 | Obj_.Freed ->
+          Rt.invalid_heap_state ~object_id:o.Obj_.id
+            ~phase:"compaction: moved object recorded with a non-H1 origin")
     prev_locs;
   (* Slide live old objects and copy young survivors into the old gen. *)
   let copy_factor = g1_copy_factor rt in

@@ -10,6 +10,15 @@ module H2 = Th_core.H2
 
 exception Out_of_memory of string
 
+(* Raised in place of the old [assert false] dead branches: an object's
+   location contradicts the runtime configuration or collection phase
+   (e.g. an [In_h2] object with no H2 heap attached). Carries enough
+   context to identify the object and the phase that tripped over it. *)
+exception Invalid_heap_state of { object_id : int; phase : string }
+
+let invalid_heap_state ~object_id ~phase =
+  raise (Invalid_heap_state { object_id; phase })
+
 type collector = Ps | Ps_jdk11 | G1
 
 (* Pending move policy decided at the end of the previous major GC. *)

@@ -9,6 +9,8 @@ type t = Rt.t
 
 exception Out_of_memory = Rt.Out_of_memory
 
+exception Invalid_heap_state = Rt.Invalid_heap_state
+
 let create = Rt.create
 
 let clock (t : t) = t.Rt.clock
@@ -104,7 +106,9 @@ let barrier (t : t) (parent : Obj_.t) =
   | Obj_.In_h2 -> (
       match t.Rt.h2 with
       | Some h2 -> H2.mutator_write h2 parent
-      | None -> assert false)
+      | None ->
+          Rt.invalid_heap_state ~object_id:parent.Obj_.id
+            ~phase:"post-write barrier: In_h2 parent without an H2 heap")
   | Obj_.Eden | Obj_.Survivor -> ()
   | Obj_.Freed -> invalid_arg "Runtime.write_ref: store into freed object"
 
@@ -144,7 +148,9 @@ let read_obj (t : t) o =
   mutator_compute t o.Obj_.size;
   match (o.Obj_.loc, t.Rt.h2) with
   | Obj_.In_h2, Some h2 -> H2.mutator_read h2 o
-  | Obj_.In_h2, None -> assert false
+  | Obj_.In_h2, None ->
+      Rt.invalid_heap_state ~object_id:o.Obj_.id
+        ~phase:"read_obj: In_h2 object without an H2 heap"
   | (Obj_.Eden | Obj_.Survivor | Obj_.Old), _ -> ()
   | Obj_.Freed, _ -> invalid_arg "Runtime.read_obj: freed object"
 
@@ -152,7 +158,9 @@ let update_obj (t : t) o =
   mutator_compute t o.Obj_.size;
   match (o.Obj_.loc, t.Rt.h2) with
   | Obj_.In_h2, Some h2 -> H2.mutator_write h2 o
-  | Obj_.In_h2, None -> assert false
+  | Obj_.In_h2, None ->
+      Rt.invalid_heap_state ~object_id:o.Obj_.id
+        ~phase:"update_obj: In_h2 object without an H2 heap"
   | (Obj_.Eden | Obj_.Survivor | Obj_.Old), _ -> ()
   | Obj_.Freed, _ -> invalid_arg "Runtime.update_obj: freed object"
 

@@ -11,6 +11,13 @@ type t = Rt.t
 exception Out_of_memory of string
 (** Alias of {!Rt.Out_of_memory}. *)
 
+exception Invalid_heap_state of { object_id : int; phase : string }
+(** Alias of {!Rt.Invalid_heap_state}: an object's location contradicted
+    the runtime configuration or collection phase (for instance an
+    [In_h2] object reached while no H2 heap is attached). Indicates a
+    simulator bug, not a recoverable condition; the payload names the
+    offending object and the phase that found it. *)
+
 val create :
   ?collector:Rt.collector ->
   ?profile:Cost_profile.t ->

@@ -76,9 +76,10 @@ let serialize rt root =
     elem_sizes = List.map (fun (o : Obj_.t) -> o.Obj_.size) objs;
   }
 
-let deserialize rt s =
-  charge_sd rt ~bytes:s.bytes ~objects:s.objects;
-  alloc_temps rt ~bytes:s.bytes;
+(* Allocate the group's objects back on the heap; shared by the normal
+   deserialization path and by lineage-style recomputation (which charges
+   compute time instead of S/D time). *)
+let materialize rt s =
   match s.elem_sizes with
   | [] -> invalid_arg "Serializer.deserialize: empty group"
   | root_size :: elems ->
@@ -92,6 +93,13 @@ let deserialize rt s =
           Runtime.write_ref rt root o)
         elems;
       root
+
+let deserialize rt s =
+  charge_sd rt ~bytes:s.bytes ~objects:s.objects;
+  alloc_temps rt ~bytes:s.bytes;
+  materialize rt s
+
+let rebuild rt s = materialize rt s
 
 let charge_stream rt ~bytes ~objects =
   charge_sd rt ~bytes ~objects;

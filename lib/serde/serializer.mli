@@ -41,6 +41,14 @@ val deserialize :
     {e pinned} (registered as a GC root); the caller must call
     {!Th_psgc.Runtime.remove_root} when done with the group. *)
 
+val rebuild :
+  Th_psgc.Runtime.t -> serialized -> Th_objmodel.Heap_object.t
+(** Re-materialise the group without charging S/D time: the lineage
+    recomputation path, taken when reading the serialized copy failed
+    past its retry budget. Allocations (and their GC pressure) are the
+    same as {!deserialize}; the caller charges the recomputation's
+    compute cost. Returned pinned, like {!deserialize}. *)
+
 val charge_stream :
   Th_psgc.Runtime.t -> bytes:int -> objects:int -> unit
 (** Charge S/D cost for a stream without materialising objects (used for

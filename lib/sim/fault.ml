@@ -1,0 +1,298 @@
+type spec = {
+  seed : int64;
+  read_error_rate : float;
+  write_error_rate : float;
+  spike_rate : float;
+  spike_factor : float;
+  spike_duration_ns : float;
+  stall_rate : float;
+  stall_ns : float;
+  full_rate : float;
+  full_duration_ns : float;
+}
+
+let zero =
+  {
+    seed = 1L;
+    read_error_rate = 0.0;
+    write_error_rate = 0.0;
+    spike_rate = 0.0;
+    spike_factor = 1.0;
+    spike_duration_ns = 0.0;
+    stall_rate = 0.0;
+    stall_ns = 0.0;
+    full_rate = 0.0;
+    full_duration_ns = 0.0;
+  }
+
+(* Rates are per device operation. A simulated run issues 1e5–1e7 device
+   ops, so 1e-4 yields a steady trickle of transient errors while 1e-6
+   windows stay rare events. Spike episodes model NVMe internal GC /
+   thermal throttling: ~8x latency for a few hundred microseconds. *)
+let default_plan =
+  {
+    zero with
+    read_error_rate = 2e-4;
+    write_error_rate = 2e-4;
+    spike_rate = 5e-5;
+    spike_factor = 8.0;
+    spike_duration_ns = 200_000.0;
+    stall_rate = 1e-4;
+    stall_ns = 50_000.0;
+    full_rate = 2e-6;
+    full_duration_ns = 500_000.0;
+  }
+
+let harsh =
+  {
+    zero with
+    read_error_rate = 2e-3;
+    write_error_rate = 2e-3;
+    spike_rate = 5e-4;
+    spike_factor = 16.0;
+    spike_duration_ns = 500_000.0;
+    stall_rate = 1e-3;
+    stall_ns = 100_000.0;
+    full_rate = 5e-5;
+    full_duration_ns = 2_000_000.0;
+  }
+
+let to_string s =
+  Printf.sprintf
+    "seed=%Ld,read_err=%g,write_err=%g,spike=%g,spike_factor=%g,spike_us=%g,\
+     stall=%g,stall_us=%g,full=%g,full_us=%g"
+    s.seed s.read_error_rate s.write_error_rate s.spike_rate s.spike_factor
+    (s.spike_duration_ns /. 1e3)
+    s.stall_rate
+    (s.stall_ns /. 1e3)
+    s.full_rate
+    (s.full_duration_ns /. 1e3)
+
+let parse str =
+  let apply spec field =
+    match field with
+    | "" -> Result.Ok spec
+    | "none" -> Result.Ok { zero with seed = spec.seed }
+    | "default" -> Result.Ok { default_plan with seed = spec.seed }
+    | "harsh" -> Result.Ok { harsh with seed = spec.seed }
+    | _ -> (
+        match String.index_opt field '=' with
+        | None -> Result.Error (Printf.sprintf "fault spec: missing '=' in %S" field)
+        | Some i -> (
+            let key = String.sub field 0 i in
+            let v = String.sub field (i + 1) (String.length field - i - 1) in
+            let float_v () =
+              match float_of_string_opt v with
+              | Some f when f >= 0.0 -> Result.Ok f
+              | _ ->
+                  Result.Error
+                    (Printf.sprintf "fault spec: bad value %S for %s" v key)
+            in
+            let us_v () = Result.map (fun f -> f *. 1e3) (float_v ()) in
+            match key with
+            | "seed" -> (
+                match Int64.of_string_opt v with
+                | Some s -> Result.Ok { spec with seed = s }
+                | None ->
+                    Result.Error
+                      (Printf.sprintf "fault spec: bad seed %S" v))
+            | "read_err" | "re" ->
+                Result.map (fun f -> { spec with read_error_rate = f }) (float_v ())
+            | "write_err" | "we" ->
+                Result.map (fun f -> { spec with write_error_rate = f }) (float_v ())
+            | "spike" ->
+                Result.map (fun f -> { spec with spike_rate = f }) (float_v ())
+            | "spike_factor" ->
+                Result.map (fun f -> { spec with spike_factor = f }) (float_v ())
+            | "spike_us" ->
+                Result.map (fun f -> { spec with spike_duration_ns = f }) (us_v ())
+            | "stall" ->
+                Result.map (fun f -> { spec with stall_rate = f }) (float_v ())
+            | "stall_us" ->
+                Result.map (fun f -> { spec with stall_ns = f }) (us_v ())
+            | "full" ->
+                Result.map (fun f -> { spec with full_rate = f }) (float_v ())
+            | "full_us" ->
+                Result.map (fun f -> { spec with full_duration_ns = f }) (us_v ())
+            | _ ->
+                Result.Error (Printf.sprintf "fault spec: unknown key %S" key)))
+  in
+  String.split_on_char ',' (String.trim str)
+  |> List.fold_left
+       (fun acc field ->
+         Result.bind acc (fun spec -> apply spec (String.trim field)))
+       (Result.Ok zero)
+
+type outcome =
+  | Ok
+  | Transient_error
+  | Spike of float
+  | Stall of float
+  | Device_full
+
+type stats = {
+  read_errors : int;
+  write_errors : int;
+  spiked_ops : int;
+  stalls : int;
+  enospc_rejections : int;
+  retries : int;
+  backoff_ns : float;
+  penalty_ns : float;
+  exhausted_retries : int;
+  recomputes : int;
+  h2_degraded_events : int;
+  h2_objects_deferred : int;
+}
+
+let zero_stats =
+  {
+    read_errors = 0;
+    write_errors = 0;
+    spiked_ops = 0;
+    stalls = 0;
+    enospc_rejections = 0;
+    retries = 0;
+    backoff_ns = 0.0;
+    penalty_ns = 0.0;
+    exhausted_retries = 0;
+    recomputes = 0;
+    h2_degraded_events = 0;
+    h2_objects_deferred = 0;
+  }
+
+type t = {
+  spec : spec;
+  prng : Prng.t;
+  enabled : bool;
+  (* Episode state: spikes slow every op and device-full windows reject
+     every write until the window's simulated end time passes. *)
+  mutable spike_until_ns : float;
+  mutable full_until_ns : float;
+  mutable s : stats;
+}
+
+let create spec =
+  let enabled =
+    spec.read_error_rate > 0.0
+    || spec.write_error_rate > 0.0
+    || spec.spike_rate > 0.0
+    || spec.stall_rate > 0.0
+    || spec.full_rate > 0.0
+  in
+  {
+    spec;
+    prng = Prng.create spec.seed;
+    enabled;
+    spike_until_ns = neg_infinity;
+    full_until_ns = neg_infinity;
+    s = zero_stats;
+  }
+
+let spec t = t.spec
+
+let enabled t = t.enabled
+
+let in_spike t ~now_ns = now_ns < t.spike_until_ns
+
+let draw t rate = rate > 0.0 && Prng.float t.prng 1.0 < rate
+
+let spike_outcome t =
+  t.s <- { t.s with spiked_ops = t.s.spiked_ops + 1 };
+  Spike t.spec.spike_factor
+
+let on_read t ~now_ns =
+  if not t.enabled then Ok
+  else if draw t t.spec.read_error_rate then begin
+    t.s <- { t.s with read_errors = t.s.read_errors + 1 };
+    Transient_error
+  end
+  else if in_spike t ~now_ns then spike_outcome t
+  else if draw t t.spec.spike_rate then begin
+    t.spike_until_ns <- now_ns +. t.spec.spike_duration_ns;
+    spike_outcome t
+  end
+  else Ok
+
+let on_write t ~now_ns =
+  if not t.enabled then Ok
+  else if now_ns < t.full_until_ns then begin
+    t.s <- { t.s with enospc_rejections = t.s.enospc_rejections + 1 };
+    Device_full
+  end
+  else if draw t t.spec.full_rate then begin
+    t.full_until_ns <- now_ns +. t.spec.full_duration_ns;
+    t.s <- { t.s with enospc_rejections = t.s.enospc_rejections + 1 };
+    Device_full
+  end
+  else if draw t t.spec.write_error_rate then begin
+    t.s <- { t.s with write_errors = t.s.write_errors + 1 };
+    Transient_error
+  end
+  else if draw t t.spec.stall_rate then begin
+    t.s <- { t.s with stalls = t.s.stalls + 1 };
+    Stall t.spec.stall_ns
+  end
+  else if in_spike t ~now_ns then spike_outcome t
+  else if draw t t.spec.spike_rate then begin
+    t.spike_until_ns <- now_ns +. t.spec.spike_duration_ns;
+    spike_outcome t
+  end
+  else Ok
+
+let note_retry t = t.s <- { t.s with retries = t.s.retries + 1 }
+
+let note_backoff t ns = t.s <- { t.s with backoff_ns = t.s.backoff_ns +. ns }
+
+let note_penalty t ns = t.s <- { t.s with penalty_ns = t.s.penalty_ns +. ns }
+
+let note_exhausted t =
+  t.s <- { t.s with exhausted_retries = t.s.exhausted_retries + 1 }
+
+let note_recompute t = t.s <- { t.s with recomputes = t.s.recomputes + 1 }
+
+let note_h2_degraded t ?(objects = 0) () =
+  t.s <-
+    {
+      t.s with
+      h2_degraded_events = t.s.h2_degraded_events + 1;
+      h2_objects_deferred = t.s.h2_objects_deferred + objects;
+    }
+
+let stats t = t.s
+
+let add_stats a b =
+  {
+    read_errors = a.read_errors + b.read_errors;
+    write_errors = a.write_errors + b.write_errors;
+    spiked_ops = a.spiked_ops + b.spiked_ops;
+    stalls = a.stalls + b.stalls;
+    enospc_rejections = a.enospc_rejections + b.enospc_rejections;
+    retries = a.retries + b.retries;
+    backoff_ns = a.backoff_ns +. b.backoff_ns;
+    penalty_ns = a.penalty_ns +. b.penalty_ns;
+    exhausted_retries = a.exhausted_retries + b.exhausted_retries;
+    recomputes = a.recomputes + b.recomputes;
+    h2_degraded_events = a.h2_degraded_events + b.h2_degraded_events;
+    h2_objects_deferred = a.h2_objects_deferred + b.h2_objects_deferred;
+  }
+
+let faults_injected s =
+  s.read_errors + s.write_errors + s.spiked_ops + s.stalls
+  + s.enospc_rejections
+
+let degraded s =
+  faults_injected s > 0
+  || s.exhausted_retries > 0
+  || s.recomputes > 0
+  || s.h2_degraded_events > 0
+
+let pp_stats f s =
+  Format.fprintf f
+    "faults injected %d (read err %d, write err %d, spiked %d, stalls %d, \
+     enospc %d) | retries %d, backoff %.3fms, penalty %.3fms | exhausted %d, \
+     recomputes %d | H2 degraded events %d (%d objects deferred)"
+    (faults_injected s) s.read_errors s.write_errors s.spiked_ops s.stalls
+    s.enospc_rejections s.retries (s.backoff_ns /. 1e6) (s.penalty_ns /. 1e6)
+    s.exhausted_retries s.recomputes s.h2_degraded_events
+    s.h2_objects_deferred

@@ -1,0 +1,132 @@
+(** Deterministic fault injection for the simulated storage stack.
+
+    Real block devices exhibit transient read/write errors, tail-latency
+    spikes, writeback stalls and short device-full (ENOSPC) windows; the
+    paper's whole argument rests on H2 living on such imperfect storage
+    (§2, §7.2). A {!spec} describes a fault plan (per-operation rates plus
+    episode durations), and a {!t} draws from a dedicated splitmix64 PRNG
+    so equal seeds inject identical fault sequences: a run under a fault
+    plan is exactly as reproducible as one without.
+
+    The injector also aggregates every fault-related counter of a run —
+    injected faults, retries, backoff and penalty time, degraded-mode
+    events — so drivers can report them and classify the run outcome. *)
+
+type spec = {
+  seed : int64;
+  read_error_rate : float;  (** transient-error probability per read op *)
+  write_error_rate : float;  (** transient-error probability per write op *)
+  spike_rate : float;
+      (** probability per op of opening a tail-latency spike episode *)
+  spike_factor : float;  (** latency/cost multiplier during an episode *)
+  spike_duration_ns : float;  (** simulated length of a spike episode *)
+  stall_rate : float;  (** writeback-stall probability per write op *)
+  stall_ns : float;  (** extra charge of one writeback stall *)
+  full_rate : float;
+      (** probability per write op of opening a device-full window *)
+  full_duration_ns : float;  (** simulated length of a device-full window *)
+}
+
+val zero : spec
+(** All rates zero: a plan that never injects anything. *)
+
+val default_plan : spec
+(** A moderate plan: occasional transient errors and latency spikes, rare
+    stalls and device-full windows. *)
+
+val harsh : spec
+(** An aggressive plan for stress experiments. *)
+
+val parse : string -> (spec, string) result
+(** [parse s] reads a fault plan from a comma-separated [key=value] spec,
+    e.g. ["seed=7,read_err=1e-4,write_err=1e-4,spike=5e-5,spike_factor=8"].
+    Keys: [seed], [read_err]/[re], [write_err]/[we], [spike],
+    [spike_factor], [spike_us], [stall], [stall_us], [full], [full_us]
+    (durations in simulated microseconds). The bare words [none],
+    [default] and [harsh] name the preset plans; preset names may be
+    followed by overrides ("default,seed=9"). *)
+
+val to_string : spec -> string
+(** Canonical [key=value] rendering of a plan (parseable by {!parse}). *)
+
+type outcome =
+  | Ok  (** no fault: the operation proceeds at its modelled cost *)
+  | Transient_error
+      (** the attempt fails after paying its latency; retryable *)
+  | Spike of float  (** tail-latency episode: cost multiplied by factor *)
+  | Stall of float  (** writeback stall: extra nanoseconds on top of cost *)
+  | Device_full
+      (** ENOSPC window: writes fail until the window closes; retryable *)
+
+type stats = {
+  read_errors : int;  (** transient read errors injected *)
+  write_errors : int;  (** transient write errors injected *)
+  spiked_ops : int;  (** operations charged at spike-episode cost *)
+  stalls : int;
+  enospc_rejections : int;  (** writes rejected inside device-full windows *)
+  retries : int;  (** retry attempts performed by the I/O policy *)
+  backoff_ns : float;  (** simulated time charged as retry backoff *)
+  penalty_ns : float;
+      (** every other fault-induced charge: failed-attempt latency, spike
+          surcharge, stalls, retry-timeout waits *)
+  exhausted_retries : int;  (** bounded retry loops that gave up *)
+  recomputes : int;  (** lineage-style partition recomputations *)
+  h2_degraded_events : int;
+      (** degraded-mode episodes in H2: compactions that left tagged
+          objects in H1, promotion-buffer flush deferrals *)
+  h2_objects_deferred : int;  (** objects left in H1 by a full H2 *)
+}
+
+val zero_stats : stats
+
+type t
+
+val create : spec -> t
+(** A fresh injector with its own PRNG stream seeded from [spec.seed]. *)
+
+val spec : t -> spec
+
+val enabled : t -> bool
+(** False when every rate in the plan is zero; a disabled injector never
+    draws from its PRNG, so a zero-rate run is byte-identical to a run
+    with no injector at all. *)
+
+(** {1 Injection points} (called by the device layer) *)
+
+val on_read : t -> now_ns:float -> outcome
+(** Draw the outcome of one read attempt at simulated time [now_ns]. *)
+
+val on_write : t -> now_ns:float -> outcome
+(** Draw the outcome of one write attempt: transient errors, spikes,
+    stalls, and device-full windows (which reject every write until they
+    close). *)
+
+(** {1 Counter recording} (called by the retry policy and recovery sites) *)
+
+val note_retry : t -> unit
+
+val note_backoff : t -> float -> unit
+
+val note_penalty : t -> float -> unit
+
+val note_exhausted : t -> unit
+
+val note_recompute : t -> unit
+
+val note_h2_degraded : t -> ?objects:int -> unit -> unit
+
+val stats : t -> stats
+
+val add_stats : stats -> stats -> stats
+
+val faults_injected : stats -> int
+(** Total faults of any kind injected (reads + writes + spikes + stalls +
+    ENOSPC rejections). *)
+
+val degraded : stats -> bool
+(** True when the run took any visible degraded-mode action: exhausted
+    retries, recomputations, or H2 degraded events — or when any fault at
+    all was injected (the run's timing no longer matches a fault-free
+    device). *)
+
+val pp_stats : Format.formatter -> stats -> unit

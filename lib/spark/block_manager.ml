@@ -99,15 +99,37 @@ let put t ~rdd_id ~pidx group =
   in
   Hashtbl.replace t.table key entry
 
+(* Recomputing a lost partition from its lineage re-runs the narrow
+   transformations that produced it; modelled as compute time proportional
+   to the partition's payload, a few times the cost of scanning it once. *)
+let recompute_compute_factor = 3.0
+
 let get ?(hold = false) t ~rdd_id ~pidx ~consume =
   let rt = t.ctx.Context.rt in
   match Hashtbl.find t.table (rdd_id, pidx) with
   | E_on_heap group | E_teraheap group -> consume group
   | E_off_heap { offset; ser } ->
       let cache = Option.get t.ctx.Context.offheap in
-      Page_cache.access cache ~cat:Clock.Serde_io ~write:false ~offset
-        ~len:ser.Serializer.bytes;
-      let group = Serializer.deserialize rt ser in
+      let group =
+        match
+          Page_cache.access cache ~checked:true ~cat:Clock.Serde_io
+            ~write:false ~offset ~len:ser.Serializer.bytes
+        with
+        | () -> Serializer.deserialize rt ser
+        | exception Th_device.Io_retry.Io_error _ ->
+            (* The serialized copy is unreadable past the retry budget:
+               recompute the partition from its lineage instead of
+               failing the task (RDD fault tolerance). *)
+            (match Th_device.Device.faults (Page_cache.device cache) with
+            | Some f -> Th_sim.Fault.note_recompute f
+            | None -> ());
+            Runtime.compute rt
+              ~bytes:
+                (int_of_float
+                   (recompute_compute_factor
+                   *. float_of_int ser.Serializer.bytes));
+            Serializer.rebuild rt ser
+      in
       consume group;
       if hold then
         (* Downstream operators keep the deserialized iterator's data

@@ -2,8 +2,8 @@ open Th_sim
 module Runtime = Th_psgc.Runtime
 module Engine = Th_giraph.Engine
 
-let run ~label rt ~mode ?ooc_device ?(scale = 1.0) ?(seed = 0xC0FFEEL)
-    (p : Giraph_profiles.t) =
+let run ~label rt ~mode ?ooc_device ?h2_device ?faults ?(scale = 1.0)
+    ?(seed = 0xC0FFEEL) (p : Giraph_profiles.t) =
   let params = Giraph_profiles.graph_params p ~scale in
   let prng = Prng.create seed in
   let ooc_dr2 = Size.paper_gb p.Giraph_profiles.ooc_dr2_gb in
@@ -12,8 +12,9 @@ let run ~label rt ~mode ?ooc_device ?(scale = 1.0) ?(seed = 0xC0FFEEL)
       Engine.run rt ~mode ?ooc_device ~ooc_dr2 ~prng
         ~algo:p.Giraph_profiles.algo params
     in
-    Run_result.ok ~label rt ()
+    Run_result.ok ~label rt ?h2_device ?faults ()
   with
-  | Runtime.Out_of_memory reason -> Run_result.oom ~reason ~label rt
+  | Runtime.Out_of_memory reason ->
+      Run_result.oom ~reason ?h2_device ?faults ~label rt
   | Th_core.H2.Out_of_h2_space ->
-      Run_result.oom ~reason:"H2 exhausted" ~label rt
+      Run_result.oom ~reason:"H2 exhausted" ?h2_device ?faults ~label rt

@@ -5,9 +5,13 @@ val run :
   Th_psgc.Runtime.t ->
   mode:Th_giraph.Engine.mode ->
   ?ooc_device:Th_device.Device.t ->
+  ?h2_device:Th_device.Device.t ->
+  ?faults:Th_sim.Fault.t ->
   ?scale:float ->
   ?seed:int64 ->
   Giraph_profiles.t ->
   Run_result.t
 (** [scale] multiplies the dataset size (default 1.0). OOMs are caught
-    and reported, matching the paper's missing bars. *)
+    and reported, matching the paper's missing bars. [h2_device] and
+    [faults] are recorded in the result (fault counters decide between
+    the [Completed] and [Degraded] outcomes). *)

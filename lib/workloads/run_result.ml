@@ -2,10 +2,14 @@ module Runtime = Th_psgc.Runtime
 module Gc_stats = Th_psgc.Gc_stats
 module H2 = Th_core.H2
 module Device = Th_device.Device
+module Fault = Th_sim.Fault
 module Heap_census = Th_psgc.Heap_census
+
+type outcome = Completed | Degraded | Oom
 
 type t = {
   label : string;
+  outcome : outcome;
   breakdown : Th_sim.Clock.breakdown option;
   oom_reason : string option;
   minor_gcs : int;
@@ -13,14 +17,26 @@ type t = {
   h2_stats : H2.stats option;
   gc_stats : Gc_stats.t option;
   h2_device : Device.stats option;
+  faults : Fault.stats option;
   census : Heap_census.entry list option;
       (* live-heap composition captured at OOM *)
+  at_failure : Th_sim.Clock.breakdown option;
+      (* clock state at the failure point, captured best-effort *)
 }
 
-let ok ~label rt ?h2_device () =
+let fault_stats faults = Option.map Fault.stats faults
+
+let ok ~label rt ?h2_device ?faults () =
   let stats = Runtime.stats rt in
+  let faults = fault_stats faults in
+  let outcome =
+    match faults with
+    | Some fs when Fault.degraded fs -> Degraded
+    | Some _ | None -> Completed
+  in
   {
     label;
+    outcome;
     breakdown = Some (Th_sim.Clock.breakdown (Runtime.clock rt));
     oom_reason = None;
     minor_gcs = Gc_stats.minor_count stats;
@@ -28,21 +44,38 @@ let ok ~label rt ?h2_device () =
     h2_stats = Option.map H2.stats (Runtime.h2 rt);
     gc_stats = Some stats;
     h2_device = Option.map Device.stats h2_device;
+    faults;
     census = None;
+    at_failure = None;
   }
 
-let oom ?reason ~label rt =
-  let stats = Runtime.stats rt in
+(* A run that died mid-collection may leave heap bookkeeping mid-update;
+   snapshot every statistic defensively so the failure report itself
+   cannot raise and mask the original error. *)
+let guard f = try Some (f ()) with _ -> None
+
+let oom ?reason ?h2_device ?faults ~label rt =
+  let stats = guard (fun () -> Runtime.stats rt) in
+  let count f =
+    match Option.bind stats (fun s -> guard (fun () -> f s)) with
+    | Some n -> max 0 n
+    | None -> 0
+  in
   {
     label;
+    outcome = Oom;
     breakdown = None;
     oom_reason = reason;
-    minor_gcs = Gc_stats.minor_count stats;
-    major_gcs = Gc_stats.major_count stats;
-    h2_stats = Option.map H2.stats (Runtime.h2 rt);
-    gc_stats = Some stats;
-    h2_device = None;
-    census = Some (Heap_census.of_runtime rt);
+    minor_gcs = count Gc_stats.minor_count;
+    major_gcs = count Gc_stats.major_count;
+    h2_stats =
+      Option.bind (Runtime.h2 rt) (fun h2 -> guard (fun () -> H2.stats h2));
+    gc_stats = stats;
+    h2_device =
+      Option.bind h2_device (fun d -> guard (fun () -> Device.stats d));
+    faults = guard (fun () -> fault_stats faults) |> Option.join;
+    census = guard (fun () -> Heap_census.of_runtime rt);
+    at_failure = guard (fun () -> Th_sim.Clock.breakdown (Runtime.clock rt));
   }
 
 let to_report_row t =

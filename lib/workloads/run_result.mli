@@ -1,7 +1,16 @@
 (** Outcome of one simulated workload run. *)
 
+type outcome =
+  | Completed  (** ran to completion with no fault recovery needed *)
+  | Degraded
+      (** ran to completion, but the fault layer injected faults or a
+          recovery path fired (retries exhausted, lineage recomputation,
+          H2 degraded-mode compaction) *)
+  | Oom  (** died with [Out_of_memory] *)
+
 type t = {
   label : string;
+  outcome : outcome;
   breakdown : Th_sim.Clock.breakdown option;  (** [None] marks an OOM *)
   oom_reason : string option;
   minor_gcs : int;
@@ -9,19 +18,35 @@ type t = {
   h2_stats : Th_core.H2.stats option;
   gc_stats : Th_psgc.Gc_stats.t option;
   h2_device : Th_device.Device.stats option;
+  faults : Th_sim.Fault.stats option;
+      (** fault-injection counters, when the setup carried an injector *)
   census : Th_psgc.Heap_census.entry list option;
       (** live-heap composition captured at OOM *)
+  at_failure : Th_sim.Clock.breakdown option;
+      (** clock state at the failure point, captured best-effort at OOM *)
 }
 
 val ok :
   label:string ->
   Th_psgc.Runtime.t ->
   ?h2_device:Th_device.Device.t ->
+  ?faults:Th_sim.Fault.t ->
   unit ->
   t
+(** Snapshot a completed run. With [faults], the injector's counters are
+    recorded and the outcome becomes {!Degraded} when any fault was
+    injected or any recovery path fired. *)
 
-val oom : ?reason:string -> label:string -> Th_psgc.Runtime.t -> t
-(** Capture a run that died with [Out_of_memory] (partial GC statistics
-    are still recorded). *)
+val oom :
+  ?reason:string ->
+  ?h2_device:Th_device.Device.t ->
+  ?faults:Th_sim.Fault.t ->
+  label:string ->
+  Th_psgc.Runtime.t ->
+  t
+(** Capture a run that died with [Out_of_memory]. Every statistic is
+    snapshotted defensively (a run dying mid-collection may leave heap
+    bookkeeping mid-update): unreadable statistics degrade to [None] or 0
+    instead of raising, and GC counts are clamped non-negative. *)
 
 val to_report_row : t -> Th_metrics.Report.row

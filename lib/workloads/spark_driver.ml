@@ -34,7 +34,8 @@ let read_rdd_slice ctx bm rdd ~compute_factor ~stage ~stages =
                    *. float_of_int (Rdd.partition_bytes rdd))))
   done
 
-let run ?(dataset_scale = 1.0) ~label ctx (p : Spark_profiles.t) =
+let run ?(dataset_scale = 1.0) ?h2_device ?faults ~label ctx
+    (p : Spark_profiles.t) =
   let rt = Context.runtime ctx in
   let dataset_bytes =
     int_of_float
@@ -125,8 +126,9 @@ let run ?(dataset_scale = 1.0) ~label ctx (p : Spark_profiles.t) =
           churn := Some next
       | _ -> ()
     done;
-    Run_result.ok ~label rt ()
+    Run_result.ok ~label rt ?h2_device ?faults ()
   with
-  | Runtime.Out_of_memory reason -> Run_result.oom ~reason ~label rt
+  | Runtime.Out_of_memory reason ->
+      Run_result.oom ~reason ?h2_device ?faults ~label rt
   | Th_core.H2.Out_of_h2_space ->
-      Run_result.oom ~reason:"H2 exhausted" ~label rt
+      Run_result.oom ~reason:"H2 exhausted" ?h2_device ?faults ~label rt

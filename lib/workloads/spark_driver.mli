@@ -8,6 +8,8 @@
 
 val run :
   ?dataset_scale:float ->
+  ?h2_device:Th_device.Device.t ->
+  ?faults:Th_sim.Fault.t ->
   label:string ->
   Th_spark.Context.t ->
   Spark_profiles.t ->
@@ -15,4 +17,6 @@ val run :
 (** [dataset_scale] multiplies the dataset size (Figure 12c sizes the
     inputs to Panthera's 64 GB heap; Figure 13b grows them).
     Out-of-memory conditions are caught and reported as an OOM result,
-    matching the paper's missing bars. *)
+    matching the paper's missing bars. [h2_device] and [faults] are
+    recorded in the result (fault counters decide between the
+    [Completed] and [Degraded] outcomes). *)

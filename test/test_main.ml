@@ -12,6 +12,7 @@ let () =
       ("spark", Test_spark.suite);
       ("giraph", Test_giraph.suite);
       ("metrics", Test_metrics.suite);
+      ("faults", Test_faults.suite);
       ("dacapo-misc", Test_dacapo.suite);
       ("integration", Test_integration.suite);
     ]
