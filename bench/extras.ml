@@ -16,10 +16,11 @@ let barrier_overhead () =
      within 3 % across all benchmarks and zero when EnableTeraHeap is
      unset. *)
   let measured =
-    List.map
-      (fun (b : Th_workloads.Dacapo.benchmark) ->
-        (b.Th_workloads.Dacapo.name, Th_workloads.Dacapo.overhead b))
-      Th_workloads.Dacapo.all
+    pmap
+      (List.map
+         (fun (b : Th_workloads.Dacapo.benchmark) () ->
+           (b.Th_workloads.Dacapo.name, Th_workloads.Dacapo.overhead b))
+         Th_workloads.Dacapo.all)
   in
   let rows =
     List.map
@@ -37,21 +38,27 @@ let barrier_overhead () =
     (rows @ [ [ "mean"; "-"; Report.pct mean ] ])
 
 let ablation_union_find () =
-  let rows =
+  let cell p mode () =
+    let cfg = { H2.default_config with H2.reclaim_mode = mode } in
+    let r = run_giraph ~h2_config:cfg G_th p in
+    match r.Run_result.h2_stats with
+    | Some s ->
+        ( Printf.sprintf "%d/%d" s.H2.regions_reclaimed s.H2.regions_allocated,
+          total_seconds r )
+    | None -> ("OOM", nan)
+  in
+  let groups =
     List.map
       (fun (p : Giraph_profiles.t) ->
-        let stats_of mode =
-          let cfg = { H2.default_config with H2.reclaim_mode = mode } in
-          let r = run_giraph ~h2_config:cfg G_th p in
-          match r.Run_result.h2_stats with
-          | Some s ->
-              ( Printf.sprintf "%d/%d" s.H2.regions_reclaimed
-                  s.H2.regions_allocated,
-                total_seconds r )
-          | None -> ("OOM", nan)
+        (p, [ cell p H2.Dependency_lists; cell p H2.Region_groups ]))
+      Giraph_profiles.all
+  in
+  let rows =
+    List.map
+      (fun ((p : Giraph_profiles.t), results) ->
+        let (dep, dep_t), (uf, uf_t) =
+          match results with [ d; u ] -> (d, u) | _ -> assert false
         in
-        let dep, dep_t = stats_of H2.Dependency_lists in
-        let uf, uf_t = stats_of H2.Region_groups in
         [
           p.Giraph_profiles.name;
           dep;
@@ -59,7 +66,7 @@ let ablation_union_find () =
           uf;
           Printf.sprintf "%.3fs" uf_t;
         ])
-      Giraph_profiles.all
+      (pmap_grouped groups)
   in
   Report.print_series
     ~title:
@@ -72,19 +79,30 @@ let ablation_union_find () =
    humongous objects to H2". G1 alone OOMs on the columnar workloads;
    G1 + TeraHeap runs them because the humongous cached data leaves H1. *)
 let g1_with_teraheap () =
-  let rows =
+  let groups =
     List.map
       (fun name ->
         let p = Spark_profiles.by_name name in
         let dram = default_dram p in
-        let g1 = run_spark ~dram G1 p in
-        let g1_th =
-          let setup =
-            Setups.spark_teraheap ~collector:Th_psgc.Rt.G1
-              ~huge_pages:p.Spark_profiles.sequential
-              ~h1_gb:(heap_gb_of_dram dram) ~dr2_gb:Spark_profiles.dr2_gb ()
-          in
-          Spark_driver.run ~label:"g1+th" setup.Setups.ctx p
+        ( name,
+          [
+            (fun () -> run_spark ~dram G1 p);
+            (fun () ->
+              let setup =
+                Setups.spark_teraheap ~collector:Th_psgc.Rt.G1
+                  ~huge_pages:p.Spark_profiles.sequential
+                  ~h1_gb:(heap_gb_of_dram dram) ~dr2_gb:Spark_profiles.dr2_gb
+                  ()
+              in
+              Spark_driver.run ~label:"g1+th" setup.Setups.ctx p);
+          ] ))
+      [ "SVM"; "BC"; "RL"; "PR" ]
+  in
+  let rows =
+    List.map
+      (fun (name, results) ->
+        let g1, g1_th =
+          match results with [ a; b ] -> (a, b) | _ -> assert false
         in
         let cell (r : Run_result.t) =
           match r.Run_result.breakdown with
@@ -92,7 +110,7 @@ let g1_with_teraheap () =
           | Some b -> Printf.sprintf "%.3fs" (Th_sim.Clock.total_ns b /. 1e9)
         in
         [ name; cell g1; cell g1_th ])
-      [ "SVM"; "BC"; "RL"; "PR" ]
+      (pmap_grouped groups)
   in
   Report.print_series ~title:"§7.1 extension: G1 alone vs G1 + TeraHeap"
     ~header:[ "workload"; "G1"; "G1+TeraHeap" ]
@@ -105,19 +123,27 @@ let dynamic_thresholds () =
   let dynamic_cfg =
     { H2.default_config with H2.low_threshold = Some 0.5; dynamic_thresholds = true }
   in
-  let rows =
+  let groups =
     List.map
       (fun (p : Giraph_profiles.t) ->
         let scale = 91.0 /. float_of_int p.Giraph_profiles.dataset_gb in
-        let t cfg = total_seconds (run_giraph ~scale ~h2_config:cfg G_th p) in
-        let st = t static_cfg and dy = t dynamic_cfg in
+        let t cfg () =
+          total_seconds (run_giraph ~scale ~h2_config:cfg G_th p)
+        in
+        (p, [ t static_cfg; t dynamic_cfg ]))
+      [ Giraph_profiles.pagerank; Giraph_profiles.sssp ]
+  in
+  let rows =
+    List.map
+      (fun ((p : Giraph_profiles.t), results) ->
+        let st, dy = match results with [ s; d ] -> (s, d) | _ -> assert false in
         [
           p.Giraph_profiles.name;
           Printf.sprintf "%.3fs" st;
           Printf.sprintf "%.3fs" dy;
           Report.pct ((st -. dy) /. st);
         ])
-      [ Giraph_profiles.pagerank; Giraph_profiles.sssp ]
+      (pmap_grouped groups)
   in
   Report.print_series
     ~title:"§7.2 extension: static vs dynamic low threshold (91GB runs)"
@@ -128,25 +154,28 @@ let dynamic_thresholds () =
    longer pin regions of small live objects, so more regions reclaim and
    less space is wasted (the BFS/SSSP pattern of Figure 10). *)
 let size_segregated_placement () =
-  let rows =
+  let cell p placement () =
+    let cfg = { H2.default_config with H2.placement } in
+    let r = run_giraph ~h2_config:cfg G_th p in
+    match r.Run_result.h2_stats with
+    | Some s ->
+        Printf.sprintf "%d/%d (waste %s)" s.H2.regions_reclaimed
+          s.H2.regions_allocated
+          (Th_sim.Size.to_string s.H2.wasted_bytes)
+    | None -> "OOM"
+  in
+  let groups =
     List.map
       (fun (p : Giraph_profiles.t) ->
-        let stats_of placement =
-          let cfg = { H2.default_config with H2.placement } in
-          let r = run_giraph ~h2_config:cfg G_th p in
-          match r.Run_result.h2_stats with
-          | Some s ->
-              Printf.sprintf "%d/%d (waste %s)" s.H2.regions_reclaimed
-                s.H2.regions_allocated
-                (Th_sim.Size.to_string s.H2.wasted_bytes)
-          | None -> "OOM"
-        in
-        [
-          p.Giraph_profiles.name;
-          stats_of H2.Label_only;
-          stats_of H2.Size_segregated;
-        ])
+        (p, [ cell p H2.Label_only; cell p H2.Size_segregated ]))
       [ Giraph_profiles.bfs; Giraph_profiles.sssp; Giraph_profiles.pagerank ]
+  in
+  let rows =
+    List.map
+      (fun ((p : Giraph_profiles.t), results) ->
+        let lo, ss = match results with [ a; b ] -> (a, b) | _ -> assert false in
+        [ p.Giraph_profiles.name; lo; ss ])
+      (pmap_grouped groups)
   in
   Report.print_series
     ~title:

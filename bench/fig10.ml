@@ -41,15 +41,24 @@ let print_cdf title samples =
   Report.print_series ~title:("Fig 10: " ^ title) ~header [ row ]
 
 let run () =
+  let groups =
+    List.map
+      (fun mb_scaled ->
+        ( mb_scaled,
+          List.map
+            (fun (p : Giraph_profiles.t) () ->
+              (p, samples_for p ~region_size:(Size.kib mb_scaled)))
+            Giraph_profiles.all ))
+      [ 256; 4096 ]
+  in
   List.iter
-    (fun mb_scaled ->
+    (fun (mb_scaled, per_profile) ->
       let region_size = Size.kib mb_scaled in
       Printf.printf "\n-- region size %s (paper: %d MB) --\n"
         (Size.to_string region_size)
         (mb_scaled * 64 / 1024);
       List.iter
-        (fun (p : Giraph_profiles.t) ->
-          let samples = samples_for p ~region_size in
+        (fun ((p : Giraph_profiles.t), samples) ->
           let live_obj = List.map (fun s -> s.H2.live_object_pct) samples in
           let live_space = List.map (fun s -> s.H2.live_space_pct) samples in
           print_cdf
@@ -58,5 +67,5 @@ let run () =
           print_cdf
             (Printf.sprintf "%s live space/region" p.Giraph_profiles.name)
             live_space)
-        Giraph_profiles.all)
-    [ 256; 4096 ]
+        per_profile)
+    (pmap_grouped groups)

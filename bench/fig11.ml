@@ -18,22 +18,26 @@ let h2_minor_seconds (r : Run_result.t) =
   | None -> nan
 
 let part_a () =
-  let rows =
+  let groups =
     List.map
       (fun (p : Giraph_profiles.t) ->
-        let times =
+        ( p,
           List.map
-            (fun seg ->
+            (fun seg () ->
               let cfg =
                 { H2.default_config with H2.card_segment_size = seg }
               in
               h2_minor_seconds (run_giraph ~h2_config:cfg G_th p))
-            segment_sizes
-        in
+            segment_sizes ))
+      Giraph_profiles.all
+  in
+  let rows =
+    List.map
+      (fun ((p : Giraph_profiles.t), times) ->
         let base = List.hd times in
         p.Giraph_profiles.name
         :: List.map (fun t -> Printf.sprintf "%.2f" (t /. base)) times)
-      Giraph_profiles.all
+      (pmap_grouped groups)
   in
   Report.print_series
     ~title:"Fig 11a: minor GC time vs H2 card segment size (normalized to 512B)"
@@ -58,17 +62,25 @@ let phase_row label (r : Run_result.t) =
       ]
 
 let part_b () =
+  let groups =
+    List.map
+      (fun (p : Giraph_profiles.t) ->
+        ( p,
+          [ (fun () -> run_giraph Ooc p); (fun () -> run_giraph G_th p) ] ))
+      Giraph_profiles.all
+  in
   List.iter
-    (fun (p : Giraph_profiles.t) ->
-      let ooc = run_giraph Ooc p in
-      let th = run_giraph G_th p in
+    (fun ((p : Giraph_profiles.t), results) ->
+      let ooc, th =
+        match results with [ ooc; th ] -> (ooc, th) | _ -> assert false
+      in
       Report.print_series
         ~title:
           (Printf.sprintf "Fig 11b / Giraph-%s: major GC phases (s)"
              p.Giraph_profiles.name)
         ~header:[ "system"; "marking"; "precompact"; "adjust"; "compact"; "total" ]
         [ phase_row "Giraph-OOC" ooc; phase_row "TeraHeap" th ])
-    Giraph_profiles.all
+    (pmap_grouped groups)
 
 let run () =
   part_a ();

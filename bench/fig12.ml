@@ -9,24 +9,38 @@ module Setups = Th_baselines.Setups
 module Device = Th_device.Device
 
 let part_a () =
+  let groups =
+    List.map
+      (fun (p : Spark_profiles.t) ->
+        ( p,
+          [ (fun () -> run_spark Sd_nvm p); (fun () -> run_spark Th_nvm p) ]
+        ))
+      Spark_profiles.all
+  in
   List.iter
-    (fun (p : Spark_profiles.t) ->
+    (fun ((p : Spark_profiles.t), results) ->
       Report.print_breakdown_table
         ~title:
           (Printf.sprintf "Fig 12a / %s on NVM: Spark-SD vs TeraHeap"
              p.Spark_profiles.name)
-        (rows_of_results [ run_spark Sd_nvm p; run_spark Th_nvm p ]))
-    Spark_profiles.all
+        (rows_of_results results))
+    (pmap_grouped groups)
 
 let part_b () =
+  let groups =
+    List.map
+      (fun (p : Spark_profiles.t) ->
+        (p, [ (fun () -> run_spark Mo p); (fun () -> run_spark Th_nvm p) ]))
+      Spark_profiles.all
+  in
   List.iter
-    (fun (p : Spark_profiles.t) ->
+    (fun ((p : Spark_profiles.t), results) ->
       Report.print_breakdown_table
         ~title:
           (Printf.sprintf "Fig 12b / %s on NVM: Spark-MO vs TeraHeap"
              p.Spark_profiles.name)
-        (rows_of_results [ run_spark Mo p; run_spark Th_nvm p ]))
-    Spark_profiles.all
+        (rows_of_results results))
+    (pmap_grouped groups)
 
 (* Panthera's configuration fixes the heap at 64 GB (16 DRAM + 48 NVM);
    inputs are sized so the cached data fits the hybrid heap, and TeraHeap
@@ -35,28 +49,34 @@ let part_c () =
   let workloads =
     [ "PR"; "CC"; "SSSP"; "SVD"; "LR"; "LgR"; "KM"; "SVM"; "BC" ]
   in
-  List.iter
-    (fun name ->
-      let p = Spark_profiles.by_name name in
-      let dataset_scale =
-        min 1.0 (32.0 /. float_of_int p.Spark_profiles.dataset_gb)
-      in
-      let panthera = run_spark ~dataset_scale Panthera p in
-      let th =
-        let costs = costs () in
-        let setup =
-          Setups.spark_teraheap ~device_kind:Device.Nvm_app_direct ~costs
-            ~huge_pages:p.Spark_profiles.sequential ~h1_gb:16 ~dr2_gb:16 ()
+  let groups =
+    List.map
+      (fun name ->
+        let p = Spark_profiles.by_name name in
+        let dataset_scale =
+          min 1.0 (32.0 /. float_of_int p.Spark_profiles.dataset_gb)
         in
-        Spark_driver.run ~dataset_scale ~label:"TeraHeap (16GB H1 + NVM H2)"
-          setup.Setups.ctx p
-      in
+        ( name,
+          [
+            (fun () -> run_spark ~dataset_scale Panthera p);
+            (fun () ->
+              let costs = costs () in
+              let setup =
+                Setups.spark_teraheap ~device_kind:Device.Nvm_app_direct
+                  ~costs ~huge_pages:p.Spark_profiles.sequential ~h1_gb:16
+                  ~dr2_gb:16 ()
+              in
+              Spark_driver.run ~dataset_scale
+                ~label:"TeraHeap (16GB H1 + NVM H2)" setup.Setups.ctx p);
+          ] ))
+      workloads
+  in
+  List.iter
+    (fun (name, results) ->
       Report.print_breakdown_table
-        ~title:
-          (Printf.sprintf "Fig 12c / %s: Panthera vs TeraHeap"
-             p.Spark_profiles.name)
-        (rows_of_results [ panthera; th ]))
-    workloads
+        ~title:(Printf.sprintf "Fig 12c / %s: Panthera vs TeraHeap" name)
+        (rows_of_results results))
+    (pmap_grouped groups)
 
 let run () =
   part_a ();

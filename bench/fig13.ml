@@ -17,31 +17,32 @@ let part_a () =
   let cc = Spark_profiles.connected_components in
   let lr = Spark_profiles.linear_regression in
   let cdlp = Giraph_profiles.cdlp in
-  let spark_row system label p =
-    label
-    :: norm
-         (List.map
-            (fun threads -> total_seconds (run_spark ~threads system p))
-            threads_list)
+  let spark_cells system p =
+    List.map
+      (fun threads () -> total_seconds (run_spark ~threads system p))
+      threads_list
   in
-  let giraph_row system label p =
-    label
-    :: norm
-         (List.map
-            (fun threads -> total_seconds (run_giraph ~threads system p))
-            threads_list)
+  let giraph_cells system p =
+    List.map
+      (fun threads () -> total_seconds (run_giraph ~threads system p))
+      threads_list
+  in
+  let groups =
+    [
+      ("Spark-SD CC", spark_cells Sd cc);
+      ("TeraHeap CC", spark_cells Th cc);
+      ("Spark-SD LR", spark_cells Sd lr);
+      ("TeraHeap LR", spark_cells Th lr);
+      ("Giraph-OOC CDLP", giraph_cells Ooc cdlp);
+      ("TeraHeap CDLP", giraph_cells G_th cdlp);
+    ]
   in
   Report.print_series
     ~title:"Fig 13a: scaling with mutator threads (normalized to 8 threads)"
     ~header:("configuration" :: List.map string_of_int threads_list)
-    [
-      spark_row Sd "Spark-SD CC" cc;
-      spark_row Th "TeraHeap CC" cc;
-      spark_row Sd "Spark-SD LR" lr;
-      spark_row Th "TeraHeap LR" lr;
-      giraph_row Ooc "Giraph-OOC CDLP" cdlp;
-      giraph_row G_th "TeraHeap CDLP" cdlp;
-    ]
+    (List.map
+       (fun (label, times) -> label :: norm times)
+       (pmap_grouped groups))
 
 (* Larger datasets: CC 84 -> ~2.3x, LR 70 -> ~3.7x, CDLP 85 -> ~1.07x
    (the paper's 32->73, 64->256, 25->91 GB pairs). TeraHeap H1 grows with
@@ -54,31 +55,43 @@ let part_b () =
   let cc = Spark_profiles.connected_components in
   let lr = Spark_profiles.linear_regression in
   let cdlp = Giraph_profiles.cdlp in
-  let spark_case p scale dram_mult =
-    let dram =
-      int_of_float (float_of_int (default_dram p) *. dram_mult)
-    in
-    let native = total_seconds (run_spark ~dram ~dataset_scale:scale Sd p) in
-    let th = total_seconds (run_spark ~dram ~dataset_scale:scale Th p) in
-    improvement native th
+  (* Each case is a native/TeraHeap pair of cells at one dataset scale. *)
+  let spark_cells p scale dram_mult =
+    let dram = int_of_float (float_of_int (default_dram p) *. dram_mult) in
+    [
+      (fun () -> total_seconds (run_spark ~dram ~dataset_scale:scale Sd p));
+      (fun () -> total_seconds (run_spark ~dram ~dataset_scale:scale Th p));
+    ]
   in
-  let giraph_case p scale h1_mult =
+  let giraph_cells p scale h1_mult =
     let h1_gb =
-      int_of_float
-        (float_of_int p.Giraph_profiles.th_h1_gb *. h1_mult)
+      int_of_float (float_of_int p.Giraph_profiles.th_h1_gb *. h1_mult)
     in
-    let native = total_seconds (run_giraph ~scale Ooc p) in
-    let th = total_seconds (run_giraph ~scale ~h1_gb G_th p) in
-    improvement native th
+    [
+      (fun () -> total_seconds (run_giraph ~scale Ooc p));
+      (fun () -> total_seconds (run_giraph ~scale ~h1_gb G_th p));
+    ]
+  in
+  let groups =
+    [
+      ("Spark-CC", spark_cells cc 1.0 1.0 @ spark_cells cc 2.3 2.3);
+      ("Spark-LR", spark_cells lr 1.0 1.0 @ spark_cells lr 2.5 2.5);
+      ("Giraph-CDLP", giraph_cells cdlp 1.0 1.0 @ giraph_cells cdlp 2.5 2.5);
+    ]
+  in
+  let rows =
+    List.map
+      (fun (label, times) ->
+        match times with
+        | [ n1; t1; n2; t2 ] ->
+            [ label; improvement n1 t1; improvement n2 t2 ]
+        | _ -> [ label; "?"; "?" ])
+      (pmap_grouped groups)
   in
   Report.print_series
     ~title:"Fig 13b: TeraHeap improvement vs native at 1x and ~2.5x dataset"
     ~header:[ "workload"; "baseline size"; "large size" ]
-    [
-      [ "Spark-CC"; spark_case cc 1.0 1.0; spark_case cc 2.3 2.3 ];
-      [ "Spark-LR"; spark_case lr 1.0 1.0; spark_case lr 2.5 2.5 ];
-      [ "Giraph-CDLP"; giraph_case cdlp 1.0 1.0; giraph_case cdlp 2.5 2.5 ];
-    ]
+    rows
 
 let run () =
   part_a ();

@@ -7,19 +7,23 @@ open Runners
 module Report = Th_metrics.Report
 
 let run () =
+  let groups =
+    List.map
+      (fun (p : Spark_profiles.t) ->
+        ( p,
+          [
+            (fun () -> run_spark Sd p);
+            (fun () -> run_spark Ps11 p);
+            (fun () -> run_spark G1 p);
+            (fun () -> run_spark Th p);
+          ] ))
+      Spark_profiles.all
+  in
   List.iter
-    (fun (p : Spark_profiles.t) ->
-      let results =
-        [
-          run_spark Sd p;
-          run_spark Ps11 p;
-          run_spark G1 p;
-          run_spark Th p;
-        ]
-      in
+    (fun ((p : Spark_profiles.t), results) ->
       Report.print_breakdown_table
         ~title:
           (Printf.sprintf "Fig 8 / %s: PS8 vs PS11 vs G1 vs TeraHeap"
              p.Spark_profiles.name)
         (rows_of_results results))
-    Spark_profiles.all
+    (pmap_grouped groups)

@@ -18,10 +18,21 @@ let high_only = with_hint
 let high_and_low = H2.{ default_config with low_threshold = Some 0.5 }
 
 let part_a () =
+  let groups =
+    List.map
+      (fun (p : Giraph_profiles.t) ->
+        ( p,
+          [
+            (fun () -> run_giraph ~h2_config:no_hint G_th p);
+            (fun () -> run_giraph ~h2_config:with_hint G_th p);
+          ] ))
+      Giraph_profiles.all
+  in
   List.iter
-    (fun (p : Giraph_profiles.t) ->
-      let nh = run_giraph ~h2_config:no_hint G_th p in
-      let h = run_giraph ~h2_config:with_hint G_th p in
+    (fun ((p : Giraph_profiles.t), results) ->
+      let nh, h =
+        match results with [ nh; h ] -> (nh, h) | _ -> assert false
+      in
       Report.print_breakdown_table
         ~title:
           (Printf.sprintf "Fig 9a / Giraph-%s: no-hint (NH) vs hint (H)"
@@ -34,17 +45,29 @@ let part_a () =
       Printf.printf "   majors NH=%d H=%d   minors NH=%d H=%d\n"
         nh.Run_result.major_gcs h.Run_result.major_gcs
         nh.Run_result.minor_gcs h.Run_result.minor_gcs)
-    Giraph_profiles.all
+    (pmap_grouped groups)
 
 (* Figure 9b uses a larger dataset (91 GB) that trips the high-threshold
    mechanism even with hints enabled. *)
 let part_b () =
+  let groups =
+    List.map
+      (fun (p : Giraph_profiles.t) ->
+        let scale = 91.0 /. float_of_int p.Giraph_profiles.dataset_gb in
+        let h1_gb = 5 * p.Giraph_profiles.th_h1_gb / 4 in
+        ( p,
+          [
+            (fun () -> run_giraph ~scale ~h1_gb ~h2_config:high_only G_th p);
+            (fun () ->
+              run_giraph ~scale ~h1_gb ~h2_config:high_and_low G_th p);
+          ] ))
+      [ Giraph_profiles.pagerank; Giraph_profiles.sssp ]
+  in
   List.iter
-    (fun (p : Giraph_profiles.t) ->
-      let scale = 91.0 /. float_of_int p.Giraph_profiles.dataset_gb in
-      let h1_gb = 5 * p.Giraph_profiles.th_h1_gb / 4 in
-      let nl = run_giraph ~scale ~h1_gb ~h2_config:high_only G_th p in
-      let l = run_giraph ~scale ~h1_gb ~h2_config:high_and_low G_th p in
+    (fun ((p : Giraph_profiles.t), results) ->
+      let nl, l =
+        match results with [ nl; l ] -> (nl, l) | _ -> assert false
+      in
       Report.print_breakdown_table
         ~title:
           (Printf.sprintf
@@ -55,7 +78,7 @@ let part_b () =
              { nl with Run_result.label = "NL (high only)" };
              { l with Run_result.label = "L (high+low 50%)" };
            ]))
-    [ Giraph_profiles.pagerank; Giraph_profiles.sssp ]
+    (pmap_grouped groups)
 
 let run () =
   part_a ();

@@ -1,7 +1,18 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
    evaluation (§6–§7). Run all experiments with `dune exec bench/main.exe`,
    or select sections: `dune exec bench/main.exe -- fig6 fig7 ...`.
-   `micro` runs the bechamel micro-benchmarks of the core structures. *)
+   `micro` runs the bechamel micro-benchmarks of the core structures.
+
+   Experiment cells run on a domain pool; `--jobs N` (or `-j N`) selects
+   the pool width, defaulting to the machine's recommended domain count.
+   All rendering stays serial and in submission order, so stdout is
+   byte-identical for every jobs value. Timing goes to stderr, and a
+   machine-readable summary is written to BENCH_harness.json (override
+   the path with the TH_BENCH_JSON environment variable). *)
+
+module Pool = Th_exec.Pool
+module Wall = Th_exec.Wall
+module Bench_log = Th_metrics.Bench_log
 
 let sections : (string * string * (unit -> unit)) list =
   [
@@ -18,21 +29,122 @@ let sections : (string * string * (unit -> unit)) list =
     ("micro", "bechamel micro-benchmarks", Micro.run);
   ]
 
-let () =
-  let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as args) -> args
-    | _ -> List.map (fun (name, _, _) -> name) sections
+let usage () =
+  Printf.eprintf
+    "usage: main.exe [--jobs N] [--seed N] [SECTION ...]\navailable sections: \
+     %s\n"
+    (String.concat ", " (List.map (fun (n, _, _) -> n) sections))
+
+(* Minimal flag parsing: `--jobs N`, `-j N`, `--jobs=N`, `--seed N`,
+   `--seed=N`; every other argument is a section name. *)
+let parse_args argv =
+  let jobs = ref (Pool.default_jobs ()) in
+  let seed = ref None in
+  let names = ref [] in
+  let int_of ~flag s =
+    match int_of_string_opt s with
+    | Some n -> n
+    | None ->
+        Printf.eprintf "%s expects an integer, got %S\n" flag s;
+        usage ();
+        exit 2
   in
-  let t0 = Sys.time () in
-  List.iter
-    (fun name ->
-      match List.find_opt (fun (n, _, _) -> n = name) sections with
-      | Some (n, descr, f) ->
-          Printf.printf "\n##### %s — %s #####\n%!" n descr;
-          f ()
-      | None ->
-          Printf.eprintf "unknown section %s; available: %s\n" name
-            (String.concat ", " (List.map (fun (n, _, _) -> n) sections)))
-    requested;
-  Printf.printf "\n(benchmarks completed in %.1f s cpu time)\n" (Sys.time () -. t0)
+  let rec go = function
+    | [] -> ()
+    | ("--jobs" | "-j") :: v :: rest ->
+        jobs := int_of ~flag:"--jobs" v;
+        go rest
+    | ("--jobs" | "-j") :: [] ->
+        Printf.eprintf "--jobs expects a value\n";
+        usage ();
+        exit 2
+    | "--seed" :: v :: rest ->
+        seed := Some (int_of ~flag:"--seed" v);
+        go rest
+    | "--seed" :: [] ->
+        Printf.eprintf "--seed expects a value\n";
+        usage ();
+        exit 2
+    | ("--help" | "-h") :: _ ->
+        usage ();
+        exit 0
+    | arg :: rest ->
+        (match
+           ( String.length arg > 7 && String.sub arg 0 7 = "--jobs=",
+             String.length arg > 7 && String.sub arg 0 7 = "--seed=" )
+         with
+        | true, _ ->
+            jobs :=
+              int_of ~flag:"--jobs"
+                (String.sub arg 7 (String.length arg - 7))
+        | _, true ->
+            seed :=
+              Some
+                (int_of ~flag:"--seed"
+                   (String.sub arg 7 (String.length arg - 7)))
+        | false, false -> names := arg :: !names);
+        go rest
+  in
+  go (List.tl (Array.to_list argv));
+  (max 1 !jobs, !seed, List.rev !names)
+
+let () =
+  let jobs, seed, requested = parse_args Sys.argv in
+  let requested =
+    match requested with
+    | [] -> List.map (fun (name, _, _) -> name) sections
+    | names -> names
+  in
+  (match seed with
+  | Some s -> Runners.giraph_seed := Some (Int64.of_int s)
+  | None -> ());
+  let pool = Pool.create ~jobs () in
+  Runners.set_pool pool;
+  let timed = ref [] in
+  let wall0 = Wall.now_s () in
+  let cpu0 = Sys.time () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      List.iter
+        (fun name ->
+          match List.find_opt (fun (n, _, _) -> n = name) sections with
+          | Some (n, descr, f) ->
+              Printf.printf "\n##### %s — %s #####\n%!" n descr;
+              let w0 = Wall.now_s () in
+              let c0 = Sys.time () in
+              f ();
+              timed :=
+                {
+                  Bench_log.name = n;
+                  wall_s = Wall.elapsed_s ~since:w0;
+                  cpu_s = Sys.time () -. c0;
+                }
+                :: !timed
+          | None ->
+              Printf.eprintf "unknown section %s; available: %s\n" name
+                (String.concat ", " (List.map (fun (n, _, _) -> n) sections)))
+        requested);
+  let log =
+    {
+      Bench_log.jobs;
+      sections = List.rev !timed;
+      total_wall_s = Wall.elapsed_s ~since:wall0;
+      total_cpu_s = Sys.time () -. cpu0;
+    }
+  in
+  let json_path =
+    match Sys.getenv_opt "TH_BENCH_JSON" with
+    | Some p -> p
+    | None -> Bench_log.default_path
+  in
+  Bench_log.write ~path:json_path log;
+  (* Timing is jobs-dependent, so it goes to stderr: stdout stays
+     byte-identical across --jobs values. *)
+  Printf.eprintf
+    "\n\
+     (benchmarks completed in %.1f s wall / %.1f s cpu, jobs=%d, est. \
+     speedup %.2fx; %s)\n"
+    log.Bench_log.total_wall_s log.Bench_log.total_cpu_s jobs
+    (Bench_log.speedup_vs_serial_est log)
+    json_path

@@ -60,8 +60,67 @@ let test_h1_cards =
          Card_table.mark_dirty ct ~addr:51200;
          Card_table.clear_card ct ~card:(Card_table.card_of_addr ct 51200)))
 
+module H1_heap = Th_minijvm.H1_heap
+
+(* An old generation with [objs] registered objects and [dirty] dirty
+   cards spread evenly over the populated address range, exercising the
+   minor-GC Task-2 scan both ways: the pre-refactor linear sweep of
+   [old_objs] and the card-indexed bucket walk. The bucket walk should
+   scale with the number of dirty cards, not the old-generation
+   population. *)
+let make_old_heap ~objs ~dirty =
+  let heap = H1_heap.create ~heap_bytes:(Size.mib 64) () in
+  let size = 200 in
+  for i = 0 to objs - 1 do
+    match H1_heap.old_alloc_addr heap size with
+    | None -> failwith "micro: old generation sized too small"
+    | Some addr ->
+        let o = Obj_.create ~id:i ~size () in
+        o.Obj_.loc <- Obj_.Old;
+        o.Obj_.addr <- addr;
+        H1_heap.push_old heap o
+  done;
+  let span = heap.H1_heap.old_top in
+  for i = 0 to dirty - 1 do
+    Card_table.mark_dirty heap.H1_heap.cards ~addr:(i * span / dirty)
+  done;
+  heap
+
+let linear_scan (heap : H1_heap.t) () =
+  let ct = heap.H1_heap.cards in
+  let n = ref 0 in
+  Vec.iter
+    (fun (o : Obj_.t) ->
+      if Card_table.is_dirty ct ~card:(Card_table.card_of_addr ct o.Obj_.addr)
+      then incr n)
+    heap.H1_heap.old_objs;
+  !n
+
+let bucket_scan (heap : H1_heap.t) () =
+  let n = ref 0 in
+  Card_table.iter_dirty_buckets heap.H1_heap.cards (fun _card bucket ->
+      n := !n + Vec.length bucket);
+  !n
+
+let test_rset name scan ~objs ~dirty =
+  let heap = make_old_heap ~objs ~dirty in
+  Test.make ~name (Staged.stage (fun () -> ignore (scan heap ())))
+
+let rset_benchmarks =
+  [
+    test_rset "rset linear scan 64k objs/16 dirty" linear_scan ~objs:65536
+      ~dirty:16;
+    test_rset "rset bucket scan 64k objs/16 dirty" bucket_scan ~objs:65536
+      ~dirty:16;
+    test_rset "rset bucket scan 8k objs/16 dirty" bucket_scan ~objs:8192
+      ~dirty:16;
+    test_rset "rset bucket scan 64k objs/256 dirty" bucket_scan ~objs:65536
+      ~dirty:256;
+  ]
+
 let benchmarks =
   [ test_card_mark; test_card_scan; test_region_cycle; test_closure; test_h1_cards ]
+  @ rset_benchmarks
 
 let run () =
   let instances = Instance.[ monotonic_clock ] in

@@ -14,6 +14,42 @@ module Gc_stats = Th_psgc.Gc_stats
 module H2 = Th_core.H2
 module Device = Th_device.Device
 
+module Pool = Th_exec.Pool
+
+(* The harness's Domain pool, installed once by [Main] (or left unset by
+   other entry points, in which case everything runs serially in-place).
+   Every experiment cell builds its own clock/heap/device stack inside
+   its thunk, so cells are independent jobs; results come back in
+   submission order, keeping all printing serial and deterministic. *)
+let pool : Pool.t option ref = ref None
+
+let set_pool p = pool := Some p
+
+let jobs () = match !pool with Some p -> Pool.jobs p | None -> 1
+
+(* Deterministic base seed for the randomized (Giraph) drivers; settable
+   via --seed. [None] keeps each driver's built-in default. *)
+let giraph_seed : int64 option ref = ref None
+
+let pmap (thunks : (unit -> 'a) list) : 'a list =
+  match !pool with
+  | Some p -> Pool.run p thunks
+  | None -> List.map (fun f -> f ()) thunks
+
+(* Run every cell of every group through the pool as ONE batch (maximum
+   parallelism across groups), then hand the results back regrouped per
+   key, in order. *)
+let pmap_grouped (groups : ('k * (unit -> 'a) list) list) : ('k * 'a list) list
+    =
+  let results = ref (pmap (List.concat_map snd groups)) in
+  List.map
+    (fun (key, cells) ->
+      let n = List.length cells in
+      let taken = List.filteri (fun i _ -> i < n) !results in
+      results := List.filteri (fun i _ -> i >= n) !results;
+      (key, taken))
+    groups
+
 let costs ?(threads = 8) () =
   Costs.with_mutator_threads Setups.default_costs threads
 
@@ -83,6 +119,7 @@ type giraph_system = Ooc | G_th
 
 let run_giraph ?(threads = 8) ?(small_dram = false) ?scale ?h2_config ?seed
     ?h1_gb system (p : Giraph_profiles.t) =
+  let seed = match seed with Some _ -> seed | None -> !giraph_seed in
   let costs = costs ~threads () in
   let delta =
     if small_dram then p.Giraph_profiles.dram_gb - p.Giraph_profiles.dram_small_gb

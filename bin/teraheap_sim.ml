@@ -1,5 +1,7 @@
-(* Command-line front end: run one workload under one system configuration
-   and print its execution-time breakdown and GC/H2 statistics. *)
+(* Command-line front end: run one or more workloads (comma-separated)
+   under one system configuration and print each execution-time breakdown
+   and GC/H2 statistics. Multiple workloads run on a domain pool
+   (`--jobs`); results print serially in argument order. *)
 
 open Th_sim
 module Setups = Th_baselines.Setups
@@ -88,11 +90,10 @@ let run_spark name system threads dram_override faults =
     | other -> failwith ("unknown spark system: " ^ other)
   in
   let label = Printf.sprintf "%s %s (DRAM %dGB)" p.Spark_profiles.name label dram in
-  print_result
-    (Spark_driver.run ~label ?h2_device:setup.Setups.h2_device
-       ?faults:setup.Setups.faults setup.Setups.ctx p)
+  Spark_driver.run ~label ?h2_device:setup.Setups.h2_device
+    ?faults:setup.Setups.faults setup.Setups.ctx p
 
-let run_giraph name system threads faults =
+let run_giraph name system threads faults : Run_result.t =
   let p = Giraph_profiles.by_name name in
   let costs = Costs.with_mutator_threads Setups.default_costs threads in
   let result =
@@ -118,7 +119,7 @@ let run_giraph name system threads faults =
           ?faults:s.Setups.g_faults p
     | other -> failwith ("unknown giraph system: " ^ other)
   in
-  print_result result
+  result
 
 open Cmdliner
 
@@ -134,7 +135,15 @@ let workload =
     & pos 1 (some string) None
     & info [] ~docv:"WORKLOAD"
         ~doc:"Spark: PR CC SSSP SVD TR LR LgR SVM BC RL KM; Giraph: PR CDLP \
-              WCC BFS SSSP")
+              WCC BFS SSSP. Comma-separate several to run them on the \
+              domain pool (see $(b,--jobs)).")
+
+let jobs =
+  Arg.(
+    value & opt int 0
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:"worker domains for multi-workload runs; 0 means the \
+              machine's recommended domain count")
 
 let system =
   Arg.(
@@ -174,15 +183,34 @@ let faults =
               full, full_us), e.g. 'default,seed=7'. Same seed, same \
               injected fault sequence.")
 
+(* Split the WORKLOAD argument on commas, run every cell on the pool,
+   then print the results serially in argument order. *)
+let run_all fw workloads sys thr dram faults jobs =
+  let names = String.split_on_char ',' workloads in
+  let cell name () =
+    match fw with
+    | `Spark -> run_spark name sys thr dram faults
+    | `Giraph -> run_giraph name sys thr faults
+  in
+  let thunks = List.map cell names in
+  let results =
+    match names with
+    | [ _ ] -> List.map (fun f -> f ()) thunks
+    | _ ->
+        let jobs =
+          if jobs > 0 then jobs else Th_exec.Pool.default_jobs ()
+        in
+        Th_exec.Pool.with_pool ~jobs (fun pool ->
+            Th_exec.Pool.run pool thunks)
+  in
+  List.iter print_result results
+
 let cmd =
   let doc = "Run one big-data workload on the TeraHeap simulator" in
   Cmd.v
     (Cmd.info "teraheap_sim" ~doc)
     Term.(
-      const (fun fw wl sys thr dram faults ->
-          match fw with
-          | `Spark -> run_spark wl sys thr dram faults
-          | `Giraph -> run_giraph wl sys thr faults)
-      $ framework $ workload $ system $ threads $ dram $ faults)
+      const run_all $ framework $ workload $ system $ threads $ dram $ faults
+      $ jobs)
 
 let () = exit (Cmd.eval cmd)

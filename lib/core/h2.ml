@@ -67,6 +67,13 @@ type region = {
   mutable deps : int list;  (* regions this region's objects reference *)
   objects : Obj_.t Vec.t;  (* append-only, therefore sorted by addr *)
   mutable buffer_fill : int;
+  (* Per-card-segment buckets of the objects overlapping each segment
+     (an object spanning several segments is registered in all of them).
+     Sized lazily on first allocation; reset to [||] when the region is
+     reclaimed or reopened, which also releases the object references.
+     Buckets inherit [objects]'s address order, so dirty-segment scans
+     visit objects exactly as the former binary-search walk did. *)
+  mutable seg_index : Obj_.t Vec.t option array;
 }
 
 type t = {
@@ -123,6 +130,7 @@ let create ~config:cfg ~clock ~costs ~device ~dr2_bytes () =
           deps = [];
           objects = Vec.create ();
           buffer_fill = 0;
+          seg_index = [||];
         })
   in
   {
@@ -262,6 +270,39 @@ let bucket_of t ~label ~bytes =
   | Size_segregated ->
       if bytes >= t.cfg.region_size / 8 then (label * 2) + 1 else label * 2
 
+let seg_range_of_region t (r : region) =
+  let lo = r.idx * t.cfg.region_size / t.cfg.card_segment_size in
+  let hi =
+    ((r.idx * t.cfg.region_size) + t.cfg.region_size + t.cfg.card_segment_size - 1)
+    / t.cfg.card_segment_size
+  in
+  (lo, hi)
+
+(* Register a freshly placed object in the buckets of every card segment
+   it overlaps. Overlap uses the object's unpadded [total_size] — the
+   same extent the card scan tests — not the 8-byte-aligned allocation
+   size, so bucket membership equals the former binary-search result. *)
+let seg_index_register t (r : region) (o : Obj_.t) =
+  let lo, hi = seg_range_of_region t r in
+  let n = hi - lo in
+  if Array.length r.seg_index <> n then r.seg_index <- Array.make n None;
+  let gstart = (r.idx * t.cfg.region_size) + o.Obj_.addr in
+  let s0 = max lo (gstart / t.cfg.card_segment_size) in
+  let s1 =
+    min (hi - 1) ((gstart + Obj_.total_size o - 1) / t.cfg.card_segment_size)
+  in
+  for s = s0 to s1 do
+    let bucket =
+      match r.seg_index.(s - lo) with
+      | Some v -> v
+      | None ->
+          let v = Vec.create () in
+          r.seg_index.(s - lo) <- Some v;
+          v
+    in
+    Vec.push bucket o
+  done
+
 let open_region t ~label ~key =
   let idx =
     match Vec.pop t.free_regions with
@@ -281,7 +322,9 @@ let open_region t ~label ~key =
   r.live <- false;
   r.deps <- [];
   Vec.clear r.objects;
+  Vec.shrink_to_fit r.objects;
   r.buffer_fill <- 0;
+  r.seg_index <- [||];
   t.group_parent.(idx) <- idx;
   t.group_live.(idx) <- false;
   t.regions_allocated <- t.regions_allocated + 1;
@@ -312,6 +355,7 @@ let alloc t o ~label =
   o.Obj_.addr <- r.top;
   r.top <- r.top + bytes;
   Vec.push r.objects o;
+  seg_index_register t r o;
   t.moves <- t.moves + 1;
   t.bytes_moved <- t.bytes_moved + bytes;
   (* Fill the promotion buffer; the compaction phase drains buffers in
@@ -383,14 +427,6 @@ let add_dependency t ~src_region ~dst_region =
 let note_backward_ref t o =
   H2_card_table.mark_dirty t.cards ~gaddr:(gaddr t o)
 
-let seg_range_of_region t (r : region) =
-  let lo = r.idx * t.cfg.region_size / t.cfg.card_segment_size in
-  let hi =
-    ((r.idx * t.cfg.region_size) + t.cfg.region_size + t.cfg.card_segment_size - 1)
-    / t.cfg.card_segment_size
-  in
-  (lo, hi)
-
 let free_dead_regions t ~on_free =
   let freed = ref 0 in
   for i = 0 to t.next_fresh - 1 do
@@ -413,6 +449,8 @@ let free_dead_regions t ~on_free =
       r.deps <- [];
       r.buffer_fill <- 0;
       Vec.clear r.objects;
+      Vec.shrink_to_fit r.objects;
+      r.seg_index <- [||];
       t.group_parent.(i) <- i;
       Vec.push t.free_regions i;
       t.regions_reclaimed <- t.regions_reclaimed + 1
@@ -445,32 +483,15 @@ let mutator_write t o =
 let region_of_seg t seg =
   seg * t.cfg.card_segment_size / t.cfg.region_size
 
-(* Objects of [r] overlapping segment [seg]; [r.objects] is sorted by
-   address, so we binary-search the first candidate. *)
+(* Objects of [r] overlapping segment [seg]: a direct bucket lookup in
+   the region's segment index (formerly a binary search over the
+   address-sorted [r.objects]). Buckets preserve allocation order, so the
+   visit order — ascending address — is unchanged. *)
 let iter_objects_in_seg t (r : region) seg f =
-  let seg_start = (seg * t.cfg.card_segment_size) - (r.idx * t.cfg.region_size) in
-  let seg_end = seg_start + t.cfg.card_segment_size in
-  let n = Vec.length r.objects in
-  (* First object whose end extends past seg_start. *)
-  let rec lower lo hi =
-    if lo >= hi then lo
-    else begin
-      let mid = (lo + hi) / 2 in
-      let o = Vec.get r.objects mid in
-      if o.Obj_.addr + Obj_.total_size o > seg_start then lower lo mid
-      else lower (mid + 1) hi
-    end
-  in
-  let rec walk i =
-    if i < n then begin
-      let o = Vec.get r.objects i in
-      if o.Obj_.addr < seg_end then begin
-        f o;
-        walk (i + 1)
-      end
-    end
-  in
-  walk (lower 0 n)
+  let lo = r.idx * t.cfg.region_size / t.cfg.card_segment_size in
+  let i = seg - lo in
+  if i >= 0 && i < Array.length r.seg_index then
+    match r.seg_index.(i) with Some bucket -> Vec.iter f bucket | None -> ()
 
 let scan_cards ~major t ~on_object =
   let total_segments =

@@ -1,0 +1,36 @@
+(** Stdlib-only Domain pool for embarrassingly parallel experiment cells.
+
+    [jobs - 1] worker domains plus the submitting domain drain a shared
+    Mutex/Condition work queue. Tasks must be independent: each benchmark
+    cell builds its own clock, heap, device stack and PRNG, so no
+    simulator state crosses domains. Results come back in submission
+    order, which keeps downstream rendering byte-identical to a serial
+    run regardless of completion order. *)
+
+type t
+
+val create : jobs:int -> unit -> t
+(** [create ~jobs ()] spawns [jobs - 1] worker domains ([jobs = 1] spawns
+    none and {!run} degenerates to [List.map]). Raises [Invalid_argument]
+    when [jobs < 1]. *)
+
+val jobs : t -> int
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val run : t -> (unit -> 'a) list -> 'a list
+(** [run t thunks] executes every thunk (workers plus the calling domain)
+    and returns the results in submission order. An exception raised by a
+    thunk is re-raised here, with its backtrace, after the whole batch
+    has drained. Must be called from the domain that created [t]; batches
+    do not nest. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+
+val shutdown : t -> unit
+(** Signal the workers to exit and join them. Required before process
+    exit (the OCaml runtime waits for unjoined domains); idempotent. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ~jobs f] runs [f] and shuts the pool down on any exit. *)

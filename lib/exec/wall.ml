@@ -1,0 +1,5 @@
+let now_ns () = Monotonic_clock.now ()
+
+let now_s () = Int64.to_float (now_ns ()) /. 1e9
+
+let elapsed_s ~since = now_s () -. since

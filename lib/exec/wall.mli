@@ -1,0 +1,12 @@
+(** Monotonic wall-clock time.
+
+    [Sys.time] reports CPU time summed over every domain, which is
+    misleading once the harness runs on multiple cores; these helpers
+    read CLOCK_MONOTONIC through bechamel's noalloc stub instead. *)
+
+val now_ns : unit -> int64
+
+val now_s : unit -> float
+
+val elapsed_s : since:float -> float
+(** [elapsed_s ~since] is [now_s () -. since]. *)

@@ -1,0 +1,70 @@
+(* Wall-clock perf tracker for the benchmark harness: records per-section
+   and total wall/CPU time plus the worker count, and serialises them to
+   BENCH_harness.json so the harness's own performance trajectory is
+   versioned alongside the simulation results. *)
+
+type section = { name : string; wall_s : float; cpu_s : float }
+
+type t = {
+  jobs : int;
+  sections : section list;
+  total_wall_s : float;
+  total_cpu_s : float;
+}
+
+let schema = "teraheap-bench-harness/1"
+
+let default_path = "BENCH_harness.json"
+
+(* [Sys.time] sums CPU time over every domain, so on a CPU-bound harness
+   it approximates what a serial run would need in wall time; the ratio
+   to actual wall time estimates the speedup without paying for a second,
+   serial run of the whole suite. *)
+let speedup_vs_serial_est t =
+  if t.total_wall_s > 0.0 then t.total_cpu_s /. t.total_wall_s else 1.0
+
+let json_float f =
+  if not (Float.is_finite f) then "0.0" else Printf.sprintf "%.6f" f
+
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let to_json t =
+  let section s =
+    Printf.sprintf "    { \"name\": %s, \"wall_s\": %s, \"cpu_s\": %s }"
+      (json_string s.name) (json_float s.wall_s) (json_float s.cpu_s)
+  in
+  String.concat "\n"
+    [
+      "{";
+      Printf.sprintf "  \"schema\": %s," (json_string schema);
+      Printf.sprintf "  \"jobs\": %d," t.jobs;
+      Printf.sprintf "  \"total_wall_s\": %s," (json_float t.total_wall_s);
+      Printf.sprintf "  \"total_cpu_s\": %s," (json_float t.total_cpu_s);
+      Printf.sprintf "  \"speedup_vs_serial_est\": %s,"
+        (json_float (speedup_vs_serial_est t));
+      "  \"sections\": [";
+      String.concat ",\n" (List.map section t.sections);
+      "  ]";
+      "}";
+      "";
+    ]
+
+let write ?(path = default_path) t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_json t))

@@ -1,0 +1,29 @@
+(** Wall-clock perf tracker for the benchmark harness.
+
+    Serialises per-section and total wall/CPU time plus the worker count
+    to a small JSON file ([BENCH_harness.json] by default) so the
+    harness's own performance trajectory accumulates per run/PR. *)
+
+type section = { name : string; wall_s : float; cpu_s : float }
+
+type t = {
+  jobs : int;
+  sections : section list;
+  total_wall_s : float;
+  total_cpu_s : float;
+}
+
+val schema : string
+(** Schema identifier embedded in the JSON ("teraheap-bench-harness/1"). *)
+
+val default_path : string
+(** "BENCH_harness.json". *)
+
+val speedup_vs_serial_est : t -> float
+(** [total_cpu_s / total_wall_s]: since [Sys.time] sums CPU over all
+    domains and the harness is CPU-bound, this estimates the speedup over
+    a serial run without re-running the suite serially. *)
+
+val to_json : t -> string
+
+val write : ?path:string -> t -> unit

@@ -1,13 +1,22 @@
+open Th_sim
+module Obj_ = Th_objmodel.Heap_object
+
 type t = {
   card_size : int;
   cards : Bytes.t;
   mutable dirty : int;
+  (* Remembered-set index: per-card buckets of old-generation objects
+     keyed by the card of their start address. Maintained on promotion
+     and direct old allocation, rebuilt from scratch after each major GC
+     (compaction reassigns every address). Minor GC then visits only the
+     dirty cards' buckets instead of sweeping the whole old generation. *)
+  buckets : Obj_.t Vec.t option array;
 }
 
 let create ?(card_size = 512) ~capacity_bytes () =
   if card_size <= 0 then invalid_arg "Card_table.create: card_size";
   let n = max 1 ((capacity_bytes + card_size - 1) / card_size) in
-  { card_size; cards = Bytes.make n '\000'; dirty = 0 }
+  { card_size; cards = Bytes.make n '\000'; dirty = 0; buckets = Array.make n None }
 
 let card_size t = t.card_size
 
@@ -39,3 +48,56 @@ let clear_card t ~card =
     Bytes.set t.cards card '\000';
     t.dirty <- t.dirty - 1
   end
+
+(* ------------------------------------------------------------------ *)
+(* Remembered-set index                                                *)
+
+let register t (o : Obj_.t) =
+  let c = o.Obj_.addr / t.card_size in
+  (* During major-GC precompaction an object's new address may exceed the
+     old generation (the OOM is only raised in the epilogue); skip rather
+     than fail so the index never changes which exception surfaces. *)
+  if c >= 0 && c < Array.length t.buckets then begin
+    let bucket =
+      match t.buckets.(c) with
+      | Some v -> v
+      | None ->
+          let v = Vec.create () in
+          t.buckets.(c) <- Some v;
+          v
+    in
+    Vec.push bucket o
+  end
+
+let clear_index t = Array.fill t.buckets 0 (Array.length t.buckets) None
+
+let rebuild_index t objs =
+  clear_index t;
+  Vec.iter (register t) objs
+
+let iter_card_objects t ~card f =
+  if card >= 0 && card < Array.length t.buckets then
+    match t.buckets.(card) with Some v -> Vec.iter f v | None -> ()
+
+let card_object_count t ~card =
+  if card >= 0 && card < Array.length t.buckets then
+    match t.buckets.(card) with Some v -> Vec.length v | None -> 0
+  else 0
+
+let iter_dirty_buckets t f =
+  (* Ascending card order, each bucket in insertion (= address) order:
+     exactly the visit order of a linear sweep of the address-sorted old
+     generation, so the replacement is observationally identical. The
+     card-byte walk stops once every dirty card has been seen. *)
+  let remaining = ref t.dirty in
+  let n = Bytes.length t.cards in
+  let c = ref 0 in
+  while !remaining > 0 && !c < n do
+    if Bytes.unsafe_get t.cards !c <> '\000' then begin
+      decr remaining;
+      match t.buckets.(!c) with
+      | Some v when Vec.length v > 0 -> f !c v
+      | Some _ | None -> ()
+    end;
+    incr c
+  done

@@ -1,9 +1,16 @@
-(** H1 card table.
+(** H1 card table with a card-indexed remembered set.
 
     One dirty bit per fixed-size card covering the old generation's address
     space, as in vanilla Parallel Scavenge (512 B cards). The post-write
     barrier marks the card holding an updated old-generation object; minor
-    GC scans dirty cards for old-to-young references. *)
+    GC scans dirty cards for old-to-young references.
+
+    In addition to the dirty bits, the table keeps per-card object buckets
+    (the remembered-set index): every old-generation object is registered
+    under the card of its start address, so the minor-GC card scan visits
+    only the objects of dirty cards instead of sweeping the whole old
+    generation. Dirtiness and membership are orthogonal: {!clear_all}
+    clears dirty bits only, {!rebuild_index} resets membership. *)
 
 type t
 
@@ -25,3 +32,31 @@ val dirty_count : t -> int
 val clear_all : t -> unit
 
 val clear_card : t -> card:int -> unit
+
+(** {1 Remembered-set index} *)
+
+val register : t -> Th_objmodel.Heap_object.t -> unit
+(** Add an object to the bucket of the card holding its start address.
+    Out-of-range addresses (transiently possible during major-GC
+    precompaction) are silently skipped. *)
+
+val clear_index : t -> unit
+(** Drop every bucket, releasing all object references held by the index. *)
+
+val rebuild_index : t -> Th_objmodel.Heap_object.t Th_sim.Vec.t -> unit
+(** [rebuild_index t objs] is {!clear_index} followed by {!register} for
+    each element of [objs] in order. Called after major-GC compaction,
+    when every old-generation address has been reassigned. *)
+
+val iter_card_objects :
+  t -> card:int -> (Th_objmodel.Heap_object.t -> unit) -> unit
+(** Iterate the bucket of [card] in registration (= address) order.
+    Out-of-range cards iterate nothing. *)
+
+val card_object_count : t -> card:int -> int
+
+val iter_dirty_buckets :
+  t -> (int -> Th_objmodel.Heap_object.t Th_sim.Vec.t -> unit) -> unit
+(** [iter_dirty_buckets t f] calls [f card bucket] for every dirty card
+    with a non-empty bucket, in ascending card order. The callback must
+    not change card dirtiness. *)

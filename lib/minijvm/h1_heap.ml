@@ -72,6 +72,7 @@ let alloc t ~kind ~size =
         o.Obj_.loc <- Obj_.Old;
         o.Obj_.addr <- addr;
         Vec.push t.old_objs o;
+        Card_table.register t.cards o;
         Allocated o
   end
   else if t.eden_used + bytes > t.eden_capacity then Eden_full
@@ -90,7 +91,28 @@ let promote t o ~addr =
       invalid_arg "H1_heap.promote: object is not young");
   o.Obj_.loc <- Obj_.Old;
   o.Obj_.addr <- addr;
-  Vec.push t.old_objs o
+  Vec.push t.old_objs o;
+  Card_table.register t.cards o
+
+(* Register an externally initialised old-generation object (the caller
+   has already set [loc], [addr] and done the space accounting via
+   {!old_alloc_addr}); keeps the remembered-set index in sync. *)
+let push_old t o =
+  Vec.push t.old_objs o;
+  Card_table.register t.cards o
+
+let rebuild_card_index t = Card_table.rebuild_index t.cards t.old_objs
+
+(* After a full collection the space vectors hold only live entries, but
+   the slack of their backing arrays still references every object
+   filtered out since the last reallocation — dead objects would stay
+   reachable from the OCaml heap forever. Major GCs are rare, so the
+   reallocation cost is negligible. *)
+let compact_after_major t =
+  Vec.filter_in_place (fun (o : Obj_.t) -> o.Obj_.loc <> Obj_.Freed) t.old_objs;
+  Vec.shrink_to_fit t.old_objs;
+  Vec.shrink_to_fit t.eden;
+  Vec.shrink_to_fit t.survivor
 
 let to_survivor t o =
   let bytes = Obj_.total_size o in

@@ -52,7 +52,21 @@ val old_alloc_addr : t -> int -> int option
 
 val promote : t -> Th_objmodel.Heap_object.t -> addr:int -> unit
 (** Move a young object into the old generation at [addr]. The caller must
-    have obtained [addr] from {!old_alloc_addr}. *)
+    have obtained [addr] from {!old_alloc_addr}. Registers the object in
+    the card table's remembered-set index. *)
+
+val push_old : t -> Th_objmodel.Heap_object.t -> unit
+(** Append an externally initialised old-generation object (location,
+    address and accounting already done by the caller) to [old_objs] and
+    the remembered-set index. Used by the G1 humongous-allocation path. *)
+
+val rebuild_card_index : t -> unit
+(** Rebuild the card table's remembered-set index from [old_objs]. Must
+    run after major-GC compaction reassigns old-generation addresses. *)
+
+val compact_after_major : t -> unit
+(** Drop [Freed] entries from the space vectors and shrink their backing
+    arrays, releasing the references that keep dead objects reachable. *)
 
 val to_survivor : t -> Th_objmodel.Heap_object.t -> unit
 (** Copy a live eden/survivor object into the target survivor space. *)

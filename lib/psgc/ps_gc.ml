@@ -44,25 +44,40 @@ let minor_gc (rt : Rt.t) =
             push_young c)
           o)
     rt.Rt.roots;
-  (* Task 2: scan H1 dirty cards for old-to-young references. *)
+  (* Task 2: scan H1 dirty cards for old-to-young references. The
+     simulated cost (checking every card entry, then examining each
+     object of a dirty card) is identical in both modes; the modes differ
+     only in how much *host* work finds those objects. Card buckets visit
+     dirty cards' remembered-set buckets directly — O(dirty objects) —
+     where the linear oracle sweeps the whole old generation. Both visit
+     the same objects in the same (address) order. *)
   Rt.charge_minor rt
     (float_of_int (Card_table.num_cards heap.H1_heap.cards)
     *. costs.Costs.card_scan_ns);
   let scanned_cards : (int, unit) Hashtbl.t = Hashtbl.create 256 in
-  Vec.iter
-    (fun (o : Obj_.t) ->
-      let card = Card_table.card_of_addr heap.H1_heap.cards o.Obj_.addr in
-      if Card_table.is_dirty heap.H1_heap.cards ~card then begin
-        Hashtbl.replace scanned_cards card ();
-        Rt.charge_minor rt
-          (costs.Costs.card_obj_scan_ns *. rt.Rt.profile.Cost_profile.old_mult);
-        Obj_.iter_refs
-          (fun c ->
-            Rt.charge_minor rt costs.Costs.trace_ref_ns;
-            push_young c)
-          o
-      end)
-    heap.H1_heap.old_objs;
+  let scan_card_object (o : Obj_.t) =
+    Rt.charge_minor rt
+      (costs.Costs.card_obj_scan_ns *. rt.Rt.profile.Cost_profile.old_mult);
+    Obj_.iter_refs
+      (fun c ->
+        Rt.charge_minor rt costs.Costs.trace_ref_ns;
+        push_young c)
+      o
+  in
+  (match rt.Rt.rset_mode with
+  | Rt.Card_buckets ->
+      Card_table.iter_dirty_buckets heap.H1_heap.cards (fun card bucket ->
+          Hashtbl.replace scanned_cards card ();
+          Vec.iter scan_card_object bucket)
+  | Rt.Linear_scan ->
+      Vec.iter
+        (fun (o : Obj_.t) ->
+          let card = Card_table.card_of_addr heap.H1_heap.cards o.Obj_.addr in
+          if Card_table.is_dirty heap.H1_heap.cards ~card then begin
+            Hashtbl.replace scanned_cards card ();
+            scan_card_object o
+          end)
+        heap.H1_heap.old_objs);
   (* Task 3 (TeraHeap): scan the H2 card table; backward references keep
      H1 young objects alive and must be adjusted after the copy. *)
   (match rt.Rt.h2 with
@@ -130,12 +145,25 @@ let minor_gc (rt : Rt.t) =
      object in the card still references a young object. Promoted objects
      may now hold young references, so their cards become dirty. *)
   let still_dirty : (int, unit) Hashtbl.t = Hashtbl.create 64 in
-  Vec.iter
-    (fun (o : Obj_.t) ->
-      let card = Card_table.card_of_addr heap.H1_heap.cards o.Obj_.addr in
-      if Hashtbl.mem scanned_cards card && has_young_ref o then
-        Hashtbl.replace still_dirty card ())
-    heap.H1_heap.old_objs;
+  (match rt.Rt.rset_mode with
+  | Rt.Card_buckets ->
+      (* Objects promoted in Task 5 are already registered, so a scanned
+         card's bucket holds exactly the old objects the linear sweep
+         would attribute to it. *)
+      Hashtbl.iter
+        (fun card () ->
+          let found = ref false in
+          Card_table.iter_card_objects heap.H1_heap.cards ~card (fun o ->
+              if (not !found) && has_young_ref o then found := true);
+          if !found then Hashtbl.replace still_dirty card ())
+        scanned_cards
+  | Rt.Linear_scan ->
+      Vec.iter
+        (fun (o : Obj_.t) ->
+          let card = Card_table.card_of_addr heap.H1_heap.cards o.Obj_.addr in
+          if Hashtbl.mem scanned_cards card && has_young_ref o then
+            Hashtbl.replace still_dirty card ())
+        heap.H1_heap.old_objs);
   Hashtbl.iter
     (fun card () ->
       if not (Hashtbl.mem still_dirty card) then
@@ -527,6 +555,12 @@ let major_gc (rt : Rt.t) =
       H2.recompute_card_states h2 ~major:true);
   (* The full collection leaves no old-to-young references. *)
   Card_table.clear_all heap.H1_heap.cards;
+  (* Release the dead objects still referenced by the space vectors'
+     backing arrays, then rebuild the remembered-set index: compaction
+     reassigned every old-generation address. [old_objs] is rebuilt in
+     ascending-address order above, so registration order matches it. *)
+  H1_heap.compact_after_major heap;
+  H1_heap.rebuild_card_index heap;
   let compact_ns, _ = phase_delta t3 in
 
   (* --- Epilogue ----------------------------------------------------- *)

@@ -21,6 +21,15 @@ let invalid_heap_state ~object_id ~phase =
 
 type collector = Ps | Ps_jdk11 | G1
 
+(* How minor GC finds old-to-young references. [Card_buckets] (default)
+   visits only the dirty cards' remembered-set buckets; [Linear_scan]
+   sweeps every old-generation object, checking its card — the original
+   O(#old objects) implementation, kept as a debug/equivalence oracle.
+   Both visit the same objects in the same order (the old generation is
+   address-sorted and buckets preserve insertion order), so they charge
+   identical simulated time. *)
+type rset_mode = Card_buckets | Linear_scan
+
 (* Pending move policy decided at the end of the previous major GC. *)
 type move_pressure = No_pressure | Move_all_tagged | Move_until_low
 
@@ -32,6 +41,7 @@ type t = {
   h2 : H2.t option;
   profile : Cost_profile.t;
   collector : collector;
+  rset_mode : rset_mode;
   stats : Gc_stats.t;
   mutable mark_epoch : int;
   mutable closure_epoch : int;
@@ -42,8 +52,8 @@ type t = {
   g1_region_size : int;
 }
 
-let create ?(collector = Ps) ?(profile = Cost_profile.dram) ?h2 ~clock ~costs
-    ~heap () =
+let create ?(collector = Ps) ?(profile = Cost_profile.dram)
+    ?(rset_mode = Card_buckets) ?h2 ~clock ~costs ~heap () =
   {
     clock;
     costs;
@@ -52,6 +62,7 @@ let create ?(collector = Ps) ?(profile = Cost_profile.dram) ?h2 ~clock ~costs
     h2;
     profile;
     collector;
+    rset_mode;
     stats = Gc_stats.create ();
     mark_epoch = 0;
     closure_epoch = 0;

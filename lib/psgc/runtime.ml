@@ -63,7 +63,7 @@ let alloc (t : t) ?(kind = Obj_.Data) ~size () =
       | Some addr ->
           o.Obj_.loc <- Obj_.Old;
           o.Obj_.addr <- addr;
-          Th_sim.Vec.push t.Rt.heap.H1_heap.old_objs o;
+          H1_heap.push_old t.Rt.heap o;
           H1_heap.Allocated o
     end
     else H1_heap.alloc t.Rt.heap ~kind ~size

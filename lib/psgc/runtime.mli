@@ -21,6 +21,7 @@ exception Invalid_heap_state of { object_id : int; phase : string }
 val create :
   ?collector:Rt.collector ->
   ?profile:Cost_profile.t ->
+  ?rset_mode:Rt.rset_mode ->
   ?h2:Th_core.H2.t ->
   clock:Th_sim.Clock.t ->
   costs:Th_sim.Costs.t ->

@@ -72,6 +72,9 @@ let filter_in_place p v =
   done;
   v.len <- !kept
 
+let shrink_to_fit v =
+  if Array.length v.data > v.len then v.data <- Array.sub v.data 0 v.len
+
 let to_list v =
   let rec loop i acc = if i < 0 then acc else loop (i - 1) (v.data.(i) :: acc) in
   loop (v.len - 1) []

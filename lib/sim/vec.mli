@@ -42,6 +42,12 @@ val filter_in_place : ('a -> bool) -> 'a t -> unit
 (** [filter_in_place p v] keeps only the elements satisfying [p],
     preserving order. *)
 
+val shrink_to_fit : 'a t -> unit
+(** [shrink_to_fit v] reallocates the backing array to exactly [length v]
+    elements. [clear] and [filter_in_place] keep the old storage, so the
+    slack still references dropped elements and keeps them reachable;
+    call this after bulk removals (e.g. a GC sweep) to release them. *)
+
 val to_list : 'a t -> 'a list
 
 val of_list : 'a list -> 'a t

@@ -1,0 +1,103 @@
+(* Tests of the domain-pool executor and of the harness determinism
+   contract: pooled execution returns results in submission order, so
+   rendering (and therefore CSV/report output) is byte-identical to a
+   serial run. *)
+
+module Pool = Th_exec.Pool
+module Wall = Th_exec.Wall
+module Csv = Th_metrics.Csv
+module Setups = Th_baselines.Setups
+module Giraph_profiles = Th_workloads.Giraph_profiles
+module Giraph_driver = Th_workloads.Giraph_driver
+module Run_result = Th_workloads.Run_result
+
+let test_results_in_submission_order () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let thunks =
+        List.init 32 (fun i () ->
+            (* Stagger so later submissions tend to finish first. *)
+            if i mod 4 = 0 then Unix.sleepf 0.002;
+            i * i)
+      in
+      let results = Pool.run pool thunks in
+      Alcotest.(check (list int))
+        "squares in order"
+        (List.init 32 (fun i -> i * i))
+        results)
+
+let test_exception_propagates () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      Alcotest.check_raises "thunk exception re-raised" (Failure "boom")
+        (fun () ->
+          ignore
+            (Pool.run pool
+               [ (fun () -> 1); (fun () -> failwith "boom"); (fun () -> 3) ]));
+      (* The pool survives a failing batch. *)
+      Alcotest.(check (list int))
+        "pool reusable after failure" [ 7 ]
+        (Pool.run pool [ (fun () -> 7) ]))
+
+let test_serial_pool () =
+  Pool.with_pool ~jobs:1 (fun pool ->
+      Alcotest.(check (list int))
+        "jobs=1 runs in the calling domain" [ 1; 2; 3 ]
+        (Pool.run pool [ (fun () -> 1); (fun () -> 2); (fun () -> 3) ]))
+
+let test_map () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      Alcotest.(check (list int))
+        "map keeps order" [ 2; 4; 6; 8 ]
+        (Pool.map pool (fun x -> 2 * x) [ 1; 2; 3; 4 ]))
+
+let test_invalid_jobs () =
+  Alcotest.check_raises "jobs must be positive"
+    (Invalid_argument "Pool.create: jobs must be >= 1") (fun () ->
+      ignore (Pool.create ~jobs:0 ()))
+
+let test_wall_clock_monotonic () =
+  let t0 = Wall.now_s () in
+  Unix.sleepf 0.001;
+  let dt = Wall.elapsed_s ~since:t0 in
+  Alcotest.(check bool) "elapsed time is positive" true (dt > 0.0)
+
+(* The determinism contract end to end: the same Giraph cell, with a
+   fixed seed, produces byte-identical CSV whether computed serially or
+   on a 4-domain pool. *)
+let giraph_cell seed () =
+  let p = Giraph_profiles.bfs in
+  let s =
+    Setups.giraph_teraheap ~h1_gb:p.Giraph_profiles.th_h1_gb
+      ~dr2_gb:p.Giraph_profiles.th_dr2_gb ()
+  in
+  Giraph_driver.run ~label:"BFS determinism" s.Setups.rt ~mode:s.Setups.mode
+    ~scale:0.1 ~seed p
+
+let csv_of_results results =
+  Csv.to_string ~header:Csv.breakdown_header
+    (List.map
+       (fun (r : Run_result.t) ->
+         Csv.breakdown_row ~label:r.Run_result.label r.Run_result.breakdown)
+       results)
+
+let test_pooled_csv_identical () =
+  let seed = 42L in
+  let cells = [ giraph_cell seed; giraph_cell seed; giraph_cell seed ] in
+  let serial = csv_of_results (List.map (fun f -> f ()) cells) in
+  let pooled =
+    Pool.with_pool ~jobs:4 (fun pool -> csv_of_results (Pool.run pool cells))
+  in
+  Alcotest.(check string) "serial and pooled CSV bytes" serial pooled
+
+let suite =
+  [
+    Alcotest.test_case "results in submission order" `Quick
+      test_results_in_submission_order;
+    Alcotest.test_case "exceptions propagate" `Quick test_exception_propagates;
+    Alcotest.test_case "jobs=1 serial path" `Quick test_serial_pool;
+    Alcotest.test_case "map keeps order" `Quick test_map;
+    Alcotest.test_case "jobs=0 rejected" `Quick test_invalid_jobs;
+    Alcotest.test_case "wall clock is monotonic" `Quick
+      test_wall_clock_monotonic;
+    Alcotest.test_case "pooled CSV identical to serial" `Slow
+      test_pooled_csv_identical;
+  ]

@@ -68,13 +68,13 @@ let base_config =
     capacity = Size.mib 16;
   }
 
-let execute ?(config = base_config) program =
+let execute ?(config = base_config) ?rset_mode program =
   let clock = Clock.create () in
   let costs = Costs.default in
   let heap = H1_heap.create ~heap_bytes:(Size.mib 2) () in
   let device = Device.create clock Device.Nvme_ssd in
   let h2 = H2.create ~config ~clock ~costs ~device ~dr2_bytes:(Size.kib 256) () in
-  let rt = Runtime.create ~h2 ~clock ~costs ~heap () in
+  let rt = Runtime.create ?rset_mode ~h2 ~clock ~costs ~heap () in
   let table = Vec.create () in
   let pinned : (int, Obj_.t) Hashtbl.t = Hashtbl.create 16 in
   let sizes = [| 64; 256; 1024; 4096 |] in
@@ -332,9 +332,87 @@ let prop_safety_dynamic_thresholds =
   prop_safety_under_config "safety holds with dynamic thresholds"
     { base_config with H2.dynamic_thresholds = true }
 
+(* Invariant 8: the card-indexed remembered set is an exact drop-in for
+   the linear old-generation sweep — same program, same simulated clock,
+   same GC counts, same final object state. The old generation is
+   address-sorted and buckets keep insertion (= address) order, so both
+   modes visit the same objects in the same order and must charge
+   identical simulated time. *)
+let prop_rset_modes_equivalent =
+  QCheck.Test.make
+    ~name:"card-indexed rset is observationally equal to linear scan"
+    ~count:120 arbitrary_program
+    (fun program ->
+      let summarize rset_mode =
+        let rt, table, _ = execute ~rset_mode program in
+        let module Gc_stats = Th_psgc.Gc_stats in
+        let stats = Runtime.stats rt in
+        let objs =
+          List.map
+            (fun (o : Obj_.t) -> (o.Obj_.id, o.Obj_.loc, o.Obj_.addr))
+            (Vec.to_list table)
+        in
+        ( Clock.now_ns (Runtime.clock rt),
+          Gc_stats.minor_count stats,
+          Gc_stats.major_count stats,
+          Th_minijvm.Card_table.dirty_count (Runtime.heap rt).H1_heap.cards,
+          objs )
+      in
+      summarize Th_psgc.Rt.Card_buckets = summarize Th_psgc.Rt.Linear_scan)
+
+(* Invariant 9: the remembered-set index is exact — for every card, the
+   bucket holds precisely the old-generation objects whose start address
+   lies on that card, in address order. *)
+let prop_rset_index_exact =
+  QCheck.Test.make ~name:"card buckets exactly partition the old generation"
+    ~count:120 arbitrary_program
+    (fun program ->
+      let rt, _, _ = execute program in
+      let heap = Runtime.heap rt in
+      let ct = heap.H1_heap.cards in
+      let module Card_table = Th_minijvm.Card_table in
+      (* Expected bucket contents from a fresh sweep of [old_objs]. *)
+      let expected : (int, Obj_.t list) Hashtbl.t = Hashtbl.create 64 in
+      Vec.iter
+        (fun (o : Obj_.t) ->
+          let c = Card_table.card_of_addr ct o.Obj_.addr in
+          let tl = Option.value ~default:[] (Hashtbl.find_opt expected c) in
+          Hashtbl.replace expected c (o :: tl))
+        heap.H1_heap.old_objs;
+      let ids objs = List.map (fun (o : Obj_.t) -> o.Obj_.id) objs in
+      let ok = ref true in
+      for c = 0 to Card_table.num_cards ct - 1 do
+        let exp =
+          List.rev (Option.value ~default:[] (Hashtbl.find_opt expected c))
+        in
+        let got = ref [] in
+        Card_table.iter_card_objects ct ~card:c (fun o -> got := o :: !got);
+        if ids (List.rev !got) <> ids exp then ok := false
+      done;
+      !ok)
+
+(* Invariant 10: after a major GC the space vectors hold no [Freed]
+   entries and their backing arrays carry no slack referencing them. *)
+let prop_no_freed_after_major =
+  QCheck.Test.make ~name:"major GC compacts Freed entries out of the vectors"
+    ~count:120 arbitrary_program
+    (fun program ->
+      let rt, _, _ = execute program in
+      Runtime.major_gc rt;
+      let heap = Runtime.heap rt in
+      let no_freed v =
+        Vec.fold_left (fun ok (o : Obj_.t) -> ok && not (Obj_.is_freed o)) true v
+      in
+      no_freed heap.H1_heap.old_objs
+      && no_freed heap.H1_heap.eden
+      && no_freed heap.H1_heap.survivor)
+
 let props =
   [
     prop_no_reachable_object_freed;
+    prop_rset_modes_equivalent;
+    prop_rset_index_exact;
+    prop_no_freed_after_major;
     prop_safety_region_groups;
     prop_safety_size_segregated;
     prop_safety_unaligned_stripes;
