@@ -13,6 +13,7 @@ module Run_result = Th_workloads.Run_result
 module Gc_stats = Th_psgc.Gc_stats
 module Runtime = Th_psgc.Runtime
 module H2 = Th_core.H2
+module Verify = Th_verify.Verify
 
 let outcome_name = function
   | Run_result.Completed -> "completed"
@@ -51,7 +52,7 @@ let print_result (r : Run_result.t) =
   | Some fs -> Th_metrics.Report.print_fault_summary ~label:"run" fs
   | None -> ()
 
-let run_spark name system threads dram_override faults =
+let run_spark name system threads dram_override faults verify =
   let p = Spark_profiles.by_name name in
   let costs = Costs.with_mutator_threads Setups.default_costs threads in
   let dram =
@@ -90,10 +91,16 @@ let run_spark name system threads dram_override faults =
     | other -> failwith ("unknown spark system: " ^ other)
   in
   let label = Printf.sprintf "%s %s (DRAM %dGB)" p.Spark_profiles.name label dram in
-  Spark_driver.run ~label ?h2_device:setup.Setups.h2_device
-    ?faults:setup.Setups.faults setup.Setups.ctx p
+  let v =
+    Verify.attach (Th_spark.Context.runtime setup.Setups.ctx) verify
+  in
+  let r =
+    Spark_driver.run ~label ?h2_device:setup.Setups.h2_device
+      ?faults:setup.Setups.faults setup.Setups.ctx p
+  in
+  (r, v)
 
-let run_giraph name system threads faults : Run_result.t =
+let run_giraph name system threads faults verify : Run_result.t * Verify.t =
   let p = Giraph_profiles.by_name name in
   let costs = Costs.with_mutator_threads Setups.default_costs threads in
   let result =
@@ -103,20 +110,24 @@ let run_giraph name system threads faults : Run_result.t =
           Setups.giraph_ooc ~costs ?faults
             ~heap_gb:p.Giraph_profiles.ooc_heap_gb ()
         in
-        Giraph_driver.run
-          ~label:(p.Giraph_profiles.name ^ " Giraph-OOC")
-          s.Setups.rt ~mode:s.Setups.mode ?ooc_device:s.Setups.ooc_device
-          ?faults:s.Setups.g_faults p
+        let v = Verify.attach s.Setups.rt verify in
+        ( Giraph_driver.run
+            ~label:(p.Giraph_profiles.name ^ " Giraph-OOC")
+            s.Setups.rt ~mode:s.Setups.mode ?ooc_device:s.Setups.ooc_device
+            ?faults:s.Setups.g_faults p,
+          v )
     | "th" ->
         let s =
           Setups.giraph_teraheap ~costs ?faults
             ~h1_gb:p.Giraph_profiles.th_h1_gb
             ~dr2_gb:p.Giraph_profiles.th_dr2_gb ()
         in
-        Giraph_driver.run
-          ~label:(p.Giraph_profiles.name ^ " TeraHeap")
-          s.Setups.rt ~mode:s.Setups.mode ?h2_device:s.Setups.g_h2_device
-          ?faults:s.Setups.g_faults p
+        let v = Verify.attach s.Setups.rt verify in
+        ( Giraph_driver.run
+            ~label:(p.Giraph_profiles.name ^ " TeraHeap")
+            s.Setups.rt ~mode:s.Setups.mode ?h2_device:s.Setups.g_h2_device
+            ?faults:s.Setups.g_faults p,
+          v )
     | other -> failwith ("unknown giraph system: " ^ other)
   in
   result
@@ -183,14 +194,33 @@ let faults =
               full, full_us), e.g. 'default,seed=7'. Same seed, same \
               injected fault sequence.")
 
+let verify_level =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("off", Verify.Off);
+             ("safepoint", Verify.Safepoint);
+             ("paranoid", Verify.Paranoid);
+           ])
+        Verify.Off
+    & info [ "verify" ] ~docv:"LEVEL"
+        ~doc:
+          "Heap-state sanitizer level: 'off', 'safepoint' (check H1/H2 \
+           invariants at every GC safepoint) or 'paranoid' (additionally \
+           run a from-scratch reachability census). Violations print to \
+           stderr and make the run exit non-zero; stdout is byte-identical \
+           to an unverified run.")
+
 (* Split the WORKLOAD argument on commas, run every cell on the pool,
    then print the results serially in argument order. *)
-let run_all fw workloads sys thr dram faults jobs =
+let run_all fw workloads sys thr dram faults jobs verify =
   let names = String.split_on_char ',' workloads in
   let cell name () =
     match fw with
-    | `Spark -> run_spark name sys thr dram faults
-    | `Giraph -> run_giraph name sys thr faults
+    | `Spark -> run_spark name sys thr dram faults verify
+    | `Giraph -> run_giraph name sys thr faults verify
   in
   let thunks = List.map cell names in
   let results =
@@ -203,7 +233,18 @@ let run_all fw workloads sys thr dram faults jobs =
         Th_exec.Pool.with_pool ~jobs (fun pool ->
             Th_exec.Pool.run pool thunks)
   in
-  List.iter print_result results
+  List.iter (fun (r, _) -> print_result r) results;
+  let total_violations =
+    List.fold_left (fun acc (_, v) -> acc + Verify.violation_count v) 0 results
+  in
+  if total_violations > 0 then begin
+    List.iter
+      (fun ((r : Run_result.t), v) ->
+        if Verify.violation_count v > 0 then
+          Printf.eprintf "%s: %s" r.Run_result.label (Verify.report v))
+      results;
+    exit 1
+  end
 
 let cmd =
   let doc = "Run one big-data workload on the TeraHeap simulator" in
@@ -211,6 +252,6 @@ let cmd =
     (Cmd.info "teraheap_sim" ~doc)
     Term.(
       const run_all $ framework $ workload $ system $ threads $ dram $ faults
-      $ jobs)
+      $ jobs $ verify_level)
 
 let () = exit (Cmd.eval cmd)

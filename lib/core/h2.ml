@@ -577,6 +577,45 @@ let recompute_card_states t ~major =
 (* ------------------------------------------------------------------ *)
 (* Introspection                                                       *)
 
+let device t = t.device
+
+let allocated_regions t = t.next_fresh
+
+let free_region_list t = Vec.to_list t.free_regions
+
+let label_of_region t ~region = t.regions.(region).label
+
+let in_same_group t ~a ~b = uf_find t a = uf_find t b
+
+type region_view = {
+  view_idx : int;
+  view_label : int;
+  view_top : int;
+  view_live : bool;
+  view_deps : int list;
+  view_objects : Obj_.t Vec.t;
+}
+
+let iter_region_views t f =
+  for i = 0 to t.next_fresh - 1 do
+    let r = t.regions.(i) in
+    f
+      {
+        view_idx = r.idx;
+        view_label = r.label;
+        view_top = r.top;
+        view_live = r.live;
+        view_deps = r.deps;
+        view_objects = r.objects;
+      }
+  done
+
+(* Corruption plant for the sanitizer's mutation tests: silently drop a
+   dependency edge, leaving the heap exactly as a protocol bug would. *)
+let debug_remove_dependency t ~src_region ~dst_region =
+  let r = t.regions.(src_region) in
+  r.deps <- List.filter (fun d -> d <> dst_region) r.deps
+
 let minor_scan_ns t = t.minor_scan_ns
 
 let high_threshold t = t.high

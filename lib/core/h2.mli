@@ -222,6 +222,40 @@ val recompute_card_states : t -> major:bool -> unit
 
 (** {1 Introspection} *)
 
+val device : t -> Th_device.Device.t
+
+val allocated_regions : t -> int
+(** Regions ever opened: indices [0 .. allocated_regions - 1] have been in
+    use at least once (some may since have been reclaimed). *)
+
+val free_region_list : t -> int list
+(** Indices of reclaimed regions awaiting reuse. *)
+
+val label_of_region : t -> region:int -> int
+(** The region's label, or -1 if it is free. *)
+
+val in_same_group : t -> a:int -> b:int -> bool
+(** Whether two regions share a Union-Find group ([Region_groups] mode). *)
+
+type region_view = {
+  view_idx : int;
+  view_label : int;  (** -1 = free *)
+  view_top : int;
+  view_live : bool;
+  view_deps : int list;
+  view_objects : Th_objmodel.Heap_object.t Th_sim.Vec.t;
+      (** the live backing vector — callers must not mutate it *)
+}
+(** Read-only snapshot of one region's metadata, for external invariant
+    checking ({!Th_verify}). *)
+
+val iter_region_views : t -> (region_view -> unit) -> unit
+(** Visit every ever-opened region, free ones included, in index order. *)
+
+val debug_remove_dependency : t -> src_region:int -> dst_region:int -> unit
+(** Test-only corruption plant: silently drop a dependency edge so the
+    sanitizer's mutation tests can verify it is detected. *)
+
 val stats : t -> stats
 
 val used_bytes : t -> int

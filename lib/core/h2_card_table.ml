@@ -1,11 +1,19 @@
 type state = Clean | Dirty | Young_gen | Old_gen
 
+(* The three ways a card changes state, distinguished so an observer can
+   judge the legality of each transition. [Recompute] carries the state
+   the collector *asked* for — under boundary-card stickiness the card
+   may lawfully stay [Dirty] instead. *)
+type event = Barrier_dirty | Recompute of state | Bulk_clear
+
 type t = {
   segment_size : int;
   stripe_aligned : bool;
   stripe_size : int;
   cards : Bytes.t;
   mutable non_clean : int;
+  mutable on_transition :
+    (seg:int -> before:state -> after:state -> event -> unit) option;
 }
 
 let byte_of_state = function
@@ -19,7 +27,7 @@ let state_of_byte = function
   | '\001' -> Dirty
   | '\002' -> Young_gen
   | '\003' -> Old_gen
-  | _ -> assert false
+  | _ -> invalid_arg "H2_card_table: corrupt card state byte"
 
 let create ?(segment_size = 4096) ?(stripe_aligned = true)
     ?(stripe_size = 0) ~capacity_bytes () =
@@ -32,7 +40,15 @@ let create ?(segment_size = 4096) ?(stripe_aligned = true)
     stripe_size;
     cards = Bytes.make n '\000';
     non_clean = 0;
+    on_transition = None;
   }
+
+let set_transition_hook t f = t.on_transition <- f
+
+let notify t ~seg ~before ~after ev =
+  match t.on_transition with
+  | None -> ()
+  | Some f -> f ~seg ~before ~after ev
 
 let segment_size t = t.segment_size
 
@@ -64,17 +80,18 @@ let raw_set t seg st =
   end
 
 let set_state t ~seg st =
+  let before = state t ~seg in
   let sticky =
-    (not t.stripe_aligned)
-    && is_boundary t seg
-    && state t ~seg = Dirty
-    && st <> Dirty
+    (not t.stripe_aligned) && is_boundary t seg && before = Dirty && st <> Dirty
   in
-  if not sticky then raw_set t seg st
+  if not sticky then raw_set t seg st;
+  notify t ~seg ~before ~after:(state t ~seg) (Recompute st)
 
 let mark_dirty t ~gaddr =
   let seg = segment_of t ~gaddr in
-  raw_set t seg Dirty
+  let before = state t ~seg in
+  raw_set t seg Dirty;
+  notify t ~seg ~before ~after:Dirty Barrier_dirty
 
 let iter_scan ~include_old t ~lo ~hi f =
   let hi = min hi (Bytes.length t.cards) in
@@ -93,7 +110,9 @@ let iter_major_scan t ~lo ~hi f = iter_scan ~include_old:true t ~lo ~hi f
 let clear_range t ~lo ~hi =
   let hi = min hi (Bytes.length t.cards) in
   for seg = max 0 lo to hi - 1 do
-    raw_set t seg Clean
+    let before = state t ~seg in
+    raw_set t seg Clean;
+    if before <> Clean then notify t ~seg ~before ~after:Clean Bulk_clear
   done
 
 let non_clean_count t = t.non_clean

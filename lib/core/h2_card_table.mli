@@ -17,6 +17,13 @@
 
 type state = Clean | Dirty | Young_gen | Old_gen
 
+type event = Barrier_dirty | Recompute of state | Bulk_clear
+(** Why a card changed state: the mutator's post-write barrier
+    ([Barrier_dirty], always lands [Dirty]), a GC recompute ([Recompute]
+    carries the state the collector {e requested} — a sticky dirty
+    boundary card may lawfully stay [Dirty] instead), or bulk region
+    reclamation ([Bulk_clear], always lands [Clean]). *)
+
 type t
 
 val create :
@@ -55,6 +62,13 @@ val iter_major_scan : t -> lo:int -> hi:int -> (int -> state -> unit) -> unit
 val clear_range : t -> lo:int -> hi:int -> unit
 (** Reset segments to [Clean] (bulk region reclamation). Boundary-card
     stickiness does not apply: the backing region is dead. *)
+
+val set_transition_hook :
+  t -> (seg:int -> before:state -> after:state -> event -> unit) option -> unit
+(** Install (or remove) an observer called on every state change —
+    {!mark_dirty} and {!set_state} also report no-op transitions, so the
+    observer sees suppressed sticky-boundary cleans. Used by the
+    {!Th_verify} sanitizer to check transition legality online. *)
 
 val non_clean_count : t -> int
 

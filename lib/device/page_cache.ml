@@ -163,6 +163,7 @@ let invalidate_range t ~offset ~len =
 
 let flush t ~cat =
   let dirty = ref 0 in
+  (* Order-insensitive: only counts and clears each page's dirty flag. *)
   Hashtbl.iter (fun _ n -> if n.dirty then begin incr dirty; n.dirty <- false end) t.table;
   if !dirty > 0 then begin
     t.writebacks <- t.writebacks + !dirty;

@@ -97,7 +97,7 @@ let run t thunks =
     |> List.map (function
          | Some (Ok v) -> v
          | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
-         | None -> assert false)
+         | None -> failwith "Pool.run: worker slot finished without a result")
   end
 
 let map t f xs = run t (List.map (fun x () -> f x) xs)

@@ -6,6 +6,11 @@
 type entry = { kind : Th_objmodel.Heap_object.kind; count : int; bytes : int }
 
 val of_runtime : Rt.t -> entry list
-(** Entries for all objects currently in H1 spaces, largest first. *)
+(** Entries for all objects currently in H1 spaces, largest first (ties
+    broken by kind name, so the order is deterministic). *)
+
+val total_bytes : entry list -> int
+(** Sum of all entries' bytes — the census's view of H1 usage, compared
+    by {!Th_verify} against the heap's own accounting. *)
 
 val pp : Format.formatter -> entry list -> unit

@@ -16,6 +16,7 @@ let has_young_ref o =
 let minor_gc (rt : Rt.t) =
   let heap = rt.Rt.heap in
   let costs = rt.Rt.costs in
+  Rt.safepoint rt Rt.Before_minor;
   let t0 = Clock.breakdown rt.Rt.clock in
   rt.Rt.in_gc <- true;
   rt.Rt.mark_epoch <- rt.Rt.mark_epoch + 1;
@@ -149,7 +150,8 @@ let minor_gc (rt : Rt.t) =
   | Rt.Card_buckets ->
       (* Objects promoted in Task 5 are already registered, so a scanned
          card's bucket holds exactly the old objects the linear sweep
-         would attribute to it. *)
+         would attribute to it. Iteration order-insensitive: each card's
+         still-dirty status is computed independently. *)
       Hashtbl.iter
         (fun card () ->
           let found = ref false in
@@ -164,6 +166,7 @@ let minor_gc (rt : Rt.t) =
           if Hashtbl.mem scanned_cards card && has_young_ref o then
             Hashtbl.replace still_dirty card ())
         heap.H1_heap.old_objs);
+  (* Order-insensitive: cards are cleared independently of each other. *)
   Hashtbl.iter
     (fun card () ->
       if not (Hashtbl.mem still_dirty card) then
@@ -185,6 +188,7 @@ let minor_gc (rt : Rt.t) =
        { at_ns = Clock.now_ns rt.Rt.clock; duration_ns = d.Clock.minor_gc_ns });
   Gc_stats.record_occupancy rt.Rt.stats ~at_ns:(Clock.now_ns rt.Rt.clock)
     (H1_heap.old_occupancy heap);
+  Rt.safepoint rt Rt.After_minor;
   !needs_major
 
 (* ------------------------------------------------------------------ *)
@@ -215,6 +219,7 @@ let g1_copy_factor rt =
 let major_gc (rt : Rt.t) =
   let heap = rt.Rt.heap in
   let costs = rt.Rt.costs in
+  Rt.safepoint rt Rt.Before_major;
   rt.Rt.in_gc <- true;
   rt.Rt.mark_epoch <- rt.Rt.mark_epoch + 1;
   let epoch = rt.Rt.mark_epoch in
@@ -597,6 +602,9 @@ let major_gc (rt : Rt.t) =
        });
   Gc_stats.record_occupancy rt.Rt.stats ~at_ns:(Clock.now_ns rt.Rt.clock)
     (H1_heap.old_occupancy heap);
+  (* Announce the safepoint before the OOM check: a verifier should see
+     the post-compaction heap even on the path that raises. *)
+  Rt.safepoint rt Rt.After_major;
   if !new_top > heap.H1_heap.old_capacity then
     raise
       (Rt.Out_of_memory

@@ -33,6 +33,12 @@ type rset_mode = Card_buckets | Linear_scan
 (* Pending move policy decided at the end of the previous major GC. *)
 type move_pressure = No_pressure | Move_all_tagged | Move_until_low
 
+(* GC safepoints at which an external observer (the Th_verify sanitizer)
+   may inspect the heap. The hook lives here, not in Th_verify, so the
+   collector never depends on the verifier: Ps_gc announces the
+   safepoint and whatever is installed — nothing, by default — runs. *)
+type safepoint = Before_minor | After_minor | Before_major | After_major
+
 type t = {
   clock : Clock.t;
   costs : Costs.t;
@@ -50,6 +56,7 @@ type t = {
   mutable barrier_checks : int;  (* post-write barriers executed *)
   mutable g1_humongous_waste : int;  (* wasted bytes in humongous regions *)
   g1_region_size : int;
+  mutable safepoint_hook : (safepoint -> unit) option;
 }
 
 let create ?(collector = Ps) ?(profile = Cost_profile.dram)
@@ -73,7 +80,11 @@ let create ?(collector = Ps) ?(profile = Cost_profile.dram)
     (* 512 regions: reproduces the array-to-region size ratio of G1 on
        the paper's heaps (partition arrays spanning a few regions). *)
     g1_region_size = max (Size.kib 64) (H1_heap.heap_bytes heap / 512);
+    safepoint_hook = None;
   }
+
+let safepoint t p =
+  match t.safepoint_hook with None -> () | Some f -> f p
 
 let teraheap_enabled t = t.h2 <> None
 

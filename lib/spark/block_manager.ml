@@ -153,6 +153,8 @@ let entry_kind t ~rdd_id ~pidx =
 
 let unpersist t ~rdd_id =
   let rt = t.ctx.Context.rt in
+  (* Order-insensitive: entries are collected, then each is unlinked and
+     removed independently; no observable state depends on the order. *)
   let doomed =
     Hashtbl.fold
       (fun ((rid, _) as key) entry acc ->

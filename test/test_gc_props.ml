@@ -68,13 +68,15 @@ let base_config =
     capacity = Size.mib 16;
   }
 
-let execute ?(config = base_config) ?rset_mode program =
+let execute ?(config = base_config) ?rset_mode ?on_runtime program =
   let clock = Clock.create () in
   let costs = Costs.default in
   let heap = H1_heap.create ~heap_bytes:(Size.mib 2) () in
   let device = Device.create clock Device.Nvme_ssd in
   let h2 = H2.create ~config ~clock ~costs ~device ~dr2_bytes:(Size.kib 256) () in
   let rt = Runtime.create ?rset_mode ~h2 ~clock ~costs ~heap () in
+  (* Lets Test_verify attach its sanitizer before any operation runs. *)
+  (match on_runtime with Some f -> f rt | None -> ());
   let table = Vec.create () in
   let pinned : (int, Obj_.t) Hashtbl.t = Hashtbl.create 16 in
   let sizes = [| 64; 256; 1024; 4096 |] in

@@ -278,6 +278,118 @@ let test_dynamic_thresholds_adapt () =
   Alcotest.(check (option (float 1e-9))) "static untouched" (Some 0.5)
     (H2.low_threshold h2s)
 
+(* --------------------------------------------------------------- *)
+(* Exhaustive state x event matrix for the 4-state card table.      *)
+
+module HCT = Th_core.H2_card_table
+
+let all_states = [ HCT.Clean; HCT.Dirty; HCT.Young_gen; HCT.Old_gen ]
+
+let st_name = function
+  | HCT.Clean -> "clean"
+  | HCT.Dirty -> "dirty"
+  | HCT.Young_gen -> "youngGen"
+  | HCT.Old_gen -> "oldGen"
+
+(* 16 segments of 4 KiB in 16 KiB stripes: 4 segments per stripe, so
+   positions 0 and 3 of each stripe are boundary cards. *)
+let mk_ct ~aligned =
+  HCT.create ~segment_size:(Size.kib 4) ~stripe_aligned:aligned
+    ~stripe_size:(Size.kib 16) ~capacity_bytes:(Size.kib 64) ()
+
+(* Drive a segment into [st] from scratch; clear_range bypasses
+   stickiness, so this works on boundary cards too. *)
+let force ct ~seg st =
+  HCT.clear_range ct ~lo:seg ~hi:(seg + 1);
+  match st with
+  | HCT.Clean -> ()
+  | HCT.Dirty -> HCT.mark_dirty ct ~gaddr:(seg * HCT.segment_size ct)
+  | st -> HCT.set_state ct ~seg st
+
+let scan_non_clean ct =
+  let n = ref 0 in
+  for seg = 0 to HCT.num_segments ct - 1 do
+    if HCT.state ct ~seg <> HCT.Clean then incr n
+  done;
+  !n
+
+let check_cell ct ~seg ~before ~op_name ~expected run =
+  force ct ~seg before;
+  run ();
+  Alcotest.(check string)
+    (Printf.sprintf "seg %d: %s, %s" seg (st_name before) op_name)
+    (st_name expected)
+    (st_name (HCT.state ct ~seg));
+  Alcotest.(check int)
+    (Printf.sprintf "non-clean count after %s from %s" op_name
+       (st_name before))
+    (scan_non_clean ct) (HCT.non_clean_count ct)
+
+(* Every state x event cell on an interior segment of an aligned table:
+   set_state always lands the target, the barrier always lands Dirty,
+   bulk clear always lands Clean. *)
+let matrix_cells ct ~seg ~sticky =
+  List.iter
+    (fun before ->
+      List.iter
+        (fun target ->
+          let expected =
+            if sticky && before = HCT.Dirty && target <> HCT.Dirty then
+              HCT.Dirty
+            else target
+          in
+          check_cell ct ~seg ~before
+            ~op_name:("recompute to " ^ st_name target)
+            ~expected
+            (fun () -> HCT.set_state ct ~seg target))
+        all_states;
+      check_cell ct ~seg ~before ~op_name:"barrier" ~expected:HCT.Dirty
+        (fun () -> HCT.mark_dirty ct ~gaddr:(seg * HCT.segment_size ct));
+      check_cell ct ~seg ~before ~op_name:"bulk clear" ~expected:HCT.Clean
+        (fun () -> HCT.clear_range ct ~lo:seg ~hi:(seg + 1)))
+    all_states
+
+let test_transition_matrix_aligned () =
+  let ct = mk_ct ~aligned:true in
+  (* Boundary position or not, aligned tables have no stickiness. *)
+  List.iter (fun seg -> matrix_cells ct ~seg ~sticky:false) [ 4; 5; 7 ]
+
+let test_transition_matrix_unaligned () =
+  let ct = mk_ct ~aligned:false in
+  (* Stripe 1 covers segments 4-7: 4 and 7 are boundary cards (sticky
+     once dirty), 5 and 6 are interior and behave as if aligned. *)
+  List.iter (fun seg -> matrix_cells ct ~seg ~sticky:true) [ 4; 7 ];
+  List.iter (fun seg -> matrix_cells ct ~seg ~sticky:false) [ 5; 6 ]
+
+let test_transition_hook_records_events () =
+  let ct = mk_ct ~aligned:false in
+  let log = ref [] in
+  HCT.set_transition_hook ct
+    (Some (fun ~seg ~before ~after ev -> log := (seg, before, after, ev) :: !log));
+  (* Segment 0 is a boundary card: the suppressed sticky clean must be
+     reported with after = Dirty and the requested target in the event. *)
+  HCT.mark_dirty ct ~gaddr:0;
+  HCT.set_state ct ~seg:0 HCT.Clean;
+  HCT.clear_range ct ~lo:0 ~hi:1;
+  HCT.set_transition_hook ct None;
+  HCT.mark_dirty ct ~gaddr:0;
+  Alcotest.(check bool) "hook saw barrier, sticky recompute, bulk clear" true
+    (List.rev !log
+    = [
+        (0, HCT.Clean, HCT.Dirty, HCT.Barrier_dirty);
+        (0, HCT.Dirty, HCT.Dirty, HCT.Recompute HCT.Clean);
+        (0, HCT.Dirty, HCT.Clean, HCT.Bulk_clear);
+      ])
+
+let test_bulk_clear_skips_clean_notifications () =
+  let ct = mk_ct ~aligned:true in
+  HCT.mark_dirty ct ~gaddr:(5 * HCT.segment_size ct);
+  let log = ref [] in
+  HCT.set_transition_hook ct (Some (fun ~seg ~before:_ ~after:_ _ -> log := seg :: !log));
+  HCT.clear_range ct ~lo:0 ~hi:HCT.(num_segments ct);
+  Alcotest.(check (list int)) "only the non-clean segment reported" [ 5 ]
+    (List.rev !log)
+
 let suite =
   [
     Alcotest.test_case "alloc assigns region+addr" `Quick
@@ -322,4 +434,12 @@ let suite =
       test_size_segregated_buckets;
     Alcotest.test_case "dynamic thresholds adapt" `Quick
       test_dynamic_thresholds_adapt;
+    Alcotest.test_case "card transition matrix (aligned)" `Quick
+      test_transition_matrix_aligned;
+    Alcotest.test_case "card transition matrix (unaligned, sticky)" `Quick
+      test_transition_matrix_unaligned;
+    Alcotest.test_case "transition hook records events" `Quick
+      test_transition_hook_records_events;
+    Alcotest.test_case "bulk clear reports only non-clean cards" `Quick
+      test_bulk_clear_skips_clean_notifications;
   ]
