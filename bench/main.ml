@@ -36,10 +36,13 @@ let usage () =
     (String.concat ", " (List.map (fun (n, _, _) -> n) sections))
 
 (* Minimal flag parsing: `--jobs N`, `-j N`, `--jobs=N`, `--seed N`,
-   `--seed=N`; every other argument is a section name. *)
+   `--seed=N`, `--trace FILE`, `--trace-format chrome|text`; every other
+   argument is a section name. *)
 let parse_args argv =
   let jobs = ref (Pool.default_jobs ()) in
   let seed = ref None in
+  let trace = ref None in
+  let trace_format = ref `Chrome in
   let names = ref [] in
   let int_of ~flag s =
     match int_of_string_opt s with
@@ -65,6 +68,27 @@ let parse_args argv =
         Printf.eprintf "--seed expects a value\n";
         usage ();
         exit 2
+    | "--trace" :: v :: rest ->
+        trace := Some v;
+        go rest
+    | "--trace" :: [] ->
+        Printf.eprintf "--trace expects a file path\n";
+        usage ();
+        exit 2
+    | "--trace-format" :: v :: rest ->
+        (match v with
+        | "chrome" -> trace_format := `Chrome
+        | "text" -> trace_format := `Text
+        | other ->
+            Printf.eprintf "--trace-format expects chrome or text, got %S\n"
+              other;
+            usage ();
+            exit 2);
+        go rest
+    | "--trace-format" :: [] ->
+        Printf.eprintf "--trace-format expects a value\n";
+        usage ();
+        exit 2
     | ("--help" | "-h") :: _ ->
         usage ();
         exit 0
@@ -86,10 +110,10 @@ let parse_args argv =
         go rest
   in
   go (List.tl (Array.to_list argv));
-  (max 1 !jobs, !seed, List.rev !names)
+  (max 1 !jobs, !seed, !trace, !trace_format, List.rev !names)
 
 let () =
-  let jobs, seed, requested = parse_args Sys.argv in
+  let jobs, seed, trace, trace_format, requested = parse_args Sys.argv in
   let requested =
     match requested with
     | [] -> List.map (fun (name, _, _) -> name) sections
@@ -139,6 +163,9 @@ let () =
     | None -> Bench_log.default_path
   in
   Bench_log.write ~path:json_path log;
+  (match trace with
+  | Some path -> Trace_capture.run ~path ~format:trace_format
+  | None -> ());
   (* Timing is jobs-dependent, so it goes to stderr: stdout stays
      byte-identical across --jobs values. *)
   Printf.eprintf

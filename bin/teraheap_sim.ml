@@ -52,7 +52,7 @@ let print_result (r : Run_result.t) =
   | Some fs -> Th_metrics.Report.print_fault_summary ~label:"run" fs
   | None -> ()
 
-let run_spark name system threads dram_override faults verify =
+let run_spark ?tracer name system threads dram_override faults verify =
   let p = Spark_profiles.by_name name in
   let costs = Costs.with_mutator_threads Setups.default_costs threads in
   let dram =
@@ -91,6 +91,7 @@ let run_spark name system threads dram_override faults verify =
     | other -> failwith ("unknown spark system: " ^ other)
   in
   let label = Printf.sprintf "%s %s (DRAM %dGB)" p.Spark_profiles.name label dram in
+  Clock.set_tracer setup.Setups.clock tracer;
   let v =
     Verify.attach (Th_spark.Context.runtime setup.Setups.ctx) verify
   in
@@ -100,7 +101,8 @@ let run_spark name system threads dram_override faults verify =
   in
   (r, v)
 
-let run_giraph name system threads faults verify : Run_result.t * Verify.t =
+let run_giraph ?tracer name system threads faults verify :
+    Run_result.t * Verify.t =
   let p = Giraph_profiles.by_name name in
   let costs = Costs.with_mutator_threads Setups.default_costs threads in
   let result =
@@ -110,6 +112,7 @@ let run_giraph name system threads faults verify : Run_result.t * Verify.t =
           Setups.giraph_ooc ~costs ?faults
             ~heap_gb:p.Giraph_profiles.ooc_heap_gb ()
         in
+        Clock.set_tracer s.Setups.g_clock tracer;
         let v = Verify.attach s.Setups.rt verify in
         ( Giraph_driver.run
             ~label:(p.Giraph_profiles.name ^ " Giraph-OOC")
@@ -122,6 +125,7 @@ let run_giraph name system threads faults verify : Run_result.t * Verify.t =
             ~h1_gb:p.Giraph_profiles.th_h1_gb
             ~dr2_gb:p.Giraph_profiles.th_dr2_gb ()
         in
+        Clock.set_tracer s.Setups.g_clock tracer;
         let v = Verify.attach s.Setups.rt verify in
         ( Giraph_driver.run
             ~label:(p.Giraph_profiles.name ^ " TeraHeap")
@@ -213,16 +217,60 @@ let verify_level =
            stderr and make the run exit non-zero; stdout is byte-identical \
            to an unverified run.")
 
+let trace_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a flight-recorder trace of the run (GC phases, \
+           safepoints, H2 region/card activity, device I/O, faults, \
+           framework stages) and write it to $(docv). Off by default; \
+           when off, no recording happens and stdout is byte-identical. \
+           With several workloads each gets its own trace lane, merged \
+           in argument order — the file does not depend on $(b,--jobs).")
+
+let trace_format =
+  Arg.(
+    value
+    & opt (enum [ ("chrome", `Chrome); ("text", `Text) ]) `Chrome
+    & info [ "trace-format" ] ~docv:"FORMAT"
+        ~doc:
+          "'chrome' (trace-event JSON, loadable in Perfetto or \
+           chrome://tracing) or 'text' (the compact deterministic form \
+           used by the golden tests).")
+
+let write_trace ~path ~format recorders =
+  let events = Th_trace.Export.merge recorders in
+  let data =
+    match format with
+    | `Chrome -> Th_trace.Export.to_chrome_json events
+    | `Text -> Th_trace.Export.to_text events
+  in
+  let oc = open_out path in
+  output_string oc data;
+  close_out oc
+
 (* Split the WORKLOAD argument on commas, run every cell on the pool,
    then print the results serially in argument order. *)
-let run_all fw workloads sys thr dram faults jobs verify =
+let run_all fw workloads sys thr dram faults jobs verify trace trace_format =
   let names = String.split_on_char ',' workloads in
-  let cell name () =
-    match fw with
-    | `Spark -> run_spark name sys thr dram faults verify
-    | `Giraph -> run_giraph name sys thr faults verify
+  let recorders =
+    match trace with
+    | None -> []
+    | Some _ ->
+        List.mapi (fun lane _ -> Th_trace.Recorder.create ~lane ()) names
   in
-  let thunks = List.map cell names in
+  let tracer_of lane =
+    match recorders with [] -> None | rs -> Some (List.nth rs lane)
+  in
+  let cell lane name () =
+    let tracer = tracer_of lane in
+    match fw with
+    | `Spark -> run_spark ?tracer name sys thr dram faults verify
+    | `Giraph -> run_giraph ?tracer name sys thr faults verify
+  in
+  let thunks = List.mapi cell names in
   let results =
     match names with
     | [ _ ] -> List.map (fun f -> f ()) thunks
@@ -234,6 +282,9 @@ let run_all fw workloads sys thr dram faults jobs verify =
             Th_exec.Pool.run pool thunks)
   in
   List.iter (fun (r, _) -> print_result r) results;
+  (match trace with
+  | None -> ()
+  | Some path -> write_trace ~path ~format:trace_format recorders);
   let total_violations =
     List.fold_left (fun acc (_, v) -> acc + Verify.violation_count v) 0 results
   in
@@ -252,6 +303,6 @@ let cmd =
     (Cmd.info "teraheap_sim" ~doc)
     Term.(
       const run_all $ framework $ workload $ system $ threads $ dram $ faults
-      $ jobs $ verify_level)
+      $ jobs $ verify_level $ trace_file $ trace_format)
 
 let () = exit (Cmd.eval cmd)

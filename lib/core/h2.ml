@@ -163,6 +163,9 @@ let create ~config:cfg ~clock ~costs ~device ~dr2_bytes () =
     flush_deferrals = 0;
     samples = Vec.create ();
   }
+  |> fun t ->
+  H2_card_table.set_trace_clock t.cards (Some clock);
+  t
 
 let config t = t.cfg
 
@@ -235,15 +238,31 @@ let note_fault_degraded t ~objects =
   | Some f -> Fault.note_h2_degraded f ~objects ()
   | None -> ()
 
+(* Region lifecycle, flush batches and degradations trace as instants;
+   individual object moves do not (a compaction moves thousands — batch
+   granularity keeps the ring within budget). *)
+let h2_instant t ~name args =
+  match Clock.tracer t.clock with
+  | None -> ()
+  | Some tr ->
+      Th_trace.Recorder.instant tr ~ts:(Clock.now_ns t.clock) ~cat:"h2" ~name
+        ~args ()
+
 let note_move_degraded t ~objects =
   t.degraded_moves <- t.degraded_moves + 1;
   t.objects_deferred <- t.objects_deferred + objects;
+  h2_instant t ~name:"degraded_move" [ ("objects", Th_trace.Event.Int objects) ];
   note_fault_degraded t ~objects
 
 let flush_buffer t (r : region) =
   if r.buffer_fill > 0 then begin
     (* Explicit asynchronous batched write to the device (§3.2), plus the
        DRAM-side copy into the promotion buffer. *)
+    h2_instant t ~name:"flush"
+      [
+        ("region", Th_trace.Event.Int r.idx);
+        ("bytes", Th_trace.Event.Int r.buffer_fill);
+      ];
     Clock.advance t.clock Clock.Major_gc
       (float_of_int r.buffer_fill *. t.costs.Costs.copy_byte_ns);
     match
@@ -257,6 +276,8 @@ let flush_buffer t (r : region) =
            flush is retried at the next compaction phase. The objects are
            already placed, so only the device write is deferred. *)
         t.flush_deferrals <- t.flush_deferrals + 1;
+        h2_instant t ~name:"flush_deferred"
+          [ ("region", Th_trace.Event.Int r.idx) ];
         note_fault_degraded t ~objects:0
   end
 
@@ -329,6 +350,8 @@ let open_region t ~label ~key =
   t.group_live.(idx) <- false;
   t.regions_allocated <- t.regions_allocated + 1;
   Hashtbl.replace t.open_by_key key idx;
+  h2_instant t ~name:"region_open"
+    [ ("region", Th_trace.Event.Int idx); ("label", Th_trace.Event.Int label) ];
   r
 
 let alloc t o ~label =
@@ -433,6 +456,11 @@ let free_dead_regions t ~on_free =
     let r = t.regions.(i) in
     if r.label >= 0 && not (region_is_live t ~region:i) then begin
       incr freed;
+      h2_instant t ~name:"region_reclaim"
+        [
+          ("region", Th_trace.Event.Int i);
+          ("label", Th_trace.Event.Int r.label);
+        ];
       Vec.iter on_free r.objects;
       Vec.push t.samples { live_object_pct = 0.0; live_space_pct = 0.0 };
       (* Reset the allocation pointer and delete the dependency list

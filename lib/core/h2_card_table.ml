@@ -14,6 +14,7 @@ type t = {
   mutable non_clean : int;
   mutable on_transition :
     (seg:int -> before:state -> after:state -> event -> unit) option;
+  mutable trace_clock : Th_sim.Clock.t option;
 }
 
 let byte_of_state = function
@@ -41,11 +42,49 @@ let create ?(segment_size = 4096) ?(stripe_aligned = true)
     cards = Bytes.make n '\000';
     non_clean = 0;
     on_transition = None;
+    trace_clock = None;
   }
 
 let set_transition_hook t f = t.on_transition <- f
 
+let set_trace_clock t clock = t.trace_clock <- clock
+
+let state_name = function
+  | Clean -> "clean"
+  | Dirty -> "dirty"
+  | Young_gen -> "young"
+  | Old_gen -> "old"
+
+let trace_transition t ~seg ~before ~after ev =
+  (* Only real state changes are recorded — the observer hook still sees
+     suppressed sticky-boundary no-ops, but tracing them would swamp the
+     ring with barrier noise. *)
+  if before <> after then
+    match t.trace_clock with
+    | None -> ()
+    | Some clock -> (
+        match Th_sim.Clock.tracer clock with
+        | None -> ()
+        | Some tr ->
+            let name =
+              match ev with
+              | Barrier_dirty -> "barrier_dirty"
+              | Recompute _ -> "recompute"
+              | Bulk_clear -> "bulk_clear"
+            in
+            Th_trace.Recorder.instant tr
+              ~ts:(Th_sim.Clock.now_ns clock)
+              ~cat:"card" ~name
+              ~args:
+                [
+                  ("seg", Th_trace.Event.Int seg);
+                  ("before", Th_trace.Event.Str (state_name before));
+                  ("after", Th_trace.Event.Str (state_name after));
+                ]
+              ())
+
 let notify t ~seg ~before ~after ev =
+  trace_transition t ~seg ~before ~after ev;
   match t.on_transition with
   | None -> ()
   | Some f -> f ~seg ~before ~after ev

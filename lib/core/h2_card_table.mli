@@ -70,6 +70,14 @@ val set_transition_hook :
     observer sees suppressed sticky-boundary cleans. Used by the
     {!Th_verify} sanitizer to check transition legality online. *)
 
+val set_trace_clock : t -> Th_sim.Clock.t option -> unit
+(** Give the table a clock to timestamp and emit card-transition trace
+    instants through (when that clock has a tracer attached). Unlike the
+    observer hook, tracing reports only real state changes — sticky
+    no-op transitions stay off the ring. Installed by {!H2.create};
+    independent of {!set_transition_hook} so the {!Th_verify} sanitizer
+    and the flight recorder can coexist. *)
+
 val non_clean_count : t -> int
 
 val metadata_bytes : t -> int

@@ -137,23 +137,37 @@ let perform t ~cat ~checked ~op ~cost_ns =
         | `Read -> (t.params.read_latency_ns, "read", Fault.on_read)
         | `Write -> (t.params.write_latency_ns, "write", Fault.on_write)
       in
+      let fault_instant name args =
+        match Th_sim.Clock.tracer t.clock with
+        | None -> ()
+        | Some tr ->
+            Th_trace.Recorder.instant tr
+              ~ts:(Th_sim.Clock.now_ns t.clock)
+              ~cat:"fault" ~name ~args ()
+      in
+      let fail_attempt name =
+        fault_instant name [];
+        Th_sim.Clock.advance t.clock cat latency_ns;
+        Fault.note_penalty f latency_ns;
+        Result.Error `Transient
+      in
       let attempt _n =
         match outcome_of f ~now_ns:(Th_sim.Clock.now_ns t.clock) with
         | Fault.Ok ->
             Th_sim.Clock.advance t.clock cat cost_ns;
             Result.Ok ()
         | Fault.Spike m ->
+            fault_instant "spike" [ ("factor", Th_trace.Event.Float m) ];
             Th_sim.Clock.advance t.clock cat (cost_ns *. m);
             Fault.note_penalty f (cost_ns *. (m -. 1.0));
             Result.Ok ()
         | Fault.Stall extra ->
+            fault_instant "stall" [ ("extra_ns", Th_trace.Event.Float extra) ];
             Th_sim.Clock.advance t.clock cat (cost_ns +. extra);
             Fault.note_penalty f extra;
             Result.Ok ()
-        | Fault.Transient_error | Fault.Device_full ->
-            Th_sim.Clock.advance t.clock cat latency_ns;
-            Fault.note_penalty f latency_ns;
-            Result.Error `Transient
+        | Fault.Transient_error -> fail_attempt (opname ^ "_error")
+        | Fault.Device_full -> fail_attempt "device_full"
       in
       let go () =
         Io_retry.run t.retry ~clock:t.clock ~cat ~faults:f ~op:opname attempt
@@ -168,20 +182,40 @@ let perform t ~cat ~checked ~op ~cost_ns =
       end
   | Some _ | None -> Th_sim.Clock.advance t.clock cat cost_ns
 
+(* One complete event per operation, spanning queueing, fault penalties
+   and retries. [bytes] is the exact amount charged to the traffic
+   counter, so {!Rollup} reproduces [stats] from the stream. *)
+let traced_op t ~name ~bytes run =
+  match Th_sim.Clock.tracer t.clock with
+  | None -> run ()
+  | Some tr ->
+      let ts = Th_sim.Clock.now_ns t.clock in
+      (* finally: the counters were already charged, so the event must be
+         recorded even when a checked operation escapes with Io_error. *)
+      Fun.protect run ~finally:(fun () ->
+          Th_trace.Recorder.complete tr ~ts
+            ~dur_ns:(Th_sim.Clock.now_ns t.clock -. ts)
+            ~cat:"device" ~name
+            ~args:[ ("bytes", Th_trace.Event.Int bytes) ]
+            ())
+
 let read ?(checked = false) t ~cat ~random bytes =
   if bytes > 0 then begin
     let charged = if random then round_to_pages t bytes else bytes in
     t.bytes_read <- t.bytes_read + charged;
     t.read_ops <- t.read_ops + 1;
-    perform t ~cat ~checked ~op:`Read ~cost_ns:(read_cost_ns t ~random bytes)
+    traced_op t ~name:"read" ~bytes:charged (fun () ->
+        perform t ~cat ~checked ~op:`Read
+          ~cost_ns:(read_cost_ns t ~random bytes))
   end
 
 let read_continuation ?(overlap = 1.0) ?(checked = false) t ~cat bytes =
   if bytes > 0 then begin
     t.bytes_read <- t.bytes_read + bytes;
     t.read_ops <- t.read_ops + 1;
-    perform t ~cat ~checked ~op:`Read
-      ~cost_ns:(overlap *. transfer_ns bytes t.params.read_bw_gbps)
+    traced_op t ~name:"read" ~bytes (fun () ->
+        perform t ~cat ~checked ~op:`Read
+          ~cost_ns:(overlap *. transfer_ns bytes t.params.read_bw_gbps))
   end
 
 let write ?(checked = false) t ~cat ~random bytes =
@@ -189,8 +223,9 @@ let write ?(checked = false) t ~cat ~random bytes =
     let charged = if random then round_to_pages t bytes else bytes in
     t.bytes_written <- t.bytes_written + charged;
     t.write_ops <- t.write_ops + 1;
-    perform t ~cat ~checked ~op:`Write
-      ~cost_ns:(write_cost_ns t ~random bytes)
+    traced_op t ~name:"write" ~bytes:charged (fun () ->
+        perform t ~cat ~checked ~op:`Write
+          ~cost_ns:(write_cost_ns t ~random bytes))
   end
 
 let read_modify_write t ~cat bytes =

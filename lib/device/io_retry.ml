@@ -27,18 +27,36 @@ let backoff_ns p ~attempt =
 exception Io_error of { op : string; attempts : int }
 
 let run policy ~clock ~cat ~faults ~op attempt =
+  let recovery_instant name args =
+    match Clock.tracer clock with
+    | None -> ()
+    | Some tr ->
+        Th_trace.Recorder.instant tr ~ts:(Clock.now_ns clock) ~cat:"fault"
+          ~name ~args ()
+  in
   let rec go n =
     match attempt n with
     | Ok v -> v
     | Error `Transient ->
         if n >= policy.max_retries then begin
           Fault.note_exhausted faults;
+          recovery_instant "retry_exhausted"
+            [
+              ("op", Th_trace.Event.Str op);
+              ("attempts", Th_trace.Event.Int (n + 1));
+            ];
           raise (Io_error { op; attempts = n + 1 })
         end
         else begin
           let wait = backoff_ns policy ~attempt:(n + 1) in
           Fault.note_retry faults;
           Fault.note_backoff faults wait;
+          recovery_instant "retry"
+            [
+              ("op", Th_trace.Event.Str op);
+              ("attempt", Th_trace.Event.Int (n + 1));
+              ("backoff_ns", Th_trace.Event.Float wait);
+            ];
           Clock.advance clock cat wait;
           go (n + 1)
         end

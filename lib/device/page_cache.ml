@@ -166,6 +166,14 @@ let flush t ~cat =
   (* Order-insensitive: only counts and clears each page's dirty flag. *)
   Hashtbl.iter (fun _ n -> if n.dirty then begin incr dirty; n.dirty <- false end) t.table;
   if !dirty > 0 then begin
+    (match Th_sim.Clock.tracer t.clock with
+    | None -> ()
+    | Some tr ->
+        Th_trace.Recorder.instant tr
+          ~ts:(Th_sim.Clock.now_ns t.clock)
+          ~cat:"cache" ~name:"flush"
+          ~args:[ ("pages", Th_trace.Event.Int !dirty) ]
+          ());
     t.writebacks <- t.writebacks + !dirty;
     Device.write t.device ~cat ~random:false (!dirty * t.page_size)
   end

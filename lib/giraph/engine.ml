@@ -100,7 +100,21 @@ let run rt ~mode ?ooc_device ?(ooc_dr2 = Size.paper_gb 15) ~prng ~algo params =
   if Sys.getenv_opt "TH_DEBUG_OOC" <> None then
     Printf.eprintf "[engine] graph loaded, old_used=%s\n%!"
       (Size.to_string (Runtime.heap rt).Th_minijvm.H1_heap.old_used);
+  let superstep_mark ~ending step =
+    let clock = Runtime.clock rt in
+    match Clock.tracer clock with
+    | None -> ()
+    | Some tr ->
+        let emit =
+          if ending then Th_trace.Recorder.span_end
+          else Th_trace.Recorder.span_begin
+        in
+        emit tr ~ts:(Clock.now_ns clock) ~cat:"giraph" ~name:"superstep"
+          ~args:[ ("step", Th_trace.Event.Int step) ]
+          ()
+  in
   for step = 1 to algo.supersteps do
+    superstep_mark ~ending:false step;
     if Sys.getenv_opt "TH_DEBUG_OOC" <> None then
       Printf.eprintf "[engine] superstep %d old_used=%s\n%!" step
         (Size.to_string (Runtime.heap rt).Th_minijvm.H1_heap.old_used);
@@ -190,7 +204,8 @@ let run rt ~mode ?ooc_device ?(ooc_dr2 = Size.paper_gb 15) ~prng ~algo params =
         in
         msg_offload_top := !msg_offload_top + written
     | None -> ());
-    incoming := Some current
+    incoming := Some current;
+    superstep_mark ~ending:true step
   done;
   (match !incoming with
   | Some store -> Msg_store.drop rt store ~anchor

@@ -148,6 +148,14 @@ let ensure_resident t (g : Graph.t) (p : Graph.partition) =
         (match Th_device.Device.faults (Page_cache.device t.cache) with
         | Some f -> Th_sim.Fault.note_recompute f
         | None -> ());
+        (let clock = Runtime.clock t.rt in
+         match Clock.tracer clock with
+         | None -> ()
+         | Some tr ->
+             Th_trace.Recorder.instant tr ~ts:(Clock.now_ns clock) ~cat:"fault"
+               ~name:"recompute"
+               ~args:[ ("pid", Th_trace.Event.Int p.Graph.pid) ]
+               ());
         Runtime.compute t.rt
           ~bytes:
             (int_of_float

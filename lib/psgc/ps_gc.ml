@@ -6,6 +6,29 @@ module H1_heap = Th_minijvm.H1_heap
 module H2 = Th_core.H2
 
 (* ------------------------------------------------------------------ *)
+(* Trace spans. Span-end events carry the collector's own measured
+   duration ([Clock.sub] category deltas) rather than leaving readers to
+   difference the begin/end timestamps: now_ns is a four-category sum, so
+   a wall delta can differ from the category delta in the last float
+   bits, and {!Th_trace.Rollup} must reproduce {!Gc_stats} exactly.      *)
+
+let trace_span_begin (rt : Rt.t) ~name =
+  match Clock.tracer rt.Rt.clock with
+  | None -> ()
+  | Some tr ->
+      Th_trace.Recorder.span_begin tr
+        ~ts:(Clock.now_ns rt.Rt.clock)
+        ~cat:"gc" ~name ()
+
+let trace_span_end (rt : Rt.t) ~name args =
+  match Clock.tracer rt.Rt.clock with
+  | None -> ()
+  | Some tr ->
+      Th_trace.Recorder.span_end tr
+        ~ts:(Clock.now_ns rt.Rt.clock)
+        ~cat:"gc" ~name ~args ()
+
+(* ------------------------------------------------------------------ *)
 (* Minor GC                                                            *)
 
 let has_young_ref o =
@@ -18,6 +41,7 @@ let minor_gc (rt : Rt.t) =
   let costs = rt.Rt.costs in
   Rt.safepoint rt Rt.Before_minor;
   let t0 = Clock.breakdown rt.Rt.clock in
+  trace_span_begin rt ~name:"minor_gc";
   rt.Rt.in_gc <- true;
   rt.Rt.mark_epoch <- rt.Rt.mark_epoch + 1;
   let epoch = rt.Rt.mark_epoch in
@@ -188,6 +212,8 @@ let minor_gc (rt : Rt.t) =
        { at_ns = Clock.now_ns rt.Rt.clock; duration_ns = d.Clock.minor_gc_ns });
   Gc_stats.record_occupancy rt.Rt.stats ~at_ns:(Clock.now_ns rt.Rt.clock)
     (H1_heap.old_occupancy heap);
+  trace_span_end rt ~name:"minor_gc"
+    [ ("dur_ns", Th_trace.Event.Float d.Clock.minor_gc_ns) ];
   Rt.safepoint rt Rt.After_minor;
   !needs_major
 
@@ -237,10 +263,12 @@ let major_gc (rt : Rt.t) =
           | None -> Rt.Move_all_tagged)
   | Some _ | None -> ());
   let t0 = Clock.breakdown rt.Rt.clock in
+  trace_span_begin rt ~name:"major_gc";
   let phase_delta prev =
     let d = Clock.sub (Clock.breakdown rt.Rt.clock) prev in
     (d.Clock.major_gc_ns, Clock.breakdown rt.Rt.clock)
   in
+  trace_span_begin rt ~name:"marking";
 
   (* --- Phase 1: marking ------------------------------------------- *)
   (match rt.Rt.h2 with None -> () | Some h2 -> H2.clear_live_bits h2);
@@ -385,6 +413,9 @@ let major_gc (rt : Rt.t) =
       regions_freed_now :=
         H2.free_dead_regions h2 ~on_free:(fun o -> o.Obj_.loc <- Obj_.Freed));
   let marking_ns, t1 = phase_delta t0 in
+  trace_span_end rt ~name:"marking"
+    [ ("dur_ns", Th_trace.Event.Float marking_ns) ];
+  trace_span_begin rt ~name:"precompact";
 
   (* --- Phase 2: precompaction -------------------------------------- *)
   (* Place move candidates in H2 regions keyed by label, then assign
@@ -456,6 +487,9 @@ let major_gc (rt : Rt.t) =
   Vec.iter collect_young heap.H1_heap.eden;
   Vec.iter collect_young heap.H1_heap.survivor;
   let precompact_ns, t2 = phase_delta t1 in
+  trace_span_end rt ~name:"precompact"
+    [ ("dur_ns", Th_trace.Event.Float precompact_ns) ];
+  trace_span_begin rt ~name:"adjust";
 
   (* --- Phase 3: pointer adjustment --------------------------------- *)
   Vec.iter
@@ -490,6 +524,9 @@ let major_gc (rt : Rt.t) =
             o)
         moved);
   let adjust_ns, t3 = phase_delta t2 in
+  trace_span_end rt ~name:"adjust"
+    [ ("dur_ns", Th_trace.Event.Float adjust_ns) ];
+  trace_span_begin rt ~name:"compact";
 
   (* --- Phase 4: compaction ------------------------------------------ *)
   (* Account the H1 space vacated by objects that moved to H2. *)
@@ -567,6 +604,8 @@ let major_gc (rt : Rt.t) =
   H1_heap.compact_after_major heap;
   H1_heap.rebuild_card_index heap;
   let compact_ns, _ = phase_delta t3 in
+  trace_span_end rt ~name:"compact"
+    [ ("dur_ns", Th_trace.Event.Float compact_ns) ];
 
   (* --- Epilogue ----------------------------------------------------- *)
   let regions_freed = !regions_freed_now in
@@ -602,6 +641,14 @@ let major_gc (rt : Rt.t) =
        });
   Gc_stats.record_occupancy rt.Rt.stats ~at_ns:(Clock.now_ns rt.Rt.clock)
     (H1_heap.old_occupancy heap);
+  (* Close the span before the safepoint and the OOM check: the trace
+     keeps a complete cycle even on the path that raises. *)
+  trace_span_end rt ~name:"major_gc"
+    [
+      ("dur_ns", Th_trace.Event.Float total.Clock.major_gc_ns);
+      ("bytes_moved", Th_trace.Event.Int bytes_moved);
+      ("regions_freed", Th_trace.Event.Int regions_freed);
+    ];
   (* Announce the safepoint before the OOM check: a verifier should see
      the post-compaction heap even on the path that raises. *)
   Rt.safepoint rt Rt.After_major;

@@ -83,7 +83,60 @@ let create ?(collector = Ps) ?(profile = Cost_profile.dram)
     safepoint_hook = None;
   }
 
+let safepoint_name = function
+  | Before_minor -> "before_minor"
+  | After_minor -> "after_minor"
+  | Before_major -> "before_major"
+  | After_major -> "after_major"
+
+(* Trace emission happens here at the announcement point, not through the
+   single-slot [safepoint_hook] — the hook stays free for the Th_verify
+   sanitizer. Safepoints double as the sampling points for the cumulative
+   device / page-cache / occupancy counters: cheap, already at a
+   consistent heap state, and frequent enough to plot. *)
+let trace_safepoint t p =
+  match Clock.tracer t.clock with
+  | None -> ()
+  | Some tr -> (
+      let ts = Clock.now_ns t.clock in
+      Th_trace.Recorder.instant tr ~ts ~cat:"safepoint" ~name:(safepoint_name p)
+        ();
+      match t.h2 with
+      | None -> ()
+      | Some h2 ->
+          let d = Th_device.Device.stats (Th_core.H2.device h2) in
+          Th_trace.Recorder.counter tr ~ts ~cat:"counter" ~name:"device_io"
+            ~args:
+              [
+                ("bytes_read", Th_trace.Event.Int d.Th_device.Device.bytes_read);
+                ( "bytes_written",
+                  Th_trace.Event.Int d.Th_device.Device.bytes_written );
+                ("read_ops", Th_trace.Event.Int d.Th_device.Device.read_ops);
+                ("write_ops", Th_trace.Event.Int d.Th_device.Device.write_ops);
+              ];
+          let c =
+            Th_device.Page_cache.stats (Th_core.H2.page_cache h2)
+          in
+          Th_trace.Recorder.counter tr ~ts ~cat:"counter" ~name:"page_cache"
+            ~args:
+              [
+                ("hits", Th_trace.Event.Int c.Th_device.Page_cache.hits);
+                ("misses", Th_trace.Event.Int c.Th_device.Page_cache.misses);
+                ( "evictions",
+                  Th_trace.Event.Int c.Th_device.Page_cache.evictions );
+                ( "writebacks",
+                  Th_trace.Event.Int c.Th_device.Page_cache.writebacks );
+              ];
+          Th_trace.Recorder.counter tr ~ts ~cat:"counter"
+            ~name:"h1_old_occupancy"
+            ~args:
+              [
+                ( "fraction",
+                  Th_trace.Event.Float (H1_heap.old_occupancy t.heap) );
+              ])
+
 let safepoint t p =
+  trace_safepoint t p;
   match t.safepoint_hook with None -> () | Some f -> f p
 
 let teraheap_enabled t = t.h2 <> None

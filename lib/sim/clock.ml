@@ -12,9 +12,14 @@ type t = {
   mutable serde_io : float;
   mutable minor : float;
   mutable major : float;
+  mutable tracer : Th_trace.Recorder.t option;
 }
 
-let create () = { other = 0.0; serde_io = 0.0; minor = 0.0; major = 0.0 }
+let create () =
+  { other = 0.0; serde_io = 0.0; minor = 0.0; major = 0.0; tracer = None }
+
+let set_tracer t tr = t.tracer <- tr
+let tracer t = t.tracer
 
 let advance t cat ns =
   if ns < 0.0 then invalid_arg "Clock.advance: negative charge";

@@ -40,6 +40,15 @@ val sub : breakdown -> breakdown -> breakdown
 (** [sub later earlier] is the per-category difference; used for measuring
     a phase of a run. *)
 
+val set_tracer : t -> Th_trace.Recorder.t option -> unit
+(** Attach (or detach) a flight recorder. Components sharing this clock
+    emit trace events through it when one is attached; with [None] (the
+    default) every emission site reduces to a single [match] on this
+    field, so tracing is free when off. *)
+
+val tracer : t -> Th_trace.Recorder.t option
+
 val reset : t -> unit
+(** Zeroes the time categories; the attached tracer, if any, stays. *)
 
 val pp_breakdown : Format.formatter -> breakdown -> unit

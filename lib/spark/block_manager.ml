@@ -53,6 +53,19 @@ let create (ctx : Context.t) =
 
 let root_object t = t.root
 
+let block_instant t ~cat ~name ~rdd_id ~pidx =
+  let clock = Runtime.clock t.ctx.Context.rt in
+  match Clock.tracer clock with
+  | None -> ()
+  | Some tr ->
+      Th_trace.Recorder.instant tr ~ts:(Clock.now_ns clock) ~cat ~name
+        ~args:
+          [
+            ("rdd", Th_trace.Event.Int rdd_id);
+            ("pidx", Th_trace.Event.Int pidx);
+          ]
+        ()
+
 let group_bytes root =
   let total = ref (Obj_.total_size root) in
   Obj_.iter_refs (fun o -> total := !total + Obj_.total_size o) root;
@@ -64,6 +77,7 @@ let put t ~rdd_id ~pidx group =
   (match Hashtbl.find_opt t.table key with
   | Some _ -> invalid_arg "Block_manager.put: block already cached"
   | None -> ());
+  block_instant t ~cat:"spark" ~name:"block_put" ~rdd_id ~pidx;
   let entry =
     match t.ctx.Context.mode with
     | Context.Memory_only ->
@@ -106,6 +120,7 @@ let recompute_compute_factor = 3.0
 
 let get ?(hold = false) t ~rdd_id ~pidx ~consume =
   let rt = t.ctx.Context.rt in
+  block_instant t ~cat:"spark" ~name:"block_get" ~rdd_id ~pidx;
   match Hashtbl.find t.table (rdd_id, pidx) with
   | E_on_heap group | E_teraheap group -> consume group
   | E_off_heap { offset; ser } ->
@@ -123,6 +138,7 @@ let get ?(hold = false) t ~rdd_id ~pidx ~consume =
             (match Th_device.Device.faults (Page_cache.device cache) with
             | Some f -> Th_sim.Fault.note_recompute f
             | None -> ());
+            block_instant t ~cat:"fault" ~name:"recompute" ~rdd_id ~pidx;
             Runtime.compute rt
               ~bytes:
                 (int_of_float

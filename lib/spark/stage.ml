@@ -17,6 +17,12 @@ let shuffle_chunk_bytes = Size.kib 64
 let run ctx ?(shuffle_bytes = 0) ?(transient_bytes = 0)
     ?(thread_buffer_bytes = Size.kib 128) ~work () =
   let rt = Context.runtime ctx in
+  let clock = Runtime.clock rt in
+  (match Clock.tracer clock with
+  | None -> ()
+  | Some tr ->
+      Th_trace.Recorder.span_begin tr ~ts:(Clock.now_ns clock) ~cat:"spark"
+        ~name:"stage" ());
   let threads = (Runtime.costs rt).Costs.mutator_threads in
   let buffers =
     List.init threads (fun _ ->
@@ -50,4 +56,15 @@ let run ctx ?(shuffle_bytes = 0) ?(transient_bytes = 0)
   end;
   if transient_bytes > 0 then alloc_garbage ctx ~bytes:transient_bytes;
   List.iter (fun b -> Runtime.remove_root rt b) !shuffle_buffers;
-  List.iter (fun b -> Runtime.remove_root rt b) buffers
+  List.iter (fun b -> Runtime.remove_root rt b) buffers;
+  match Clock.tracer clock with
+  | None -> ()
+  | Some tr ->
+      Th_trace.Recorder.span_end tr ~ts:(Clock.now_ns clock) ~cat:"spark"
+        ~name:"stage"
+        ~args:
+          [
+            ("shuffle_bytes", Th_trace.Event.Int shuffle_bytes);
+            ("transient_bytes", Th_trace.Event.Int transient_bytes);
+          ]
+        ()

@@ -1,0 +1,22 @@
+type arg = Int of int | Float of float | Str of string
+
+type kind =
+  | Span_begin
+  | Span_end
+  | Complete of float
+  | Instant
+  | Counter
+
+type t = {
+  ts : float;
+  lane : int;
+  kind : kind;
+  cat : string;
+  name : string;
+  args : (string * arg) list;
+}
+
+let pp_arg f = function
+  | Int n -> Format.fprintf f "%d" n
+  | Float x -> Format.fprintf f "%.3f" x
+  | Str s -> Format.fprintf f "%s" s

@@ -1,0 +1,39 @@
+(** Typed flight-recorder events over simulated time.
+
+    An event is a point (or span) on one {e lane} — one simulated
+    runtime stack, so traces of independent runs interleave cleanly when
+    merged — stamped with the simulated-clock nanosecond at which it was
+    recorded. The vocabulary mirrors the Chrome trace-event format so the
+    {!Export} module can emit Perfetto-loadable JSON without translation:
+    paired begin/end span markers, self-contained complete spans with a
+    duration, instants, and counter samples. *)
+
+type arg = Int of int | Float of float | Str of string
+
+type kind =
+  | Span_begin  (** opens a span on the lane's stack (Chrome [ph:"B"]) *)
+  | Span_end
+      (** closes the innermost open span of the lane ([ph:"E"]); carries
+          the span's exact measured duration and summary values in
+          [args] *)
+  | Complete of float
+      (** a self-contained span of the given simulated duration in
+          nanoseconds ([ph:"X"]); used for device operations, which never
+          nest *)
+  | Instant  (** a point event ([ph:"i"]) *)
+  | Counter
+      (** a sample of one or more monotone or gauge series; every [args]
+          entry is one series ([ph:"C"]) *)
+
+type t = {
+  ts : float;  (** simulated nanoseconds since the run's clock started *)
+  lane : int;
+  kind : kind;
+  cat : string;  (** subsystem: "gc", "h2", "card", "device", ... *)
+  name : string;
+  args : (string * arg) list;
+}
+
+val pp_arg : Format.formatter -> arg -> unit
+(** Deterministic rendering used by the compact text exporter: integers
+    as-is, floats with three decimals, strings verbatim. *)

@@ -1,0 +1,57 @@
+type t = {
+  lane : int;
+  slots : Event.t array;  (* fixed-size ring; preallocated at creation *)
+  capacity : int;
+  mutable written : int;  (* events ever recorded; next slot = written mod capacity *)
+}
+
+let default_capacity = 1 lsl 18
+
+let dummy_event =
+  {
+    Event.ts = 0.0;
+    lane = 0;
+    kind = Event.Instant;
+    cat = "";
+    name = "";
+    args = [];
+  }
+
+let create ?(capacity = default_capacity) ~lane () =
+  let capacity = max 16 capacity in
+  { lane; slots = Array.make capacity dummy_event; capacity; written = 0 }
+
+let lane t = t.lane
+
+let record t ~ts ~kind ~cat ~name ~args =
+  t.slots.(t.written mod t.capacity) <-
+    { Event.ts; lane = t.lane; kind; cat; name; args };
+  t.written <- t.written + 1
+
+let span_begin t ~ts ~cat ~name ?(args = []) () =
+  record t ~ts ~kind:Event.Span_begin ~cat ~name ~args
+
+let span_end t ~ts ~cat ~name ?(args = []) () =
+  record t ~ts ~kind:Event.Span_end ~cat ~name ~args
+
+let complete t ~ts ~dur_ns ~cat ~name ?(args = []) () =
+  record t ~ts ~kind:(Event.Complete dur_ns) ~cat ~name ~args
+
+let instant t ~ts ~cat ~name ?(args = []) () =
+  record t ~ts ~kind:Event.Instant ~cat ~name ~args
+
+let counter t ~ts ~cat ~name ~args =
+  record t ~ts ~kind:Event.Counter ~cat ~name ~args
+
+let length t = min t.written t.capacity
+
+let total t = t.written
+
+let dropped t = max 0 (t.written - t.capacity)
+
+let events t =
+  let n = length t in
+  let first = t.written - n in
+  List.init n (fun i -> t.slots.((first + i) mod t.capacity))
+
+let clear t = t.written <- 0

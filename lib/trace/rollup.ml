@@ -1,0 +1,116 @@
+type t = {
+  minor_gcs : int;
+  major_gcs : int;
+  minor_total_ns : float;
+  major_total_ns : float;
+  marking_ns : float;
+  precompact_ns : float;
+  adjust_ns : float;
+  compact_ns : float;
+  bytes_moved_to_h2 : int;
+  regions_freed : int;
+  device_bytes_read : int;
+  device_bytes_written : int;
+  device_read_ops : int;
+  device_write_ops : int;
+  faults_injected : int;
+}
+
+let zero =
+  {
+    minor_gcs = 0;
+    major_gcs = 0;
+    minor_total_ns = 0.0;
+    major_total_ns = 0.0;
+    marking_ns = 0.0;
+    precompact_ns = 0.0;
+    adjust_ns = 0.0;
+    compact_ns = 0.0;
+    bytes_moved_to_h2 = 0;
+    regions_freed = 0;
+    device_bytes_read = 0;
+    device_bytes_written = 0;
+    device_read_ops = 0;
+    device_write_ops = 0;
+    faults_injected = 0;
+  }
+
+let arg_float args k =
+  match List.assoc_opt k args with
+  | Some (Event.Float x) -> x
+  | Some (Event.Int n) -> float_of_int n
+  | Some (Event.Str _) | None -> 0.0
+
+let arg_int args k =
+  match List.assoc_opt k args with
+  | Some (Event.Int n) -> n
+  | Some (Event.Float x) -> int_of_float x
+  | Some (Event.Str _) | None -> 0
+
+let injection_names =
+  [ "read_error"; "write_error"; "spike"; "stall"; "device_full" ]
+
+let of_events events =
+  List.fold_left
+    (fun acc (e : Event.t) ->
+      match (e.Event.kind, e.Event.cat, e.Event.name) with
+      | Event.Span_end, "gc", "minor_gc" ->
+          {
+            acc with
+            minor_gcs = acc.minor_gcs + 1;
+            minor_total_ns = acc.minor_total_ns +. arg_float e.Event.args "dur_ns";
+          }
+      | Event.Span_end, "gc", "major_gc" ->
+          {
+            acc with
+            major_gcs = acc.major_gcs + 1;
+            major_total_ns = acc.major_total_ns +. arg_float e.Event.args "dur_ns";
+            bytes_moved_to_h2 =
+              acc.bytes_moved_to_h2 + arg_int e.Event.args "bytes_moved";
+            regions_freed = acc.regions_freed + arg_int e.Event.args "regions_freed";
+          }
+      | Event.Span_end, "gc", "marking" ->
+          { acc with marking_ns = acc.marking_ns +. arg_float e.Event.args "dur_ns" }
+      | Event.Span_end, "gc", "precompact" ->
+          {
+            acc with
+            precompact_ns = acc.precompact_ns +. arg_float e.Event.args "dur_ns";
+          }
+      | Event.Span_end, "gc", "adjust" ->
+          { acc with adjust_ns = acc.adjust_ns +. arg_float e.Event.args "dur_ns" }
+      | Event.Span_end, "gc", "compact" ->
+          { acc with compact_ns = acc.compact_ns +. arg_float e.Event.args "dur_ns" }
+      | Event.Complete _, "device", "read" ->
+          {
+            acc with
+            device_bytes_read = acc.device_bytes_read + arg_int e.Event.args "bytes";
+            device_read_ops = acc.device_read_ops + 1;
+          }
+      | Event.Complete _, "device", "write" ->
+          {
+            acc with
+            device_bytes_written =
+              acc.device_bytes_written + arg_int e.Event.args "bytes";
+            device_write_ops = acc.device_write_ops + 1;
+          }
+      | Event.Instant, "fault", name when List.mem name injection_names ->
+          { acc with faults_injected = acc.faults_injected + 1 }
+      | _ -> acc)
+    zero events
+
+let check_against t ~(final : Snapshot.t) =
+  match final.Snapshot.device with
+  | None -> []
+  | Some d ->
+      let out = ref [] in
+      let check name rolled live =
+        if rolled <> live then
+          out :=
+            Printf.sprintf "%s: rollup %d <> live counter %d" name rolled live
+            :: !out
+      in
+      check "device bytes_read" t.device_bytes_read d.Snapshot.bytes_read;
+      check "device bytes_written" t.device_bytes_written d.Snapshot.bytes_written;
+      check "device read_ops" t.device_read_ops d.Snapshot.read_ops;
+      check "device write_ops" t.device_write_ops d.Snapshot.write_ops;
+      List.rev !out

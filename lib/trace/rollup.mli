@@ -1,0 +1,39 @@
+(** Re-derive a run's GC and device breakdown from its event stream.
+
+    The rollup is the recorder's cross-check: it recomputes, from events
+    alone, the numbers the simulator also maintains as live counters
+    ([Gc_stats] cycle counts and per-phase totals, [Device.stats]
+    traffic). Span-end events carry the exact measured duration the
+    collector recorded, and device events carry the exact charged bytes,
+    so a complete stream (no ring-buffer drops) reproduces the live
+    counters bit-for-bit — summed in the same order the simulator summed
+    them. Tests enforce the equality; a mismatch means an emission site
+    and its counter have diverged. *)
+
+type t = {
+  minor_gcs : int;
+  major_gcs : int;
+  minor_total_ns : float;
+  major_total_ns : float;
+  marking_ns : float;
+  precompact_ns : float;
+  adjust_ns : float;
+  compact_ns : float;
+  bytes_moved_to_h2 : int;
+  regions_freed : int;
+  device_bytes_read : int;
+  device_bytes_written : int;
+  device_read_ops : int;
+  device_write_ops : int;
+  faults_injected : int;
+      (** injection instants: read/write errors, spikes, stalls, ENOSPC
+          rejections — one event per fault the injector charged *)
+}
+
+val of_events : Event.t list -> t
+
+val check_against : t -> final:Snapshot.t -> string list
+(** Compare the rolled-up device traffic with a final counter snapshot
+    of the same run ({!Snapshot.t}, captured by [Th_verify.Counters]).
+    Each returned string names one disagreeing counter; empty means the
+    event stream accounts for every device byte and operation exactly. *)

@@ -1,0 +1,47 @@
+type device = {
+  bytes_read : int;
+  bytes_written : int;
+  read_ops : int;
+  write_ops : int;
+}
+
+type cache = { hits : int; misses : int; evictions : int; writebacks : int }
+
+type t = {
+  now_ns : float;
+  other_ns : float;
+  serde_io_ns : float;
+  minor_gc_ns : float;
+  major_gc_ns : float;
+  device : device option;
+  cache : cache option;
+}
+
+let monotone ~earlier ~later =
+  let out = ref [] in
+  let flag msg = out := msg :: !out in
+  if later.now_ns < earlier.now_ns then flag "simulated clock moved backwards";
+  if
+    later.other_ns < earlier.other_ns
+    || later.serde_io_ns < earlier.serde_io_ns
+    || later.minor_gc_ns < earlier.minor_gc_ns
+    || later.major_gc_ns < earlier.major_gc_ns
+  then flag "a clock category's time decreased between safepoints";
+  (match (earlier.device, later.device) with
+  | Some prev, Some s ->
+      if
+        s.bytes_read < prev.bytes_read
+        || s.bytes_written < prev.bytes_written
+        || s.read_ops < prev.read_ops
+        || s.write_ops < prev.write_ops
+      then flag "device traffic counters decreased between safepoints"
+  | (Some _ | None), _ -> ());
+  (match (earlier.cache, later.cache) with
+  | Some prev, Some s ->
+      if
+        s.hits < prev.hits || s.misses < prev.misses
+        || s.evictions < prev.evictions
+        || s.writebacks < prev.writebacks
+      then flag "page-cache counters decreased between safepoints"
+  | (Some _ | None), _ -> ());
+  List.rev !out

@@ -1,0 +1,34 @@
+(** One snapshot of a run's monotone counters: the simulated clock's
+    per-category breakdown plus the H2 device and page-cache statistics,
+    as plain data.
+
+    This is the single counter-reading shared between the
+    [Th_verify] conservation rule (which compares successive safepoint
+    snapshots for monotonicity) and {!Rollup.check_against} (which
+    compares an event-stream rollup against the final snapshot) — the
+    capture function itself lives in [Th_verify.Counters], next to the
+    runtime it reads. *)
+
+type device = {
+  bytes_read : int;
+  bytes_written : int;
+  read_ops : int;
+  write_ops : int;
+}
+
+type cache = { hits : int; misses : int; evictions : int; writebacks : int }
+
+type t = {
+  now_ns : float;
+  other_ns : float;
+  serde_io_ns : float;
+  minor_gc_ns : float;
+  major_gc_ns : float;
+  device : device option;
+  cache : cache option;
+}
+
+val monotone : earlier:t -> later:t -> string list
+(** The conservation violations between two snapshots of the same run:
+    each returned string describes one counter family that moved
+    backwards. An empty list means every counter is monotone. *)

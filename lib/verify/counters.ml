@@ -1,0 +1,43 @@
+module Clock = Th_sim.Clock
+module Device = Th_device.Device
+module Page_cache = Th_device.Page_cache
+module H2 = Th_core.H2
+module Rt = Th_psgc.Rt
+
+let capture (rt : Rt.t) : Th_trace.Snapshot.t =
+  let bd = Clock.breakdown rt.Rt.clock in
+  let device =
+    match rt.Rt.h2 with
+    | None -> None
+    | Some h2 ->
+        let s = Device.stats (H2.device h2) in
+        Some
+          {
+            Th_trace.Snapshot.bytes_read = s.Device.bytes_read;
+            bytes_written = s.Device.bytes_written;
+            read_ops = s.Device.read_ops;
+            write_ops = s.Device.write_ops;
+          }
+  in
+  let cache =
+    match rt.Rt.h2 with
+    | None -> None
+    | Some h2 ->
+        let s = Page_cache.stats (H2.page_cache h2) in
+        Some
+          {
+            Th_trace.Snapshot.hits = s.Page_cache.hits;
+            misses = s.Page_cache.misses;
+            evictions = s.Page_cache.evictions;
+            writebacks = s.Page_cache.writebacks;
+          }
+  in
+  {
+    Th_trace.Snapshot.now_ns = Clock.now_ns rt.Rt.clock;
+    other_ns = bd.Clock.other_ns;
+    serde_io_ns = bd.Clock.serde_io_ns;
+    minor_gc_ns = bd.Clock.minor_gc_ns;
+    major_gc_ns = bd.Clock.major_gc_ns;
+    device;
+    cache;
+  }

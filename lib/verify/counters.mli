@@ -1,0 +1,12 @@
+(** Capture a runtime's cumulative counters as a plain-data
+    {!Th_trace.Snapshot.t}.
+
+    This is the single place the clock breakdown, device traffic and
+    page-cache statistics are read out for cross-checking: the
+    {!Verify} conservation rule diffs successive captures with
+    {!Th_trace.Snapshot.monotone}, and the trace tests hand a final
+    capture to {!Th_trace.Rollup.check_against}. *)
+
+val capture : Th_psgc.Rt.t -> Th_trace.Snapshot.t
+(** Device and cache fields are [None] when the runtime has no H2 heap
+    attached. *)

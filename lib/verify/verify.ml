@@ -66,19 +66,15 @@ type violation = {
   card : int option;
 }
 
-(* Everything monotone between safepoints, captured at the previous one. *)
-type snapshot = {
-  snap_now_ns : float;
-  snap_breakdown : Clock.breakdown;
-  snap_device : Device.stats option;
-  snap_cache : Page_cache.stats option;
-}
-
 type t = {
   rt : Rt.t;
   level : level;
   violations : violation Vec.t;
-  mutable last : snapshot option;
+  (* Everything monotone between safepoints, captured at the previous
+     one. The capture and the monotonicity rules live in
+     [Counters] / {!Th_trace.Snapshot} so the trace rollup checks the
+     same counters the sanitizer watches. *)
+  mutable last : Th_trace.Snapshot.t option;
 }
 
 let violations t = Vec.to_list t.violations
@@ -449,20 +445,6 @@ let check_reachability t phase =
 (* ------------------------------------------------------------------ *)
 (* Rule 5: conservation (monotone counters, clock consistency)         *)
 
-let take_snapshot t =
-  {
-    snap_now_ns = Clock.now_ns t.rt.Rt.clock;
-    snap_breakdown = Clock.breakdown t.rt.Rt.clock;
-    snap_device =
-      (match t.rt.Rt.h2 with
-      | Some h2 -> Some (Device.stats (H2.device h2))
-      | None -> None);
-    snap_cache =
-      (match t.rt.Rt.h2 with
-      | Some h2 -> Some (Page_cache.stats (H2.page_cache h2))
-      | None -> None);
-  }
-
 let check_conservation t phase =
   let clock = t.rt.Rt.clock in
   let now = Clock.now_ns clock in
@@ -477,43 +459,14 @@ let check_conservation t phase =
       if Page_cache.resident_pages cache > Page_cache.capacity_pages cache then
         add t ~rule:Conservation ~phase
           "page cache holds more pages than its capacity");
+  let current = Counters.capture t.rt in
   (match t.last with
   | None -> ()
   | Some last ->
-      if now < last.snap_now_ns then
-        add t ~rule:Conservation ~phase "simulated clock moved backwards";
       List.iter
-        (fun cat ->
-          if Clock.category_ns bd cat < Clock.category_ns last.snap_breakdown cat
-          then
-            add t ~rule:Conservation ~phase
-              "a clock category's time decreased between safepoints")
-        [ Clock.Other; Clock.Serde_io; Clock.Minor_gc; Clock.Major_gc ];
-      (match (t.rt.Rt.h2, last.snap_device) with
-      | Some h2, Some prev ->
-          let s = Device.stats (H2.device h2) in
-          if
-            s.Device.bytes_read < prev.Device.bytes_read
-            || s.Device.bytes_written < prev.Device.bytes_written
-            || s.Device.read_ops < prev.Device.read_ops
-            || s.Device.write_ops < prev.Device.write_ops
-          then
-            add t ~rule:Conservation ~phase
-              "device traffic counters decreased between safepoints"
-      | (Some _ | None), _ -> ());
-      match (t.rt.Rt.h2, last.snap_cache) with
-      | Some h2, Some prev ->
-          let s = Page_cache.stats (H2.page_cache h2) in
-          if
-            s.Page_cache.hits < prev.Page_cache.hits
-            || s.Page_cache.misses < prev.Page_cache.misses
-            || s.Page_cache.evictions < prev.Page_cache.evictions
-            || s.Page_cache.writebacks < prev.Page_cache.writebacks
-          then
-            add t ~rule:Conservation ~phase
-              "page-cache counters decreased between safepoints"
-      | (Some _ | None), _ -> ());
-  t.last <- Some (take_snapshot t)
+        (fun detail -> add t ~rule:Conservation ~phase detail)
+        (Th_trace.Snapshot.monotone ~earlier:last ~later:current));
+  t.last <- Some current
 
 (* ------------------------------------------------------------------ *)
 (* Driver                                                              *)

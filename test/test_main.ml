@@ -15,6 +15,7 @@ let () =
       ("giraph", Test_giraph.suite);
       ("metrics", Test_metrics.suite);
       ("faults", Test_faults.suite);
+      ("trace", Test_trace.suite);
       ("dacapo-misc", Test_dacapo.suite);
       ("integration", Test_integration.suite);
     ]
