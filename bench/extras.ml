@@ -57,7 +57,7 @@ let ablation_union_find () =
     List.map
       (fun ((p : Giraph_profiles.t), results) ->
         let (dep, dep_t), (uf, uf_t) =
-          match results with [ d; u ] -> (d, u) | _ -> assert false
+          pair2 ~what:"extras:h2-policy" results
         in
         [
           p.Giraph_profiles.name;
@@ -101,9 +101,7 @@ let g1_with_teraheap () =
   let rows =
     List.map
       (fun (name, results) ->
-        let g1, g1_th =
-          match results with [ a; b ] -> (a, b) | _ -> assert false
-        in
+        let g1, g1_th = pair2 ~what:"extras:g1" results in
         let cell (r : Run_result.t) =
           match r.Run_result.breakdown with
           | None -> "OOM"
@@ -136,7 +134,7 @@ let dynamic_thresholds () =
   let rows =
     List.map
       (fun ((p : Giraph_profiles.t), results) ->
-        let st, dy = match results with [ s; d ] -> (s, d) | _ -> assert false in
+        let st, dy = pair2 ~what:"extras:static-dynamic" results in
         [
           p.Giraph_profiles.name;
           Printf.sprintf "%.3fs" st;
@@ -173,7 +171,7 @@ let size_segregated_placement () =
   let rows =
     List.map
       (fun ((p : Giraph_profiles.t), results) ->
-        let lo, ss = match results with [ a; b ] -> (a, b) | _ -> assert false in
+        let lo, ss = pair2 ~what:"extras:layout" results in
         [ p.Giraph_profiles.name; lo; ss ])
       (pmap_grouped groups)
   in

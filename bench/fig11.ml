@@ -71,9 +71,7 @@ let part_b () =
   in
   List.iter
     (fun ((p : Giraph_profiles.t), results) ->
-      let ooc, th =
-        match results with [ ooc; th ] -> (ooc, th) | _ -> assert false
-      in
+      let ooc, th = pair2 ~what:"fig11" results in
       Report.print_series
         ~title:
           (Printf.sprintf "Fig 11b / Giraph-%s: major GC phases (s)"

@@ -36,14 +36,13 @@ let summarize label (r : Run_result.t) =
 let run () =
   Printf.printf "\n== Fig 7: GC timeline, Spark-PR, 64GB heap ==\n";
   let p = Spark_profiles.pagerank in
-  match
-    pmap
-      [
-        (fun () -> run_spark ~dram:80 Sd p);
-        (fun () -> run_spark ~dram:80 Th p);
-      ]
-  with
-  | [ sd; th ] ->
-      summarize "Spark-SD" sd;
-      summarize "TeraHeap" th
-  | _ -> assert false
+  let sd, th =
+    pair2 ~what:"fig7"
+      (pmap
+         [
+           (fun () -> run_spark ~dram:80 Sd p);
+           (fun () -> run_spark ~dram:80 Th p);
+         ])
+  in
+  summarize "Spark-SD" sd;
+  summarize "TeraHeap" th

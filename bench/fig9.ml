@@ -30,9 +30,7 @@ let part_a () =
   in
   List.iter
     (fun ((p : Giraph_profiles.t), results) ->
-      let nh, h =
-        match results with [ nh; h ] -> (nh, h) | _ -> assert false
-      in
+      let nh, h = pair2 ~what:"fig9a" results in
       Report.print_breakdown_table
         ~title:
           (Printf.sprintf "Fig 9a / Giraph-%s: no-hint (NH) vs hint (H)"
@@ -65,9 +63,7 @@ let part_b () =
   in
   List.iter
     (fun ((p : Giraph_profiles.t), results) ->
-      let nl, l =
-        match results with [ nl; l ] -> (nl, l) | _ -> assert false
-      in
+      let nl, l = pair2 ~what:"fig9b" results in
       Report.print_breakdown_table
         ~title:
           (Printf.sprintf

@@ -10,6 +10,11 @@
    machine-readable summary is written to BENCH_harness.json (override
    the path with the TH_BENCH_JSON environment variable). *)
 
+(* Harness self-timing only: Sys.time here measures the harness's own
+   CPU cost for BENCH_harness.json and stderr. It never feeds a
+   simulated result, which all come from Th_sim.Clock. *)
+[@@@th.allow "wall-clock"]
+
 module Pool = Th_exec.Pool
 module Wall = Th_exec.Wall
 module Bench_log = Th_metrics.Bench_log

@@ -133,11 +133,17 @@ let run () =
         Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false
                        ~predictors:[| Measure.run |]) Instance.monotonic_clock raw
       in
-      Hashtbl.iter
-        (fun name result ->
+      let rows =
+        (* th-lint: allow hashtbl-order — collected into a list and
+           sorted by name below before printing. *)
+        Hashtbl.fold (fun name result acc -> (name, result) :: acc) results []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      in
+      List.iter
+        (fun (name, result) ->
           match Analyze.OLS.estimates result with
           | Some [ est ] -> Printf.printf "%-40s %12.1f ns/op\n" name est
           | _ -> Printf.printf "%-40s (no estimate)\n" name)
-        results)
+        rows)
     benchmarks;
   ()

@@ -50,6 +50,16 @@ let pmap_grouped (groups : ('k * (unit -> 'a) list) list) : ('k * 'a list) list
       (key, taken))
     groups
 
+(* Destructure the exactly-two-results shape every A/B experiment uses.
+   A malformed cell batch is a harness bug; name the figure so the error
+   says which one. *)
+let pair2 ~what = function
+  | [ a; b ] -> (a, b)
+  | rs ->
+      invalid_arg
+        (Printf.sprintf "%s: expected exactly 2 pool results, got %d" what
+           (List.length rs))
+
 let costs ?(threads = 8) () =
   Costs.with_mutator_threads Setups.default_costs threads
 

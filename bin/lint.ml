@@ -1,290 +1,206 @@
-(* AST-free source linter, run over lib/ in CI.
+(* Thin CLI over the Th_analysis AST analyzer (lib/analysis).
 
-   Rules:
-     forbidden-assert-false  bare [assert false] — use a contextful
-                             exception (Rt.Invalid_heap_state, invalid_arg)
-     forbidden-obj-magic     any use of Obj.magic
-     unordered-hashtbl-iter  Hashtbl.iter/fold on paths whose behaviour
-                             could depend on hash order; waived by an
-                             "order-insensitive" comment on the same or
-                             one of the three preceding lines
-     missing-mli             a .ml compilation unit without a sealing .mli
+   Usage: lint.exe [options] [paths...]
+     --format text|json   report format (default text)
+     --rules r1,r2        run only the named rules
+     --explain RULE       print a rule's documentation and exit
+     --list-rules         one-line summary of every rule
+     --self-test          run the analyzer over its embedded fixtures
+     --dump-fixtures DIR  write the embedded fixtures as files into DIR
+     -o FILE              write the report to FILE instead of stdout
+     paths                files or directories (default: lib bin bench)
 
-   The scanner strips comments and string/char literals (preserving line
-   structure) before matching, so mentions of the forbidden constructs in
-   prose never trip a rule. *)
+   Exit codes: 0 clean, 1 findings (or self-test failure), 2 usage error.
 
-type finding = { path : string; line : int; rule : string; message : string }
+   The analyzer parses every .ml/.mli with the compiler's own parser and
+   runs scope-aware AST rules (see `--list-rules`). The one check that
+   cannot live at the AST level — a lib/ compilation unit missing its
+   sealing .mli — is implemented here, against the file system. *)
 
-(* ------------------------------------------------------------------ *)
-(* Comment/string stripping                                            *)
+let default_paths = [ "lib"; "bin"; "bench" ]
 
-(* Replace the contents of comments, string literals and char literals
-   with spaces, keeping every newline so line numbers survive. Handles
-   nested comments, string literals inside comments (as the OCaml lexer
-   does), escape sequences, raw-delimited strings, and char literals —
-   a double quote in a char literal included — without confusing char
-   literals with type variables. *)
-let strip src =
-  let n = String.length src in
-  let out = Bytes.of_string src in
-  let blank i = if Bytes.get out i <> '\n' then Bytes.set out i ' ' in
-  let rec skip_string i =
-    (* [i] is past the opening quote; returns the index past the close. *)
-    if i >= n then i
-    else
-      match src.[i] with
-      | '"' ->
-          blank i;
-          i + 1
-      | '\\' when i + 1 < n ->
-          blank i;
-          blank (i + 1);
-          skip_string (i + 2)
-      | _ ->
-          blank i;
-          skip_string (i + 1)
-  in
-  let raw_delim i =
-    (* At an opening brace: recognise a raw-string delimiter (brace,
-       lowercase identifier, pipe) and return the identifier plus the
-       index past the pipe. *)
-    let j = ref (i + 1) in
-    while
-      !j < n
-      && (match src.[!j] with 'a' .. 'z' | '_' -> true | _ -> false)
-    do
-      incr j
-    done;
-    if !j < n && src.[!j] = '|' then Some (String.sub src (i + 1) (!j - i - 1), !j + 1)
-    else None
-  in
-  let rec skip_raw id i =
-    (* Scan for the closing delimiter: pipe, identifier, brace. *)
-    if i >= n then i
-    else if
-      src.[i] = '|'
-      && i + String.length id + 1 < n
-      && String.sub src (i + 1) (String.length id) = id
-      && src.[i + 1 + String.length id] = '}'
-    then begin
-      for k = i to i + String.length id + 1 do
-        blank k
-      done;
-      i + String.length id + 2
-    end
-    else begin
-      blank i;
-      skip_raw id (i + 1)
-    end
-  in
-  let char_literal_end i =
-    (* At [i] = '\'': distinguish a char literal from a type variable.
-       Returns the index past the literal, or None. *)
-    if i + 1 >= n then None
-    else if src.[i + 1] = '\\' then begin
-      (* escape: '\\', '\n', '\xhh', '\123' ... scan to closing quote *)
-      let j = ref (i + 2) in
-      while !j < n && src.[!j] <> '\'' && src.[!j] <> '\n' do
-        incr j
-      done;
-      if !j < n && src.[!j] = '\'' then Some (!j + 1) else None
-    end
-    else if i + 2 < n && src.[i + 1] <> '\'' && src.[i + 2] = '\'' then
-      Some (i + 3)
-    else None
-  in
-  let rec comment depth i =
-    if i >= n then i
-    else if i + 1 < n && src.[i] = '(' && src.[i + 1] = '*' then begin
-      blank i;
-      blank (i + 1);
-      comment (depth + 1) (i + 2)
-    end
-    else if i + 1 < n && src.[i] = '*' && src.[i + 1] = ')' then begin
-      blank i;
-      blank (i + 1);
-      if depth = 1 then i + 2 else comment (depth - 1) (i + 2)
-    end
-    else if src.[i] = '"' then begin
-      blank i;
-      comment depth (skip_string (i + 1))
-    end
-    else begin
-      blank i;
-      comment depth (i + 1)
-    end
-  in
-  let rec code i =
-    if i >= n then ()
-    else if i + 1 < n && src.[i] = '(' && src.[i + 1] = '*' then begin
-      blank i;
-      blank (i + 1);
-      code (comment 1 (i + 2))
-    end
-    else if src.[i] = '"' then begin
-      blank i;
-      code (skip_string (i + 1))
-    end
-    else if src.[i] = '{' then begin
-      match raw_delim i with
-      | Some (id, j) ->
-          for k = i to j - 1 do
-            blank k
-          done;
-          code (skip_raw id j)
-      | None -> code (i + 1)
-    end
-    else if src.[i] = '\'' then begin
-      match char_literal_end i with
-      | Some j ->
-          for k = i to j - 1 do
-            blank k
-          done;
-          code j
-      | None -> code (i + 1)
-    end
-    else code (i + 1)
-  in
-  code 0;
-  Bytes.to_string out
-
-(* ------------------------------------------------------------------ *)
-(* Rules                                                               *)
-
-let line_of src pos =
-  let line = ref 1 in
-  for i = 0 to pos - 1 do
-    if src.[i] = '\n' then incr line
-  done;
-  !line
-
-let is_word_char = function
-  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '\'' -> true
-  | _ -> false
-
-(* All positions where [word] occurs as a full token in [s]. *)
-let word_positions s word =
-  let wl = String.length word and sl = String.length s in
-  let acc = ref [] in
-  let i = ref 0 in
-  while !i + wl <= sl do
-    if
-      String.sub s !i wl = word
-      && (!i = 0 || not (is_word_char s.[!i - 1]))
-      && (!i + wl = sl || not (is_word_char s.[!i + wl]))
-    then acc := !i :: !acc;
-    incr i
-  done;
-  List.rev !acc
-
-let next_token_is s pos word =
-  let sl = String.length s in
-  let i = ref pos in
-  while
-    !i < sl && (s.[!i] = ' ' || s.[!i] = '\n' || s.[!i] = '\t' || s.[!i] = '\r')
-  do
-    incr i
-  done;
-  let wl = String.length word in
-  !i + wl <= sl
-  && String.sub s !i wl = word
-  && (!i + wl = sl || not (is_word_char s.[!i + wl]))
-
-let lower = String.lowercase_ascii
-
-let contains_ci hay needle =
-  let hay = lower hay and needle = lower needle in
-  let hl = String.length hay and nl = String.length needle in
-  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
-  nl = 0 || go 0
-
-let check_file path =
-  let ic = open_in_bin path in
-  let len = in_channel_length ic in
-  let raw = really_input_string ic len in
-  close_in ic;
-  let stripped = strip raw in
-  let raw_lines = Array.of_list (String.split_on_char '\n' raw) in
-  let findings = ref [] in
-  let report line rule message = findings := { path; line; rule; message } :: !findings in
-  List.iter
-    (fun pos ->
-      if next_token_is stripped (pos + 6) "false" then
-        report (line_of stripped pos) "forbidden-assert-false"
-          "bare 'assert false'; raise a contextful exception instead")
-    (word_positions stripped "assert");
-  List.iter
-    (fun pos ->
-      if next_token_is stripped (pos + 3) ".magic" then
-        report (line_of stripped pos) "forbidden-obj-magic"
-          "Obj.magic defeats the type system")
-    (word_positions stripped "Obj");
-  let waived line =
-    (* [line] is 1-based; look at it and up to 3 preceding raw lines. *)
-    let ok = ref false in
-    for l = max 1 (line - 3) to line do
-      if
-        l - 1 < Array.length raw_lines
-        && contains_ci raw_lines.(l - 1) "order-insensitive"
-      then ok := true
-    done;
-    !ok
-  in
-  List.iter
-    (fun pos ->
-      if
-        next_token_is stripped (pos + 7) ".iter"
-        || next_token_is stripped (pos + 7) ".fold"
-      then begin
-        let line = line_of stripped pos in
-        if not (waived line) then
-          report line "unordered-hashtbl-iter"
-            "Hashtbl iteration order is unspecified; justify with an \
-             'order-insensitive' comment or iterate a sorted view"
-      end)
-    (word_positions stripped "Hashtbl");
-  if
-    Filename.check_suffix path ".ml"
-    && not (Sys.file_exists (path ^ "i"))
-  then
-    report 1 "missing-mli"
-      "compilation unit has no sealing .mli interface";
-  !findings
-
-(* ------------------------------------------------------------------ *)
-(* Driver                                                              *)
+let usage () =
+  prerr_endline
+    "usage: lint.exe [--format text|json] [--rules r1,r2] [--explain RULE]\n\
+    \       [--list-rules] [--self-test] [-o FILE] [paths...]";
+  exit 2
 
 let rec collect path acc =
-  if Sys.is_directory path then
-    Array.fold_left
-      (fun acc entry ->
-        if entry = "_build" || entry = ".git" then acc
-        else collect (Filename.concat path entry) acc)
-      acc (Sys.readdir path)
-  else if Filename.check_suffix path ".ml" then path :: acc
-  else acc
+  match Sys.is_directory path with
+  | true ->
+      let entries = List.sort String.compare (Array.to_list (Sys.readdir path)) in
+      List.fold_left
+        (fun acc entry ->
+          if String.equal entry "_build" || String.equal entry ".git" then acc
+          else collect (Filename.concat path entry) acc)
+        acc entries
+  | false ->
+      if Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
+      then path :: acc
+      else acc
+  | exception Sys_error msg ->
+      Printf.eprintf "lint: %s\n" msg;
+      exit 2
+
+(* The file-system rule the AST pass cannot express: every library
+   compilation unit must be sealed by an interface. Only applies under
+   lib/ — bin/ and bench/ hold executables. *)
+let missing_mli files =
+  List.filter_map
+    (fun path ->
+      let in_lib =
+        List.exists
+          (String.equal "lib")
+          (String.split_on_char '/' (Filename.dirname path))
+        || String.equal (Filename.dirname path) "lib"
+      in
+      if
+        in_lib
+        && Filename.check_suffix path ".ml"
+        && not (Sys.file_exists (path ^ "i"))
+      then
+        Some
+          {
+            Th_analysis.Finding.file = path;
+            line = 1;
+            col = 0;
+            rule = "missing-mli";
+            severity = Th_analysis.Finding.Error;
+            message = "compilation unit has no sealing .mli interface";
+          }
+      else None)
+    files
+
+let explain rule =
+  match Th_analysis.Rule.find rule with
+  | Some r ->
+      print_string (Th_analysis.Rule.explain_text r);
+      exit 0
+  | None ->
+      Printf.eprintf "lint: unknown rule %S; known rules:\n  %s\n" rule
+        (String.concat "\n  " Th_analysis.Rule.names);
+      exit 2
+
+let list_rules () =
+  List.iter
+    (fun (r : Th_analysis.Rule.t) ->
+      Printf.printf "%-20s %-17s %s\n" r.name
+        (Th_analysis.Rule.family_to_string r.family)
+        r.synopsis)
+    Th_analysis.Rule.all;
+  Printf.printf "%-20s %-17s %s\n" "missing-mli" "invariant-hygiene"
+    "lib/ compilation unit without a sealing .mli (file-system check)";
+  exit 0
+
+(* Regenerate test/fixtures/analysis/ from the embedded snippets. The
+   alcotest suite asserts file = snippet, so this is the one sanctioned
+   way to update the fixtures after editing Selftest.cases. *)
+let dump_fixtures dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then begin
+    Printf.eprintf "lint: --dump-fixtures: %s is not a directory\n" dir;
+    exit 2
+  end;
+  List.iter
+    (fun (c : Th_analysis.Selftest.case) ->
+      List.iter
+        (fun (polarity, contents) ->
+          let file =
+            Filename.concat dir
+              (Th_analysis.Selftest.fixture_basename ~polarity c.rule)
+          in
+          let oc = open_out file in
+          output_string oc contents;
+          close_out oc;
+          Printf.printf "lint: wrote %s\n" file)
+        [ (`Pos, c.positive); (`Neg, c.negative) ])
+    Th_analysis.Selftest.cases;
+  exit 0
+
+let self_test () =
+  match Th_analysis.Selftest.run () with
+  | Ok n ->
+      Printf.printf "lint --self-test: %d check(s) passed\n" n;
+      exit 0
+  | Error msgs ->
+      List.iter (fun m -> Printf.eprintf "lint --self-test: FAILED: %s\n" m) msgs;
+      exit 1
 
 let () =
-  let args =
-    match Array.to_list Sys.argv with [] | [ _ ] -> [ "lib" ] | _ :: rest -> rest
+  let format = ref `Text in
+  let rules = ref None in
+  let output = ref None in
+  let paths = ref [] in
+  let rec parse_args = function
+    | [] -> ()
+    | "--format" :: v :: rest ->
+        (match v with
+        | "text" -> format := `Text
+        | "json" -> format := `Json
+        | _ ->
+            Printf.eprintf "lint: unknown format %S (text|json)\n" v;
+            exit 2);
+        parse_args rest
+    | "--rules" :: v :: rest ->
+        let names = String.split_on_char ',' v |> List.filter (fun s -> s <> "") in
+        List.iter
+          (fun n ->
+            if
+              Th_analysis.Rule.find n = None
+              && not (String.equal n "missing-mli")
+            then begin
+              Printf.eprintf "lint: unknown rule %S in --rules\n" n;
+              exit 2
+            end)
+          names;
+        rules := Some names;
+        parse_args rest
+    | "--explain" :: v :: rest ->
+        ignore rest;
+        explain v
+    | [ "--explain" ] -> usage ()
+    | "--list-rules" :: _ -> list_rules ()
+    | "--self-test" :: _ -> self_test ()
+    | "--dump-fixtures" :: dir :: _ -> dump_fixtures dir
+    | [ "--dump-fixtures" ] -> usage ()
+    | "-o" :: v :: rest | "--output" :: v :: rest ->
+        output := Some v;
+        parse_args rest
+    | ("--help" | "-h") :: _ -> usage ()
+    | arg :: _ when String.length arg > 0 && arg.[0] = '-' ->
+        Printf.eprintf "lint: unknown option %S\n" arg;
+        usage ()
+    | path :: rest ->
+        paths := path :: !paths;
+        parse_args rest
   in
-  let files = List.sort compare (List.concat_map (fun p -> collect p []) args) in
-  let findings = List.concat_map check_file files in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let paths = match List.rev !paths with [] -> default_paths | ps -> ps in
+  let files =
+    List.sort String.compare (List.concat_map (fun p -> collect p []) paths)
+  in
+  let result = Th_analysis.Engine.analyze_files ?rules:!rules files in
+  let fs_findings =
+    match !rules with
+    | Some names when not (List.exists (String.equal "missing-mli") names) -> []
+    | _ -> missing_mli files
+  in
   let findings =
-    List.sort
-      (fun a b ->
-        match compare a.path b.path with 0 -> compare a.line b.line | c -> c)
-      findings
+    List.sort Th_analysis.Finding.compare
+      (fs_findings @ result.Th_analysis.Engine.findings)
   in
-  List.iter
-    (fun f ->
-      Printf.printf "%s:%d: [%s] %s\n" f.path f.line f.rule f.message)
-    findings;
-  match findings with
-  | [] ->
-      Printf.printf "lint: %d file(s) clean\n" (List.length files)
-  | fs ->
-      Printf.printf "lint: %d finding(s) in %d file(s)\n" (List.length fs)
-        (List.length files);
-      exit 1
+  let waived = result.Th_analysis.Engine.waived in
+  let report =
+    match !format with
+    | `Text -> Th_analysis.Report.to_text ~waived findings
+    | `Json -> Th_analysis.Report.to_json ~waived findings
+  in
+  (match !output with
+  | None -> print_string report
+  | Some file ->
+      let oc = open_out file in
+      output_string oc report;
+      close_out oc;
+      Printf.printf "lint: report written to %s (%d finding(s), %d waived, %d \
+                     file(s))\n"
+        file (List.length findings) (List.length waived) (List.length files));
+  exit (if findings = [] then 0 else 1)

@@ -1,0 +1,765 @@
+open Parsetree
+module SS = Set.Make (String)
+
+type result = { findings : Finding.t list; waived : Finding.t list }
+
+let parse_error_rule = "parse-error"
+
+(* ------------------------------------------------------------------ *)
+(* Small syntax helpers                                                *)
+
+let flatten_lid lid =
+  (* [Longident.flatten] raises on functor applications; those can never
+     match a rule pattern, so map them to the empty path. *)
+  match Longident.flatten lid with l -> l | exception _ -> []
+
+(* Last two components of a path: [Th_exec.Pool.map] and [Pool.map] both
+   resolve to [("Pool", "map")], which is how rules name stdlib and
+   intra-repo modules regardless of library wrapping. *)
+let last2 path =
+  match List.rev path with n :: m :: _ -> Some (m, n) | _ -> None
+
+let split_words s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\n')
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.concat_map (String.split_on_char ',')
+  |> List.filter (fun w -> w <> "")
+
+let attr_allows (attrs : attributes) =
+  List.concat_map
+    (fun a ->
+      if String.equal a.attr_name.txt "th.allow" then
+        match a.attr_payload with
+        | PStr
+            [
+              {
+                pstr_desc =
+                  Pstr_eval
+                    ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+                _;
+              };
+            ] ->
+            split_words s
+        | _ -> []
+      else [])
+    attrs
+
+let rec pat_vars p =
+  match p.ppat_desc with
+  | Ppat_var { txt; _ } -> [ txt ]
+  | Ppat_alias (p, { txt; _ }) -> txt :: pat_vars p
+  | Ppat_tuple ps | Ppat_array ps -> List.concat_map pat_vars ps
+  | Ppat_construct (_, Some (_, p))
+  | Ppat_variant (_, Some p)
+  | Ppat_constraint (p, _)
+  | Ppat_lazy p
+  | Ppat_exception p
+  | Ppat_open (_, p) ->
+      pat_vars p
+  | Ppat_record (fields, _) -> List.concat_map (fun (_, p) -> pat_vars p) fields
+  | Ppat_or (a, b) -> pat_vars a @ pat_vars b
+  | Ppat_any | Ppat_constant _ | Ppat_interval _ | Ppat_construct (_, None)
+  | Ppat_variant (_, None)
+  | Ppat_type _ | Ppat_unpack _ | Ppat_extension _ ->
+      []
+
+let rec pat_constructors p =
+  match p.ppat_desc with
+  | Ppat_construct ({ txt; _ }, arg) ->
+      let here =
+        match List.rev (flatten_lid txt) with n :: _ -> [ n ] | [] -> []
+      in
+      here @ (match arg with Some (_, p) -> pat_constructors p | None -> [])
+  | Ppat_alias (p, _)
+  | Ppat_constraint (p, _)
+  | Ppat_lazy p
+  | Ppat_exception p
+  | Ppat_open (_, p)
+  | Ppat_variant (_, Some p) ->
+      pat_constructors p
+  | Ppat_tuple ps | Ppat_array ps -> List.concat_map pat_constructors ps
+  | Ppat_record (fields, _) ->
+      List.concat_map (fun (_, p) -> pat_constructors p) fields
+  | Ppat_or (a, b) -> pat_constructors a @ pat_constructors b
+  | Ppat_any | Ppat_var _ | Ppat_constant _ | Ppat_interval _
+  | Ppat_variant (_, None)
+  | Ppat_type _ | Ppat_unpack _ | Ppat_extension _ ->
+      []
+
+let rec is_catch_all p =
+  match p.ppat_desc with
+  | Ppat_any | Ppat_var _ -> true
+  | Ppat_alias (p, _) | Ppat_constraint (p, _) -> is_catch_all p
+  | Ppat_or (a, b) -> is_catch_all a || is_catch_all b
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Scoped ident iteration                                              *)
+
+(* Walk an expression calling [f lid loc] for every identifier
+   reference whose unqualified name is not bound locally — the scope
+   and shadowing awareness the old char-level linter lacked. Qualified
+   references ([M.x]) are always reported. *)
+let iter_unshadowed_idents ~f root =
+  let shadow : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let count n = Option.value ~default:0 (Hashtbl.find_opt shadow n) in
+  let with_vars vars k =
+    List.iter (fun n -> Hashtbl.replace shadow n (count n + 1)) vars;
+    k ();
+    List.iter (fun n -> Hashtbl.replace shadow n (count n - 1)) vars
+  in
+  let open Ast_iterator in
+  let expr it e =
+    let sub e = it.expr it e in
+    match e.pexp_desc with
+    | Pexp_ident { txt; _ } -> (
+        match txt with
+        | Longident.Lident n when count n > 0 -> ()
+        | _ -> f txt e.pexp_loc)
+    | Pexp_let (rf, vbs, body) ->
+        let vars = List.concat_map (fun vb -> pat_vars vb.pvb_pat) vbs in
+        let visit () = List.iter (fun vb -> sub vb.pvb_expr) vbs in
+        (match rf with
+        | Recursive -> with_vars vars (fun () -> visit (); sub body)
+        | Nonrecursive -> visit (); with_vars vars (fun () -> sub body))
+    | Pexp_fun (_, dflt, pat, body) ->
+        Option.iter sub dflt;
+        with_vars (pat_vars pat) (fun () -> sub body)
+    | Pexp_function cases ->
+        List.iter
+          (fun c ->
+            with_vars (pat_vars c.pc_lhs) (fun () ->
+                Option.iter sub c.pc_guard;
+                sub c.pc_rhs))
+          cases
+    | Pexp_match (s, cases) | Pexp_try (s, cases) ->
+        sub s;
+        List.iter
+          (fun c ->
+            with_vars (pat_vars c.pc_lhs) (fun () ->
+                Option.iter sub c.pc_guard;
+                sub c.pc_rhs))
+          cases
+    | Pexp_for (pat, a, b, _, body) ->
+        sub a;
+        sub b;
+        with_vars (pat_vars pat) (fun () -> sub body)
+    | _ -> default_iterator.expr it e
+  in
+  let it = { default_iterator with expr } in
+  it.expr it root
+
+(* ------------------------------------------------------------------ *)
+(* Effect analysis: mutable top-level state and its reachability       *)
+
+module Effects = struct
+  type key = string * string (* module, value name *)
+
+  let compare_key (ma, na) (mb, nb) =
+    match String.compare ma mb with 0 -> String.compare na nb | c -> c
+
+  module KS = Set.Make (struct
+    type t = key
+
+    let compare = compare_key
+  end)
+
+  type db = {
+    globals : (key, Location.t * bool (* blessed *)) Hashtbl.t;
+        (* blessed: the definition carries [@@th.allow
+           "pmap-mutable-global"], declaring the global is only written
+           on the serial path; reachability findings become waived. *)
+    defs : (key, expression) Hashtbl.t;
+    mutable effects : (key * KS.t) list; (* fixpoint result, assoc *)
+  }
+
+  let mutable_ctor_modules =
+    SS.of_list
+      [
+        "Hashtbl"; "Array"; "Bytes"; "Buffer"; "Queue"; "Stack"; "Atomic";
+        "Vec"; "Dynarray"; "Weak";
+      ]
+
+  (* Does a top-level binding allocate mutable state? Covers [ref e],
+     [Hashtbl.create n], [Array.make ...], [Vec.create ()], array
+     literals — the shapes that appear at module top level. Mutable
+     records are invisible without type information; the rule's docs
+     call that out. *)
+  let rec is_mutable_init e =
+    match e.pexp_desc with
+    | Pexp_array _ -> true
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) -> (
+        match List.rev (flatten_lid txt) with
+        | [ "ref" ] -> true
+        | fn :: m :: _ ->
+            SS.mem m mutable_ctor_modules
+            && List.mem fn [ "create"; "make"; "init"; "copy"; "of_list"; "of_seq" ]
+        | _ -> false)
+    | Pexp_constraint (e, _) | Pexp_open (_, e) -> is_mutable_init e
+    | Pexp_let (_, _, body) | Pexp_sequence (_, body) -> is_mutable_init body
+    | _ -> false
+
+  (* Resolve an identifier to candidate top-level keys. Unqualified
+     names resolve to the current module when it defines them; otherwise
+     — a reference through [open] — to whichever single analyzed module
+     defines the name (ambiguous names resolve to nothing rather than
+     guess). *)
+  let resolve_all db current_mod lid =
+    match flatten_lid lid with
+    | [ n ] ->
+        let home = (current_mod, n) in
+        if Hashtbl.mem db.globals home || Hashtbl.mem db.defs home then
+          [ home ]
+        else begin
+          let hits = ref [] in
+          (* th-lint: allow hashtbl-order — membership collection only;
+             the result is used only when it is a singleton. *)
+          Hashtbl.iter
+            (fun ((_, gn) as k) _ ->
+              if String.equal gn n then hits := k :: !hits)
+            db.globals;
+          (* th-lint: allow hashtbl-order — as above: membership only. *)
+          Hashtbl.iter
+            (fun ((_, dn) as k) _ ->
+              if String.equal dn n then hits := k :: !hits)
+            db.defs;
+          match !hits with [ k ] -> [ k ] | _ -> []
+        end
+    | path -> ( match last2 path with Some k -> [ k ] | None -> [])
+
+  let build (sources : Source.t list) =
+    let db =
+      { globals = Hashtbl.create 64; defs = Hashtbl.create 256; effects = [] }
+    in
+    (* Pass 1: top-level bindings — mutable globals and function defs. *)
+    List.iter
+      (fun (s : Source.t) ->
+        match s.ast with
+        | Source.Signature _ -> ()
+        | Source.Structure str ->
+            List.iter
+              (fun item ->
+                match item.pstr_desc with
+                | Pstr_value (_, vbs) ->
+                    List.iter
+                      (fun vb ->
+                        match vb.pvb_pat.ppat_desc with
+                        | Ppat_var { txt; _ } ->
+                            let key = (s.modname, txt) in
+                            if is_mutable_init vb.pvb_expr then
+                              let blessed =
+                                List.mem "pmap-mutable-global"
+                                  (attr_allows vb.pvb_attributes)
+                              in
+                              Hashtbl.replace db.globals key (vb.pvb_loc, blessed)
+                            else Hashtbl.replace db.defs key vb.pvb_expr
+                        | _ -> ())
+                      vbs
+                | _ -> ())
+              str)
+      sources;
+    (* Pass 2: direct effects and call edges per def. *)
+    let direct : (key * (KS.t * KS.t)) list =
+      (* th-lint: allow hashtbl-order — collected into a list and sorted
+         by compare_key immediately after the fold. *)
+      Hashtbl.fold
+        (fun ((dmod, _) as key) body acc ->
+          let eff = ref KS.empty and calls = ref KS.empty in
+          iter_unshadowed_idents body ~f:(fun lid _loc ->
+              List.iter
+                (fun k ->
+                  if Hashtbl.mem db.globals k then eff := KS.add k !eff
+                  else if Hashtbl.mem db.defs k then calls := KS.add k !calls)
+                (resolve_all db dmod lid));
+          (key, (!eff, !calls)) :: acc)
+        db.defs []
+    in
+    let direct = List.sort (fun (a, _) (b, _) -> compare_key a b) direct in
+    (* Pass 3: transitive closure over the call graph. *)
+    let table = Hashtbl.create 256 in
+    List.iter (fun (k, (eff, _)) -> Hashtbl.replace table k eff) direct;
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      List.iter
+        (fun (k, (_, calls)) ->
+          let cur = Hashtbl.find table k in
+          let next =
+            KS.fold
+              (fun callee acc ->
+                match Hashtbl.find_opt table callee with
+                | Some e -> KS.union acc e
+                | None -> acc)
+              calls cur
+          in
+          if not (KS.equal next cur) then begin
+            Hashtbl.replace table k next;
+            changed := true
+          end)
+        direct
+    done;
+    db.effects <- List.map (fun (k, _) -> (k, Hashtbl.find table k)) direct;
+    db
+
+  let global_info db key = Hashtbl.find_opt db.globals key
+
+  let global_site db key =
+    match Hashtbl.find_opt db.globals key with
+    | Some ((loc : Location.t), _) ->
+        Printf.sprintf "%s:%d" loc.loc_start.pos_fname loc.loc_start.pos_lnum
+    | None -> "?"
+
+  let def_effects db key =
+    match List.find_opt (fun (k, _) -> compare_key k key = 0) db.effects with
+    | Some (_, e) -> KS.elements e
+    | None -> []
+end
+
+(* ------------------------------------------------------------------ *)
+(* Per-file analysis context                                           *)
+
+type ctx = {
+  file : string;
+  modname : string;
+  enabled : string -> bool;
+  module_defs : SS.t;  (** top-level value names — they shadow stdlib *)
+  file_allowed : SS.t;
+  comment_allow : (int * SS.t) list;
+  mutable allow_stack : string list list;
+  shadow : (string, int) Hashtbl.t;
+  db : Effects.db;
+  mutable findings : Finding.t list;
+  mutable waived : Finding.t list;
+}
+
+let shadow_count ctx n = Option.value ~default:0 (Hashtbl.find_opt ctx.shadow n)
+
+let comment_waived ctx line rule =
+  List.exists
+    (fun (l, rules) -> l <= line && line - l <= 3 && SS.mem rule rules)
+    ctx.comment_allow
+
+let emit ?(force_waive = false) ctx ~(loc : Location.t) ~rule message =
+  if ctx.enabled rule then begin
+    let severity =
+      match Rule.find rule with
+      | Some r -> r.Rule.severity
+      | None -> Finding.Error
+    in
+    let line = loc.loc_start.pos_lnum in
+    let f =
+      {
+        Finding.file = ctx.file;
+        line;
+        col = loc.loc_start.pos_cnum - loc.loc_start.pos_bol;
+        rule;
+        severity;
+        message;
+      }
+    in
+    let allowed =
+      force_waive
+      || SS.mem rule ctx.file_allowed
+      || List.exists (List.mem rule) ctx.allow_stack
+      || comment_waived ctx line rule
+    in
+    if allowed then ctx.waived <- f :: ctx.waived
+    else ctx.findings <- f :: ctx.findings
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Rule: identifier vocabularies                                       *)
+
+let hashtbl_order_fns =
+  SS.of_list [ "iter"; "fold"; "to_seq"; "to_seq_keys"; "to_seq_values" ]
+
+let wall_clock_idents =
+  [
+    ("Sys", "time");
+    ("Unix", "gettimeofday");
+    ("Unix", "time");
+    ("Unix", "gmtime");
+    ("Unix", "localtime");
+  ]
+
+let check_ident ctx lid (loc : Location.t) =
+  let path = flatten_lid lid in
+  (match path with
+  | [ "compare" ]
+    when shadow_count ctx "compare" = 0
+         && not (SS.mem "compare" ctx.module_defs) ->
+      emit ctx ~loc ~rule:"poly-compare"
+        "polymorphic compare; use a typed comparator (Int.compare, \
+         String.compare, Float.compare, ...)"
+  | [ "Stdlib"; "compare" ] ->
+      emit ctx ~loc ~rule:"poly-compare"
+        "polymorphic Stdlib.compare; use a typed comparator"
+  | _ -> ());
+  if List.exists (String.equal "Random") path && not (String.equal ctx.modname "Prng")
+  then
+    emit ctx ~loc ~rule:"ambient-entropy"
+      "stdlib Random draws from global, cross-domain shared state; use a \
+       seeded Th_sim.Prng stream";
+  match last2 path with
+  | Some ("Hashtbl", fn) when SS.mem fn hashtbl_order_fns ->
+      emit ctx ~loc ~rule:"hashtbl-order"
+        (Printf.sprintf
+           "Hashtbl.%s visits bindings in unspecified hash order; iterate a \
+            sorted view or waive with a justification"
+           fn)
+  | Some ("Hashtbl", ("hash" | "seeded_hash")) ->
+      emit ctx ~loc ~rule:"poly-compare"
+        "polymorphic Hashtbl.hash walks the runtime representation; hash a \
+         canonical key instead"
+  | Some ("Obj", "magic") ->
+      emit ctx ~loc ~rule:"obj-magic"
+        "Obj.magic defeats the type system; fix the types instead"
+  | Some ("Domain", "self") ->
+      emit ctx ~loc ~rule:"ambient-entropy"
+        "Domain.self is an allocation-order-dependent token; key per-domain \
+         state by submission index instead"
+  | Some ((m, fn) as q) when List.mem q wall_clock_idents ->
+      if not (String.equal ctx.modname "Wall") then
+        emit ctx ~loc ~rule:"wall-clock"
+          (Printf.sprintf
+             "%s.%s reads host time; simulated results must come from \
+              Th_sim.Clock (harness self-timing goes through Th_exec.Wall)"
+             m fn)
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Rule: float equality / composite equality                           *)
+
+let float_non_float_results =
+  SS.of_list
+    [
+      "compare"; "equal"; "hash"; "to_int"; "to_string"; "is_nan"; "is_finite";
+      "is_integer"; "sign_bit";
+    ]
+
+let float_ops =
+  SS.of_list [ "+."; "-."; "*."; "/."; "**"; "~-."; "~+." ]
+
+let rec is_floaty e =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_float _) -> true
+  | Pexp_constraint (e', t) -> (
+      is_floaty e'
+      ||
+      match t.ptyp_desc with
+      | Ptyp_constr ({ txt = Longident.Lident "float"; _ }, []) -> true
+      | _ -> false)
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) -> (
+      match flatten_lid txt with
+      | [ op ] when SS.mem op float_ops -> true
+      | [ ("float_of_int" | "float_of_string") ] -> true
+      | path -> (
+          match last2 path with
+          | Some ("Float", fn) -> not (SS.mem fn float_non_float_results)
+          | _ -> false))
+  | _ -> false
+
+let is_composite_literal e =
+  match e.pexp_desc with
+  | Pexp_tuple _ | Pexp_record _ | Pexp_array _ -> true
+  | Pexp_construct (_, Some _) -> true
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Rule: catch-all matches over sensitive constructor vocabularies     *)
+
+let sensitive_constructors =
+  SS.of_list
+    [
+      (* H2_card_table.state *)
+      "Clean"; "Dirty"; "Young_gen"; "Old_gen";
+      (* H2_card_table.event *)
+      "Barrier_dirty"; "Recompute"; "Bulk_clear";
+      (* Th_trace.Event.kind *)
+      "Span_begin"; "Span_end"; "Complete"; "Instant"; "Counter";
+    ]
+
+let check_catch_all ctx cases =
+  let mentions_sensitive =
+    List.exists
+      (fun c ->
+        List.exists
+          (fun n -> SS.mem n sensitive_constructors)
+          (pat_constructors c.pc_lhs))
+      cases
+  in
+  if mentions_sensitive then
+    List.iter
+      (fun c ->
+        if is_catch_all c.pc_lhs then
+          emit ctx ~loc:c.pc_lhs.ppat_loc ~rule:"catch-all-match"
+            "catch-all branch in a match over card states or trace events; \
+             list the constructors explicitly so new ones force a revisit")
+      cases
+
+(* ------------------------------------------------------------------ *)
+(* Rule: mutable globals reachable from Domain-pool closures           *)
+
+let pmap_callee ctx fn =
+  match fn.pexp_desc with
+  | Pexp_ident { txt; _ } -> (
+      let path = flatten_lid txt in
+      match path with
+      | [ ("pmap" | "pmap_grouped") ] when shadow_count ctx (List.hd path) = 0
+        ->
+          Some (List.hd path)
+      | _ -> (
+          match last2 path with
+          | Some ("Pool", ("run" | "map")) | Some ("Runners", ("pmap" | "pmap_grouped"))
+            ->
+              Some (String.concat "." path)
+          | _ -> None))
+  | _ -> None
+
+let check_pmap_site ctx callee args =
+  let seen = Hashtbl.create 8 in
+  let report (loc : Location.t) ((gmod, gname) as key) ~via ~blessed =
+    if not (Hashtbl.mem seen (key, loc.loc_start.pos_lnum)) then begin
+      Hashtbl.replace seen (key, loc.loc_start.pos_lnum) ();
+      let via_s =
+        match via with
+        | None -> ""
+        | Some (cm, cn) -> Printf.sprintf " (via %s.%s)" cm cn
+      in
+      emit ~force_waive:blessed ctx ~loc ~rule:"pmap-mutable-global"
+        (Printf.sprintf
+           "mutable global %s.%s (defined at %s) is reachable from a closure \
+            passed to %s%s; cells run on worker domains, so confine mutable \
+            state to the cell or the serial render path"
+           gmod gname
+           (Effects.global_site ctx.db key)
+           callee via_s)
+    end
+  in
+  let blessed_of key =
+    match Effects.global_info ctx.db key with
+    | Some (_, b) -> b
+    | None -> false
+  in
+  List.iter
+    (fun (_, arg) ->
+      iter_unshadowed_idents arg ~f:(fun lid loc ->
+          (* The iterator's own table covers bindings inside [arg]; the
+             ctx table covers locals of the enclosing scope, which are
+             not top-level state either. *)
+          let enclosing_local =
+            match lid with
+            | Longident.Lident n -> shadow_count ctx n > 0
+            | _ -> false
+          in
+          if not enclosing_local then
+            List.iter
+              (fun key ->
+                match Effects.global_info ctx.db key with
+                | Some (_, blessed) -> report loc key ~via:None ~blessed
+                | None ->
+                    List.iter
+                      (fun g ->
+                        report loc g ~via:(Some key) ~blessed:(blessed_of g))
+                      (Effects.def_effects ctx.db key))
+              (Effects.resolve_all ctx.db ctx.modname lid)))
+    args
+
+(* ------------------------------------------------------------------ *)
+(* Main per-file pass                                                  *)
+
+let run_structure ctx str =
+  let open Ast_iterator in
+  let with_vars ctx vars k =
+    List.iter
+      (fun n -> Hashtbl.replace ctx.shadow n (shadow_count ctx n + 1))
+      vars;
+    k ();
+    List.iter
+      (fun n -> Hashtbl.replace ctx.shadow n (shadow_count ctx n - 1))
+      vars
+  in
+  let with_allows allows k =
+    match allows with
+    | [] -> k ()
+    | _ ->
+        ctx.allow_stack <- allows :: ctx.allow_stack;
+        k ();
+        ctx.allow_stack <- List.tl ctx.allow_stack
+  in
+  let rec expr it e =
+    let sub e = expr it e in
+    let visit_case c =
+      with_vars ctx (pat_vars c.pc_lhs) (fun () ->
+          Option.iter sub c.pc_guard;
+          sub c.pc_rhs)
+    in
+    with_allows (attr_allows e.pexp_attributes) (fun () ->
+        match e.pexp_desc with
+        | Pexp_ident { txt; _ } -> check_ident ctx txt e.pexp_loc
+        | Pexp_apply (fn, args) ->
+            (match fn.pexp_desc with
+            | Pexp_ident { txt = Longident.Lident (("=" | "<>" | "==" | "!=") as op); _ }
+              -> (
+                match args with
+                | [ (_, a); (_, b) ] ->
+                    if is_floaty a || is_floaty b then
+                      emit ctx ~loc:e.pexp_loc ~rule:"float-equality"
+                        (Printf.sprintf
+                           "(%s) on floating-point operands; compare with an \
+                            epsilon or Float.compare's total order"
+                           op)
+                    else if is_composite_literal a || is_composite_literal b
+                    then
+                      emit ctx ~loc:e.pexp_loc ~rule:"poly-compare"
+                        (Printf.sprintf
+                           "structural (%s) against a composite literal; use \
+                            a typed equality"
+                           op)
+                | _ -> ())
+            | _ -> ());
+            (match pmap_callee ctx fn with
+            | Some callee -> check_pmap_site ctx callee args
+            | None -> ());
+            sub fn;
+            List.iter (fun (_, a) -> sub a) args
+        | Pexp_assert
+            { pexp_desc = Pexp_construct ({ txt = Longident.Lident "false"; _ }, None); _ }
+          ->
+            emit ctx ~loc:e.pexp_loc ~rule:"assert-false"
+              "bare `assert false`; raise a contextful exception \
+               (invalid_arg, Rt.Invalid_heap_state, failwith with the \
+               unexpected value)"
+        | Pexp_let (rf, vbs, body) ->
+            let vars = List.concat_map (fun vb -> pat_vars vb.pvb_pat) vbs in
+            let visit_vb vb =
+              with_allows (attr_allows vb.pvb_attributes) (fun () ->
+                  sub vb.pvb_expr)
+            in
+            (match rf with
+            | Recursive ->
+                with_vars ctx vars (fun () ->
+                    List.iter visit_vb vbs;
+                    sub body)
+            | Nonrecursive ->
+                List.iter visit_vb vbs;
+                with_vars ctx vars (fun () -> sub body))
+        | Pexp_fun (_, dflt, pat, body) ->
+            Option.iter sub dflt;
+            with_vars ctx (pat_vars pat) (fun () -> sub body)
+        | Pexp_function cases ->
+            check_catch_all ctx cases;
+            List.iter visit_case cases
+        | Pexp_match (s, cases) ->
+            sub s;
+            check_catch_all ctx cases;
+            List.iter visit_case cases
+        | Pexp_try (s, cases) ->
+            sub s;
+            List.iter visit_case cases
+        | Pexp_for (pat, a, b, _, body) ->
+            sub a;
+            sub b;
+            with_vars ctx (pat_vars pat) (fun () -> sub body)
+        | _ -> default_iterator.expr it e)
+  in
+  let structure_item it si =
+    match si.pstr_desc with
+    | Pstr_value (_, vbs) ->
+        List.iter
+          (fun vb ->
+            with_allows (attr_allows vb.pvb_attributes) (fun () ->
+                default_iterator.value_binding it vb))
+          vbs
+    | _ -> default_iterator.structure_item it si
+  in
+  let it = { default_iterator with expr; structure_item } in
+  it.structure it str
+
+let file_level_allows str =
+  List.fold_left
+    (fun acc item ->
+      match item.pstr_desc with
+      | Pstr_attribute a ->
+          List.fold_left (fun acc r -> SS.add r acc) acc (attr_allows [ a ])
+      | _ -> acc)
+    SS.empty str
+
+let analyze ?rules sources =
+  let enabled r =
+    String.equal r parse_error_rule
+    || match rules with None -> true | Some l -> List.mem r l
+  in
+  let db = Effects.build sources in
+  let findings = ref [] and waived = ref [] in
+  List.iter
+    (fun (s : Source.t) ->
+      match s.ast with
+      | Source.Signature _ ->
+          (* Interfaces carry no expressions; every current rule is about
+             runtime behaviour, so a parse is all they need. *)
+          ()
+      | Source.Structure str ->
+          let module_defs =
+            List.fold_left
+              (fun acc item ->
+                match item.pstr_desc with
+                | Pstr_value (_, vbs) ->
+                    List.fold_left
+                      (fun acc vb ->
+                        List.fold_left
+                          (fun acc n -> SS.add n acc)
+                          acc (pat_vars vb.pvb_pat))
+                      acc vbs
+                | _ -> acc)
+              SS.empty str
+          in
+          let ctx =
+            {
+              file = s.file;
+              modname = s.modname;
+              enabled;
+              module_defs;
+              file_allowed = file_level_allows str;
+              comment_allow =
+                List.map
+                  (fun (l, rs) -> (l, SS.of_list rs))
+                  (Source.line_waivers s);
+              allow_stack = [];
+              shadow = Hashtbl.create 16;
+              db;
+              findings = [];
+              waived = [];
+            }
+          in
+          run_structure ctx str;
+          findings := ctx.findings @ !findings;
+          waived := ctx.waived @ !waived)
+    sources;
+  {
+    findings = List.sort Finding.compare !findings;
+    waived = List.sort Finding.compare !waived;
+  }
+
+let analyze_files ?rules files =
+  let parsed, errors =
+    List.fold_left
+      (fun (ok, errs) file ->
+        match Source.parse_file file with
+        | Ok s -> (s :: ok, errs)
+        | Error msg ->
+            ( ok,
+              {
+                Finding.file;
+                line = 1;
+                col = 0;
+                rule = parse_error_rule;
+                severity = Finding.Error;
+                message = msg;
+              }
+              :: errs ))
+      ([], []) files
+  in
+  let r = analyze ?rules (List.rev parsed) in
+  { r with findings = List.sort Finding.compare (errors @ r.findings) }

@@ -1,0 +1,221 @@
+(* ------------------------------------------------------------------ *)
+(* Text                                                                *)
+
+let to_text ?waived findings =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun f ->
+      Buffer.add_string b (Finding.to_string f);
+      Buffer.add_char b '\n')
+    findings;
+  (match waived with
+  | None | Some [] -> ()
+  | Some ws ->
+      List.iter
+        (fun f ->
+          Buffer.add_string b "(waived) ";
+          Buffer.add_string b (Finding.to_string f);
+          Buffer.add_char b '\n')
+        ws);
+  let n = List.length findings in
+  Buffer.add_string b
+    (if n = 0 then
+       Printf.sprintf "analysis: clean%s\n"
+         (match waived with
+         | Some ws when ws <> [] ->
+             Printf.sprintf " (%d waived)" (List.length ws)
+         | _ -> "")
+     else Printf.sprintf "analysis: %d finding(s)\n" n);
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* JSON writing                                                        *)
+
+let escape_json b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let add_finding b (f : Finding.t) =
+  Buffer.add_string b "{\"file\":\"";
+  escape_json b f.file;
+  Buffer.add_string b "\",\"line\":";
+  Buffer.add_string b (string_of_int f.line);
+  Buffer.add_string b ",\"col\":";
+  Buffer.add_string b (string_of_int f.col);
+  Buffer.add_string b ",\"rule\":\"";
+  escape_json b f.rule;
+  Buffer.add_string b "\",\"severity\":\"";
+  Buffer.add_string b (Finding.severity_to_string f.severity);
+  Buffer.add_string b "\",\"message\":\"";
+  escape_json b f.message;
+  Buffer.add_string b "\"}"
+
+let add_list b fs =
+  Buffer.add_char b '[';
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_string b ",\n ";
+      add_finding b f)
+    fs;
+  Buffer.add_char b ']'
+
+let to_json ?(waived = []) findings =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"version\":1,\n\"findings\":";
+  add_list b findings;
+  Buffer.add_string b ",\n\"waived\":";
+  add_list b waived;
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* JSON reading (exactly the subset written above: objects, arrays,    *)
+(* strings with the escapes we emit, and non-negative integers)        *)
+
+exception Bad of string
+
+type tok =
+  | Lbrace | Rbrace | Lbrack | Rbrack | Colon | Comma
+  | Str of string
+  | Num of int
+
+let tokenize s =
+  let n = String.length s in
+  let toks = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    (match s.[!i] with
+    | ' ' | '\n' | '\t' | '\r' -> incr i
+    | '{' -> toks := Lbrace :: !toks; incr i
+    | '}' -> toks := Rbrace :: !toks; incr i
+    | '[' -> toks := Lbrack :: !toks; incr i
+    | ']' -> toks := Rbrack :: !toks; incr i
+    | ':' -> toks := Colon :: !toks; incr i
+    | ',' -> toks := Comma :: !toks; incr i
+    | '"' ->
+        let b = Buffer.create 32 in
+        incr i;
+        let fin = ref false in
+        while not !fin do
+          if !i >= n then raise (Bad "unterminated string");
+          (match s.[!i] with
+          | '"' -> fin := true
+          | '\\' ->
+              if !i + 1 >= n then raise (Bad "bad escape");
+              (match s.[!i + 1] with
+              | '"' -> Buffer.add_char b '"'
+              | '\\' -> Buffer.add_char b '\\'
+              | 'n' -> Buffer.add_char b '\n'
+              | 'r' -> Buffer.add_char b '\r'
+              | 't' -> Buffer.add_char b '\t'
+              | 'u' ->
+                  if !i + 5 >= n then raise (Bad "bad \\u escape");
+                  let code =
+                    try int_of_string ("0x" ^ String.sub s (!i + 2) 4)
+                    with _ -> raise (Bad "bad \\u escape")
+                  in
+                  if code > 0xff then raise (Bad "non-latin \\u escape")
+                  else Buffer.add_char b (Char.chr code);
+                  i := !i + 4
+              | c -> raise (Bad (Printf.sprintf "unknown escape \\%c" c)));
+              incr i
+          | c -> Buffer.add_char b c);
+          incr i
+        done;
+        toks := Str (Buffer.contents b) :: !toks
+    | '0' .. '9' | '-' ->
+        let j = ref !i in
+        if s.[!j] = '-' then incr j;
+        while !j < n && (match s.[!j] with '0' .. '9' -> true | _ -> false) do
+          incr j
+        done;
+        let num =
+          try int_of_string (String.sub s !i (!j - !i))
+          with _ -> raise (Bad "bad number")
+        in
+        toks := Num num :: !toks;
+        i := !j
+    | c -> raise (Bad (Printf.sprintf "unexpected character %C" c)));
+  done;
+  List.rev !toks
+
+let parse_finding toks =
+  let expect t = function
+    | x :: rest when x = t -> rest
+    | _ -> raise (Bad "malformed finding object")
+  in
+  let rec fields acc toks =
+    match toks with
+    | Rbrace :: rest -> (acc, rest)
+    | Comma :: rest -> fields acc rest
+    | Str k :: Colon :: v :: rest ->
+        let acc =
+          match (k, v) with
+          | "file", Str s -> { acc with Finding.file = s }
+          | "line", Num n -> { acc with Finding.line = n }
+          | "col", Num n -> { acc with Finding.col = n }
+          | "rule", Str s -> { acc with Finding.rule = s }
+          | "severity", Str s -> (
+              match Finding.severity_of_string s with
+              | Some sv -> { acc with Finding.severity = sv }
+              | None -> raise (Bad ("unknown severity " ^ s)))
+          | "message", Str s -> { acc with Finding.message = s }
+          | _ -> raise (Bad ("unexpected field " ^ k))
+        in
+        fields acc rest
+    | _ -> raise (Bad "malformed finding object")
+  in
+  let zero =
+    {
+      Finding.file = "";
+      line = 0;
+      col = 0;
+      rule = "";
+      severity = Finding.Error;
+      message = "";
+    }
+  in
+  fields zero (expect Lbrace toks)
+
+let parse_array toks =
+  let rec items acc toks =
+    match toks with
+    | Rbrack :: rest -> (List.rev acc, rest)
+    | Comma :: rest -> items acc rest
+    | Lbrace :: _ ->
+        let f, rest = parse_finding toks in
+        items (f :: acc) rest
+    | _ -> raise (Bad "malformed finding array")
+  in
+  match toks with
+  | Lbrack :: rest -> items [] rest
+  | _ -> raise (Bad "expected array")
+
+let of_json s =
+  match tokenize s with
+  | exception Bad m -> Error m
+  | toks -> (
+      try
+        match toks with
+        | Lbrace :: Str "version" :: Colon :: Num 1 :: Comma
+          :: Str "findings" :: Colon :: rest -> (
+            let findings, rest = parse_array rest in
+            match rest with
+            | Comma :: Str "waived" :: Colon :: rest -> (
+                let waived, rest = parse_array rest in
+                match rest with
+                | [ Rbrace ] -> Ok (findings, waived)
+                | _ -> Error "trailing tokens")
+            | _ -> Error "missing waived array")
+        | _ -> Error "missing version/findings header"
+      with Bad m -> Error m)

@@ -469,8 +469,9 @@ let free_dead_regions t ~on_free =
       H2_card_table.clear_range t.cards ~lo ~hi;
       Page_cache.invalidate_range t.cache ~offset:(i * t.cfg.region_size)
         ~len:t.cfg.region_size;
-      (if Hashtbl.find_opt t.open_by_key r.open_key = Some i then
-         Hashtbl.remove t.open_by_key r.open_key);
+      (match Hashtbl.find_opt t.open_by_key r.open_key with
+      | Some j when j = i -> Hashtbl.remove t.open_by_key r.open_key
+      | Some _ | None -> ());
       r.label <- -1;
       r.open_key <- -1;
       r.top <- 0;

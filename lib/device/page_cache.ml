@@ -66,7 +66,11 @@ let push_front t n =
   t.head <- Some n
 
 let touch_lru t n =
-  if t.head != Some n then begin
+  (* [t.head != Some n] was always true — physical inequality against a
+     freshly allocated [Some] cell — so every touch relinked. Compare
+     the payload nodes physically instead. *)
+  let already_front = match t.head with Some h -> h == n | None -> false in
+  if not already_front then begin
     unlink t n;
     push_front t n
   end
@@ -163,7 +167,8 @@ let invalidate_range t ~offset ~len =
 
 let flush t ~cat =
   let dirty = ref 0 in
-  (* Order-insensitive: only counts and clears each page's dirty flag. *)
+  (* Order-insensitive: only counts and clears each page's dirty flag.
+     th-lint: allow hashtbl-order *)
   Hashtbl.iter (fun _ n -> if n.dirty then begin incr dirty; n.dirty <- false end) t.table;
   if !dirty > 0 then begin
     (match Th_sim.Clock.tracer t.clock with

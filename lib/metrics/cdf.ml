@@ -3,7 +3,7 @@ let points ?(buckets = 20) samples =
   | [] -> []
   | _ ->
       let arr = Array.of_list samples in
-      Array.sort compare arr;
+      Array.sort Float.compare arr;
       let n = Array.length arr in
       List.init (buckets + 1) (fun i ->
           let pct = float_of_int i /. float_of_int buckets in

@@ -27,11 +27,11 @@ let of_runtime (rt : Rt.t) =
   Vec.iter visit heap.H1_heap.old_objs;
   (* Order-insensitive: the fold only accumulates; the sort below fixes
      the order, with the kind name breaking byte-count ties so the result
-     never depends on hash iteration. *)
+     never depends on hash iteration. th-lint: allow hashtbl-order *)
   Hashtbl.fold (fun kind (count, bytes) l -> { kind; count; bytes } :: l) acc []
   |> List.sort (fun a b ->
-         match compare b.bytes a.bytes with
-         | 0 -> compare (kind_name a.kind) (kind_name b.kind)
+         match Int.compare b.bytes a.bytes with
+         | 0 -> String.compare (kind_name a.kind) (kind_name b.kind)
          | c -> c)
 
 let total_bytes entries =

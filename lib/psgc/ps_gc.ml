@@ -175,7 +175,8 @@ let minor_gc (rt : Rt.t) =
       (* Objects promoted in Task 5 are already registered, so a scanned
          card's bucket holds exactly the old objects the linear sweep
          would attribute to it. Iteration order-insensitive: each card's
-         still-dirty status is computed independently. *)
+         still-dirty status is computed independently.
+         th-lint: allow hashtbl-order *)
       Hashtbl.iter
         (fun card () ->
           let found = ref false in
@@ -190,7 +191,8 @@ let minor_gc (rt : Rt.t) =
           if Hashtbl.mem scanned_cards card && has_young_ref o then
             Hashtbl.replace still_dirty card ())
         heap.H1_heap.old_objs);
-  (* Order-insensitive: cards are cleared independently of each other. *)
+  (* Order-insensitive: cards are cleared independently of each other.
+     th-lint: allow hashtbl-order *)
   Hashtbl.iter
     (fun card () ->
       if not (Hashtbl.mem still_dirty card) then

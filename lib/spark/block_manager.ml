@@ -169,13 +169,15 @@ let entry_kind t ~rdd_id ~pidx =
 
 let unpersist t ~rdd_id =
   let rt = t.ctx.Context.rt in
-  (* Order-insensitive: entries are collected, then each is unlinked and
-     removed independently; no observable state depends on the order. *)
+  (* th-lint: allow hashtbl-order — the fold only collects; the sort
+     below pins partition order before any unlink runs. *)
   let doomed =
     Hashtbl.fold
       (fun ((rid, _) as key) entry acc ->
         if rid = rdd_id then (key, entry) :: acc else acc)
       t.table []
+    |> List.sort (fun (((_, pa) : int * int), _) ((_, pb), _) ->
+           Int.compare pa pb)
   in
   List.iter
     (fun (key, entry) ->

@@ -51,51 +51,77 @@ let injection_names =
   [ "read_error"; "write_error"; "spike"; "stall"; "device_full" ]
 
 let of_events events =
+  (* The outer match lists every [Event.kind] constructor explicitly so
+     that adding a kind forces a revisit here; the inner matches are
+     over (cat, name) strings, where an open catch-all is the point. *)
   List.fold_left
     (fun acc (e : Event.t) ->
-      match (e.Event.kind, e.Event.cat, e.Event.name) with
-      | Event.Span_end, "gc", "minor_gc" ->
-          {
-            acc with
-            minor_gcs = acc.minor_gcs + 1;
-            minor_total_ns = acc.minor_total_ns +. arg_float e.Event.args "dur_ns";
-          }
-      | Event.Span_end, "gc", "major_gc" ->
-          {
-            acc with
-            major_gcs = acc.major_gcs + 1;
-            major_total_ns = acc.major_total_ns +. arg_float e.Event.args "dur_ns";
-            bytes_moved_to_h2 =
-              acc.bytes_moved_to_h2 + arg_int e.Event.args "bytes_moved";
-            regions_freed = acc.regions_freed + arg_int e.Event.args "regions_freed";
-          }
-      | Event.Span_end, "gc", "marking" ->
-          { acc with marking_ns = acc.marking_ns +. arg_float e.Event.args "dur_ns" }
-      | Event.Span_end, "gc", "precompact" ->
-          {
-            acc with
-            precompact_ns = acc.precompact_ns +. arg_float e.Event.args "dur_ns";
-          }
-      | Event.Span_end, "gc", "adjust" ->
-          { acc with adjust_ns = acc.adjust_ns +. arg_float e.Event.args "dur_ns" }
-      | Event.Span_end, "gc", "compact" ->
-          { acc with compact_ns = acc.compact_ns +. arg_float e.Event.args "dur_ns" }
-      | Event.Complete _, "device", "read" ->
-          {
-            acc with
-            device_bytes_read = acc.device_bytes_read + arg_int e.Event.args "bytes";
-            device_read_ops = acc.device_read_ops + 1;
-          }
-      | Event.Complete _, "device", "write" ->
-          {
-            acc with
-            device_bytes_written =
-              acc.device_bytes_written + arg_int e.Event.args "bytes";
-            device_write_ops = acc.device_write_ops + 1;
-          }
-      | Event.Instant, "fault", name when List.mem name injection_names ->
-          { acc with faults_injected = acc.faults_injected + 1 }
-      | _ -> acc)
+      match e.Event.kind with
+      | Event.Span_begin | Event.Counter -> acc
+      | Event.Span_end -> (
+          match (e.Event.cat, e.Event.name) with
+          | "gc", "minor_gc" ->
+              {
+                acc with
+                minor_gcs = acc.minor_gcs + 1;
+                minor_total_ns =
+                  acc.minor_total_ns +. arg_float e.Event.args "dur_ns";
+              }
+          | "gc", "major_gc" ->
+              {
+                acc with
+                major_gcs = acc.major_gcs + 1;
+                major_total_ns =
+                  acc.major_total_ns +. arg_float e.Event.args "dur_ns";
+                bytes_moved_to_h2 =
+                  acc.bytes_moved_to_h2 + arg_int e.Event.args "bytes_moved";
+                regions_freed =
+                  acc.regions_freed + arg_int e.Event.args "regions_freed";
+              }
+          | "gc", "marking" ->
+              {
+                acc with
+                marking_ns = acc.marking_ns +. arg_float e.Event.args "dur_ns";
+              }
+          | "gc", "precompact" ->
+              {
+                acc with
+                precompact_ns =
+                  acc.precompact_ns +. arg_float e.Event.args "dur_ns";
+              }
+          | "gc", "adjust" ->
+              {
+                acc with
+                adjust_ns = acc.adjust_ns +. arg_float e.Event.args "dur_ns";
+              }
+          | "gc", "compact" ->
+              {
+                acc with
+                compact_ns = acc.compact_ns +. arg_float e.Event.args "dur_ns";
+              }
+          | _ -> acc)
+      | Event.Complete _ -> (
+          match (e.Event.cat, e.Event.name) with
+          | "device", "read" ->
+              {
+                acc with
+                device_bytes_read =
+                  acc.device_bytes_read + arg_int e.Event.args "bytes";
+                device_read_ops = acc.device_read_ops + 1;
+              }
+          | "device", "write" ->
+              {
+                acc with
+                device_bytes_written =
+                  acc.device_bytes_written + arg_int e.Event.args "bytes";
+                device_write_ops = acc.device_write_ops + 1;
+              }
+          | _ -> acc)
+      | Event.Instant -> (
+          match (e.Event.cat, e.Event.name) with
+          | "fault", name when List.mem name injection_names ->
+              { acc with faults_injected = acc.faults_injected + 1 }
+          | _ -> acc))
     zero events
 
 let check_against t ~(final : Snapshot.t) =

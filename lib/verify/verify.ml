@@ -241,7 +241,11 @@ let check_transition t ~seg ~before ~after event =
       match (before, target) with
       | H2_card_table.Old_gen, H2_card_table.Young_gen ->
           bad "card recompute upgraded oldGen to youngGen"
-      | _ -> ())
+      | ( ( H2_card_table.Clean | H2_card_table.Dirty
+          | H2_card_table.Young_gen | H2_card_table.Old_gen ),
+          ( H2_card_table.Clean | H2_card_table.Dirty
+          | H2_card_table.Young_gen | H2_card_table.Old_gen ) ) ->
+          ())
 
 (* ------------------------------------------------------------------ *)
 (* Rule 3: dependency-list soundness                                   *)
@@ -422,7 +426,8 @@ let check_reachability t phase =
   let roots = Roots.to_list t.rt.Rt.roots in
   let reach = Obj_.reachable ~roots ~fence_h2:false in
   (* Order-insensitive: ids are collected and sorted before checking, so
-     the violation order never depends on hash iteration. *)
+     the violation order never depends on hash iteration.
+     th-lint: allow hashtbl-order *)
   let ids = Hashtbl.fold (fun id _ acc -> id :: acc) reach [] in
   List.iter
     (fun id ->
@@ -440,7 +445,7 @@ let check_reachability t phase =
               add t ~rule:Reachability ~phase ~object_id:id
                 ~region:o.Obj_.h2_region
                 "reachable H2 object lives in a reclaimed region")
-    (List.sort compare ids)
+    (List.sort Int.compare ids)
 
 (* ------------------------------------------------------------------ *)
 (* Rule 5: conservation (monotone counters, clock consistency)         *)

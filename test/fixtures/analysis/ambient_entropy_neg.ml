@@ -1,0 +1,1 @@
+let pick prng xs = List.nth xs (Th_sim.Prng.int prng (List.length xs))

@@ -1,0 +1,2 @@
+let pick xs = List.nth xs (Random.int (List.length xs))
+let me () = Domain.self ()

@@ -1,0 +1,2 @@
+let check n = assert (n >= 0)
+let prose = "assert false inside a string"

@@ -1,0 +1,1 @@
+let impossible () = assert false

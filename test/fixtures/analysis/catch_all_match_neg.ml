@@ -1,0 +1,6 @@
+type state = Clean | Dirty | Young_gen | Old_gen
+
+let scan s =
+  match s with Clean -> 0 | Dirty -> 1 | Young_gen -> 2 | Old_gen -> 3
+
+let unrelated x = match x with None -> 0 | _ -> 1

@@ -1,0 +1,3 @@
+type state = Clean | Dirty | Young_gen | Old_gen
+
+let scan s = match s with Clean -> 0 | _ -> 1

@@ -1,0 +1,2 @@
+let is_unit x = Float.compare x 1.0 = 0
+let close a b = abs_float (a -. b) < 1e-9

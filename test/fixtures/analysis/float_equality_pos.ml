@@ -1,0 +1,1 @@
+let is_unit x = x = 1.0

@@ -1,0 +1,2 @@
+let dump tbl =
+  Hashtbl.iter (fun k v -> Printf.printf "%s=%d\n" k v) tbl

@@ -1,0 +1,7 @@
+let run pool xs =
+  let results =
+    Th_exec.Pool.map pool (fun x -> let acc = ref 0 in acc := x; !acc) xs
+  in
+  let total = ref 0 in
+  List.iter (fun r -> total := !total + r) results;
+  !total

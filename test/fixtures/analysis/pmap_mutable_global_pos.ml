@@ -1,0 +1,6 @@
+let total = ref 0
+
+let bump n = total := !total + n
+
+let run pool xs =
+  Th_exec.Pool.map pool (fun x -> bump x; total := !total + x; x) xs

@@ -1,0 +1,5 @@
+let sort_names names = List.sort String.compare names
+
+let with_local_compare x y =
+  let compare a b = Int.compare a b in
+  compare x y

@@ -1,0 +1,2 @@
+let sort_names names = List.sort compare names
+let h x = Hashtbl.hash x

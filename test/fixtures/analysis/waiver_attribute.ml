@@ -1,0 +1,3 @@
+let coerce x = (Obj.magic x [@th.allow "obj-magic"])
+
+let unwaived x = Obj.magic x

@@ -1,0 +1,1 @@
+let stamp clock = Th_sim.Clock.now_ns clock

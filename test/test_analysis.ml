@@ -1,0 +1,216 @@
+(* Tests for the Th_analysis AST analyzer (lib/analysis).
+
+   The per-rule fixtures under fixtures/analysis/ mirror the snippets
+   embedded in Th_analysis.Selftest — the first test asserts file =
+   snippet so the two can never drift (regenerate the files with
+   `dune exec bin/lint.exe -- --dump-fixtures test/fixtures/analysis`
+   after editing Selftest.cases). *)
+
+module Finding = Th_analysis.Finding
+module Engine = Th_analysis.Engine
+module Source = Th_analysis.Source
+module Report = Th_analysis.Report
+module Rule = Th_analysis.Rule
+module Selftest = Th_analysis.Selftest
+
+let fixture_dir = Filename.concat "fixtures" "analysis"
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let analyze_fixture file =
+  let path = Filename.concat fixture_dir file in
+  match Source.parse_file path with
+  | Ok s -> Engine.analyze [ s ]
+  | Error m -> Alcotest.failf "fixture %s does not parse: %s" file m
+
+let has_rule rule fs = List.exists (fun f -> String.equal f.Finding.rule rule) fs
+
+let contains_sub hay needle =
+  let hl = String.length hay and nl = String.length needle in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Fixture files stay in sync with the embedded snippets               *)
+
+let test_fixtures_in_sync () =
+  List.iter
+    (fun (c : Selftest.case) ->
+      List.iter
+        (fun (polarity, snippet) ->
+          let file = Selftest.fixture_basename ~polarity c.rule in
+          let on_disk = read_file (Filename.concat fixture_dir file) in
+          if not (String.equal on_disk snippet) then
+            Alcotest.failf
+              "%s differs from the snippet embedded in Selftest.cases \
+               (regenerate with lint.exe --dump-fixtures)"
+              file)
+        [ (`Pos, c.positive); (`Neg, c.negative) ])
+    Selftest.cases
+
+(* ------------------------------------------------------------------ *)
+(* Each rule: positive fixture triggers, negative fixture is clean     *)
+
+let test_rule_fixtures () =
+  List.iter
+    (fun (c : Selftest.case) ->
+      let pos = analyze_fixture (Selftest.fixture_basename ~polarity:`Pos c.rule) in
+      if not (has_rule c.rule pos.Engine.findings) then
+        Alcotest.failf "positive fixture for %s produced no %s finding" c.rule
+          c.rule;
+      let neg = analyze_fixture (Selftest.fixture_basename ~polarity:`Neg c.rule) in
+      if has_rule c.rule neg.Engine.findings || has_rule c.rule neg.Engine.waived
+      then Alcotest.failf "negative fixture for %s is not clean" c.rule)
+    Selftest.cases
+
+(* Every rule in the registry has a selftest case, so the loop above
+   really covers the whole rule surface. *)
+let test_registry_covered () =
+  List.iter
+    (fun (r : Rule.t) ->
+      if
+        not
+          (List.exists
+             (fun (c : Selftest.case) -> String.equal c.rule r.name)
+             Selftest.cases)
+      then Alcotest.failf "rule %s has no selftest case" r.name)
+    Rule.all
+
+(* ------------------------------------------------------------------ *)
+(* Acceptance: the domain-safety rule flags a global mutated from a    *)
+(* Pool.pmap cell, and names the offending global                      *)
+
+let test_pmap_acceptance () =
+  let r =
+    analyze_fixture (Selftest.fixture_basename ~polarity:`Pos "pmap-mutable-global")
+  in
+  match
+    List.filter
+      (fun f -> String.equal f.Finding.rule "pmap-mutable-global")
+      r.Engine.findings
+  with
+  | [] -> Alcotest.fail "no pmap-mutable-global finding on the mutation fixture"
+  | fs ->
+      (* The closure passed to Pool.map both calls [bump] (transitive
+         mutation) and assigns [total] directly; the finding must point
+         at the global by name so the report is actionable. *)
+      if
+        not
+          (List.exists (fun f -> contains_sub f.Finding.message "total") fs)
+      then
+        Alcotest.failf "pmap finding does not name the global: %s"
+          (String.concat "; " (List.map (fun f -> f.Finding.message) fs))
+
+(* ------------------------------------------------------------------ *)
+(* Waivers divert findings, never drop them                            *)
+
+let test_waiver_comment_fixture () =
+  let r = analyze_fixture "waiver_comment.ml" in
+  Alcotest.(check int)
+    "one unwaived hashtbl-order finding" 1
+    (List.length
+       (List.filter
+          (fun f -> String.equal f.Finding.rule "hashtbl-order")
+          r.Engine.findings));
+  Alcotest.(check int)
+    "one waived hashtbl-order finding" 1
+    (List.length
+       (List.filter
+          (fun f -> String.equal f.Finding.rule "hashtbl-order")
+          r.Engine.waived))
+
+let test_waiver_attribute_fixture () =
+  let r = analyze_fixture "waiver_attribute.ml" in
+  Alcotest.(check int)
+    "one unwaived obj-magic finding" 1
+    (List.length
+       (List.filter
+          (fun f -> String.equal f.Finding.rule "obj-magic")
+          r.Engine.findings));
+  Alcotest.(check int)
+    "one waived obj-magic finding" 1
+    (List.length
+       (List.filter
+          (fun f -> String.equal f.Finding.rule "obj-magic")
+          r.Engine.waived))
+
+(* qcheck: for EVERY rule's positive snippet, a file-level
+   [@@@th.allow] waiver moves all of that rule's findings to the waived
+   list — none reach the reporter, none are lost. *)
+let prop_waived_never_reported =
+  QCheck.Test.make ~count:50 ~name:"file-level waiver diverts every finding"
+    (QCheck.int_range 0 (List.length Selftest.cases - 1))
+    (fun i ->
+      let c = List.nth Selftest.cases i in
+      let src =
+        Printf.sprintf "[@@@th.allow %S]\n%s" c.rule c.positive
+      in
+      match Source.parse_string ~file:"waived_probe.ml" src with
+      | Error m -> QCheck.Test.fail_reportf "probe does not parse: %s" m
+      | Ok s ->
+          let r = Engine.analyze [ s ] in
+          (not (has_rule c.rule r.Engine.findings))
+          && has_rule c.rule r.Engine.waived)
+
+(* ------------------------------------------------------------------ *)
+(* JSON round-trip                                                     *)
+
+let arbitrary_finding =
+  let open QCheck.Gen in
+  let str = string_size ~gen:(char_range '\x01' '\xff') (int_range 0 20) in
+  let gen =
+    str >>= fun file ->
+    int_range 0 100_000 >>= fun line ->
+    int_range 0 500 >>= fun col ->
+    oneofl (List.map (fun (r : Rule.t) -> r.name) Rule.all) >>= fun rule ->
+    oneofl [ Finding.Error; Finding.Warning ] >>= fun severity ->
+    str >>= fun message ->
+    return { Finding.file; line; col; rule; severity; message }
+  in
+  QCheck.make gen
+
+let prop_json_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"JSON report round-trips"
+    QCheck.(pair (small_list arbitrary_finding) (small_list arbitrary_finding))
+    (fun (findings, waived) ->
+      match Report.of_json (Report.to_json ~waived findings) with
+      | Ok (fs, ws) -> fs = findings && ws = waived
+      | Error m -> QCheck.Test.fail_reportf "of_json failed: %s" m)
+
+(* ------------------------------------------------------------------ *)
+(* CLI contract pieces that live in the library                        *)
+
+let test_explain_unknown_rule () =
+  Alcotest.(check bool) "unknown rule not found" true (Rule.find "no-such" = None);
+  Alcotest.(check bool)
+    "every registered rule resolvable" true
+    (List.for_all (fun (r : Rule.t) -> Rule.find r.name <> None) Rule.all)
+
+let test_selftest_passes () =
+  match Selftest.run () with
+  | Ok n -> Alcotest.(check bool) "some checks ran" true (n > 0)
+  | Error msgs -> Alcotest.failf "self-test failed: %s" (String.concat "; " msgs)
+
+let suite =
+  [
+    Alcotest.test_case "fixtures match embedded snippets" `Quick
+      test_fixtures_in_sync;
+    Alcotest.test_case "positive fixtures trigger, negatives clean" `Quick
+      test_rule_fixtures;
+    Alcotest.test_case "every rule has a fixture case" `Quick
+      test_registry_covered;
+    Alcotest.test_case "pmap cell mutating a global is flagged by name" `Quick
+      test_pmap_acceptance;
+    Alcotest.test_case "comment waiver diverts, not drops" `Quick
+      test_waiver_comment_fixture;
+    Alcotest.test_case "attribute waiver diverts, not drops" `Quick
+      test_waiver_attribute_fixture;
+    QCheck_alcotest.to_alcotest prop_waived_never_reported;
+    QCheck_alcotest.to_alcotest prop_json_roundtrip;
+    Alcotest.test_case "rule registry lookups" `Quick test_explain_unknown_rule;
+    Alcotest.test_case "embedded self-test passes" `Quick test_selftest_passes;
+  ]

@@ -16,6 +16,7 @@ let () =
       ("metrics", Test_metrics.suite);
       ("faults", Test_faults.suite);
       ("trace", Test_trace.suite);
+      ("analysis", Test_analysis.suite);
       ("dacapo-misc", Test_dacapo.suite);
       ("integration", Test_integration.suite);
     ]
