@@ -31,6 +31,7 @@ let sections : (string * string * (unit -> unit)) list =
     ("fig12", "NVM server: Spark-SD, Spark-MO, Panthera", Fig12.run);
     ("fig13", "scaling with threads and dataset size", Fig13.run);
     ("extras", "write-barrier overhead; union-find ablation", Extras.run);
+    ("soak", "chaos soak: streaming under phased faults, breaker A/B", Soak.run);
     ("micro", "bechamel micro-benchmarks", Micro.run);
   ]
 

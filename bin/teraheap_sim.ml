@@ -10,10 +10,13 @@ module Giraph_profiles = Th_workloads.Giraph_profiles
 module Spark_driver = Th_workloads.Spark_driver
 module Giraph_driver = Th_workloads.Giraph_driver
 module Run_result = Th_workloads.Run_result
+module Streaming_driver = Th_workloads.Streaming_driver
 module Gc_stats = Th_psgc.Gc_stats
 module Runtime = Th_psgc.Runtime
 module H2 = Th_core.H2
 module Verify = Th_verify.Verify
+module Monitor = Th_resilience.Monitor
+module Slo = Th_resilience.Slo
 
 let outcome_name = function
   | Run_result.Completed -> "completed"
@@ -48,8 +51,11 @@ let print_result (r : Run_result.t) =
   (match r.Run_result.h2_device with
   | Some d -> Format.printf "  H2 device: %a@." Th_device.Device.pp_stats d
   | None -> ());
-  match r.Run_result.faults with
+  (match r.Run_result.faults with
   | Some fs -> Th_metrics.Report.print_fault_summary ~label:"run" fs
+  | None -> ());
+  match r.Run_result.resilience with
+  | Some s -> Format.printf "  resilience: %a@." Monitor.pp_summary s
   | None -> ()
 
 let run_spark ?tracer name system threads dram_override faults verify =
@@ -136,13 +142,55 @@ let run_giraph ?tracer name system threads faults verify :
   in
   result
 
+(* The streaming service always carries the resilience monitor: circuit
+   breaker on the move-to-H2 path, watchdog-armed retry policy, SLO
+   compliance over the pause tail. [--soak] upgrades the run to the
+   chaos-soak configuration (wear-out fault schedule unless --faults was
+   given). *)
+let run_streaming ?tracer name threads faults verify slo soak :
+    Run_result.t * Verify.t =
+  let p =
+    match Streaming_driver.by_name name with
+    | Some p -> p
+    | None -> failwith ("unknown streaming profile: " ^ name)
+  in
+  let costs = Costs.with_mutator_threads Setups.default_costs threads in
+  let faults =
+    match faults with
+    | Some _ -> faults
+    | None -> if soak then Some Fault.wearout else None
+  in
+  let s =
+    Setups.streaming_teraheap ~costs ?faults
+      ~h1_gb:p.Streaming_driver.h1_gb ~dr2_gb:p.Streaming_driver.dr2_gb ()
+  in
+  Clock.set_tracer s.Setups.s_clock tracer;
+  let v = Verify.attach s.Setups.s_rt verify in
+  let monitor =
+    Monitor.attach ~slo:(Option.value slo ~default:Slo.default) s.Setups.s_rt
+  in
+  let label =
+    Printf.sprintf "%s Streaming-TeraHeap" p.Streaming_driver.name
+  in
+  ( Streaming_driver.run ~label ?h2_device:s.Setups.s_h2_device
+      ?faults:s.Setups.s_faults ~monitor s.Setups.s_rt p,
+    v )
+
 open Cmdliner
 
 let framework =
   Arg.(
     required
-    & pos 0 (some (enum [ ("spark", `Spark); ("giraph", `Giraph) ])) None
-    & info [] ~docv:"FRAMEWORK" ~doc:"spark or giraph")
+    & pos 0
+        (some
+           (enum
+              [
+                ("spark", `Spark);
+                ("giraph", `Giraph);
+                ("streaming", `Streaming);
+              ]))
+        None
+    & info [] ~docv:"FRAMEWORK" ~doc:"spark, giraph or streaming")
 
 let workload =
   Arg.(
@@ -150,8 +198,8 @@ let workload =
     & pos 1 (some string) None
     & info [] ~docv:"WORKLOAD"
         ~doc:"Spark: PR CC SSSP SVD TR LR LgR SVM BC RL KM; Giraph: PR CDLP \
-              WCC BFS SSSP. Comma-separate several to run them on the \
-              domain pool (see $(b,--jobs)).")
+              WCC BFS SSSP; Streaming: smoke soak. Comma-separate several \
+              to run them on the domain pool (see $(b,--jobs)).")
 
 let jobs =
   Arg.(
@@ -185,7 +233,8 @@ let fault_spec_conv =
     | Result.Ok plan -> Ok plan
     | Result.Error msg -> Error (`Msg msg)
   in
-  Arg.conv ~docv:"SPEC" (parse, fun ppf p -> Format.fprintf ppf "%s" (Fault.to_string p))
+  Arg.conv ~docv:"SPEC"
+    (parse, fun ppf p -> Format.fprintf ppf "%s" (Fault.plan_to_string p))
 
 let faults =
   Arg.(
@@ -195,8 +244,40 @@ let faults =
         ~doc:"Fault-injection plan for the storage devices: 'default', \
               'harsh', or comma-separated key=value pairs (seed, read_err, \
               write_err, spike, spike_factor, spike_us, stall, stall_us, \
-              full, full_us), e.g. 'default,seed=7'. Same seed, same \
-              injected fault sequence.")
+              full, full_us), e.g. 'default,seed=7'. Phased schedules \
+              chain phase(...) groups with dur_us/dur_ms/dur_s durations \
+              — e.g. 'phase(none,dur_ms=80),phase(harsh,dur_ms=20),cycle' \
+              — and 'wearout'/'bursty' name preset schedules. Same seed, \
+              same injected fault sequence.")
+
+let slo_spec_conv =
+  let parse s =
+    match Slo.parse s with
+    | Result.Ok spec -> Ok spec
+    | Result.Error msg -> Error (`Msg msg)
+  in
+  Arg.conv ~docv:"SLO"
+    (parse, fun ppf s -> Format.fprintf ppf "%s" (Slo.to_string s))
+
+let slo =
+  Arg.(
+    value
+    & opt (some slo_spec_conv) None
+    & info [ "slo" ] ~docv:"SLO"
+        ~doc:"Service-level objective for streaming runs, e.g. \
+              'p99_ms=40,degraded_max=0.25': p99 GC-pause budget and the \
+              largest acceptable fraction of run time with the H2 circuit \
+              breaker open. The run report includes pause tails \
+              (p50/p99/p999) and per-objective compliance.")
+
+let soak =
+  Arg.(
+    value & flag
+    & info [ "soak" ]
+        ~doc:"Chaos-soak mode for streaming runs: applies the 'wearout' \
+              phased fault schedule when $(b,--faults) is not given. \
+              Combine with $(b,--verify) safepoint and $(b,--trace) for \
+              the full soak harness.")
 
 let verify_level =
   Arg.(
@@ -253,7 +334,8 @@ let write_trace ~path ~format recorders =
 
 (* Split the WORKLOAD argument on commas, run every cell on the pool,
    then print the results serially in argument order. *)
-let run_all fw workloads sys thr dram faults jobs verify trace trace_format =
+let run_all fw workloads sys thr dram faults jobs verify trace trace_format
+    slo soak =
   let names = String.split_on_char ',' workloads in
   let recorders =
     match trace with
@@ -269,6 +351,7 @@ let run_all fw workloads sys thr dram faults jobs verify trace trace_format =
     match fw with
     | `Spark -> run_spark ?tracer name sys thr dram faults verify
     | `Giraph -> run_giraph ?tracer name sys thr faults verify
+    | `Streaming -> run_streaming ?tracer name thr faults verify slo soak
   in
   let thunks = List.mapi cell names in
   let results =
@@ -303,6 +386,6 @@ let cmd =
     (Cmd.info "teraheap_sim" ~doc)
     Term.(
       const run_all $ framework $ workload $ system $ threads $ dram $ faults
-      $ jobs $ verify_level $ trace_file $ trace_format)
+      $ jobs $ verify_level $ trace_file $ trace_format $ slo $ soak)
 
 let () = exit (Cmd.eval cmd)

@@ -25,11 +25,18 @@ type giraph = {
   g_faults : Fault.t option;
 }
 
+type streaming = {
+  s_rt : Runtime.t;
+  s_clock : Clock.t;
+  s_h2_device : Device.t option;
+  s_faults : Fault.t option;
+}
+
 let default_costs = Costs.default
 
 (* One injector per setup: all of the setup's devices share it, so its
    counters aggregate the whole run's faults and recoveries. *)
-let make_faults = Option.map Fault.create
+let make_faults = Option.map Fault.create_plan
 
 (* H2 is provisioned generously: the paper maps it over a 1 TB file. *)
 let default_h2_capacity_gb = 1024
@@ -112,6 +119,35 @@ let giraph_ooc ?(costs = default_costs) ?(threshold = 0.75) ?faults ~heap_gb
     g_h2_device = None;
     g_faults = faults;
   }
+
+(* A long-running service retries patiently but bounds each checked-I/O
+   episode with the watchdog: under a worn-out device the retry loop must
+   fail over (recompute, defer) within a bounded pause instead of wedging
+   a micro-batch behind an unbounded backoff ladder. *)
+let streaming_retry =
+  {
+    Th_device.Io_retry.default with
+    Th_device.Io_retry.max_retries = 6;
+    episode_deadline_ns = 2_000_000.0;
+  }
+
+let streaming_teraheap ?(costs = default_costs) ?h2_config
+    ?(retry = streaming_retry) ?faults ~h1_gb ~dr2_gb () =
+  let clock = Clock.create () in
+  let heap = H1_heap.create ~heap_bytes:(Size.paper_gb h1_gb) () in
+  let faults = make_faults faults in
+  let device = Device.create ?faults ~retry clock Device.Nvme_ssd in
+  let dr2_bytes = Size.paper_gb dr2_gb in
+  (* Unlike the batch setups, an explicit [h2_config] is honored verbatim
+     (capacity included): resilience tests size H2 down to a few regions
+     to force the occupancy tripwire. *)
+  let h2 =
+    match h2_config with
+    | Some config -> H2.create ~config ~clock ~costs ~device ~dr2_bytes ()
+    | None -> make_h2 ~clock ~costs ~device ~dr2_bytes ()
+  in
+  let rt = Runtime.create ~h2 ~clock ~costs ~heap () in
+  { s_rt = rt; s_clock = clock; s_h2_device = Some device; s_faults = faults }
 
 let giraph_teraheap ?(costs = default_costs) ?h2_config ?faults ~h1_gb
     ~dr2_gb () =

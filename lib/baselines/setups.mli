@@ -24,14 +24,22 @@ type giraph = {
   g_faults : Th_sim.Fault.t option;
 }
 
+type streaming = {
+  s_rt : Th_psgc.Runtime.t;
+  s_clock : Th_sim.Clock.t;
+  s_h2_device : Th_device.Device.t option;
+  s_faults : Th_sim.Fault.t option;
+}
+
 val default_costs : Th_sim.Costs.t
 
 (** Constructors that take a device accept [?faults], a
-    {!Th_sim.Fault.spec}: the setup then creates one injector, attaches
+    {!Th_sim.Fault.plan}: the setup then creates one injector, attaches
     it to its devices, and exposes it in the record so drivers can
-    snapshot its counters into the {!Th_workloads.Run_result}. Setups
-    without a device (Spark-MO, Panthera) have nowhere to inject faults
-    and expose [None]. *)
+    snapshot its counters into the {!Th_workloads.Run_result}. A plain
+    static regime is passed as [Fault.static spec]. Setups without a
+    device (Spark-MO, Panthera) have nowhere to inject faults and expose
+    [None]. *)
 
 (** {1 Spark} *)
 
@@ -39,7 +47,7 @@ val spark_sd :
   ?device_kind:Th_device.Device.kind ->
   ?collector:Th_psgc.Rt.collector ->
   ?costs:Th_sim.Costs.t ->
-  ?faults:Th_sim.Fault.spec ->
+  ?faults:Th_sim.Fault.plan ->
   heap_gb:int ->
   unit ->
   spark
@@ -60,7 +68,7 @@ val spark_teraheap :
   ?costs:Th_sim.Costs.t ->
   ?h2_config:Th_core.H2.config ->
   ?huge_pages:bool ->
-  ?faults:Th_sim.Fault.spec ->
+  ?faults:Th_sim.Fault.plan ->
   h1_gb:int ->
   dr2_gb:int ->
   unit ->
@@ -80,7 +88,7 @@ val spark_panthera : ?costs:Th_sim.Costs.t -> heap_gb:int -> unit -> spark
 val giraph_ooc :
   ?costs:Th_sim.Costs.t ->
   ?threshold:float ->
-  ?faults:Th_sim.Fault.spec ->
+  ?faults:Th_sim.Fault.plan ->
   heap_gb:int ->
   unit ->
   giraph
@@ -90,8 +98,31 @@ val giraph_ooc :
 val giraph_teraheap :
   ?costs:Th_sim.Costs.t ->
   ?h2_config:Th_core.H2.config ->
-  ?faults:Th_sim.Fault.spec ->
+  ?faults:Th_sim.Fault.plan ->
   h1_gb:int ->
   dr2_gb:int ->
   unit ->
   giraph
+
+(** {1 Streaming} *)
+
+val streaming_retry : Th_device.Io_retry.policy
+(** Default retry policy of the streaming setup: patient (6 retries) but
+    with the I/O watchdog armed at a 2 ms episode deadline, so a sick
+    device fails a micro-batch over to recovery instead of wedging it. *)
+
+val streaming_teraheap :
+  ?costs:Th_sim.Costs.t ->
+  ?h2_config:Th_core.H2.config ->
+  ?retry:Th_device.Io_retry.policy ->
+  ?faults:Th_sim.Fault.plan ->
+  h1_gb:int ->
+  dr2_gb:int ->
+  unit ->
+  streaming
+(** TeraHeap for a long-running micro-batch streaming service: H1 in
+    DRAM, H2 over the NVMe SSD, retry policy from [retry] (default
+    {!streaming_retry}). The driver layers windowed operator state and a
+    resilience monitor on top. Unlike the batch setups, an explicit
+    [h2_config] is honored verbatim — capacity included — so tests can
+    shrink H2 to a few regions. *)

@@ -12,6 +12,19 @@ let points ?(buckets = 20) samples =
           in
           (100.0 *. pct, arr.(idx)))
 
+let percentile samples p =
+  match samples with
+  | [] -> 0.0
+  | _ ->
+      let arr = Array.of_list samples in
+      Array.sort Float.compare arr;
+      let n = Array.length arr in
+      let p = Float.max 0.0 (Float.min 100.0 p) in
+      (* Nearest-rank: the smallest sample with at least p% of the mass
+         at or below it. *)
+      let rank = int_of_float (Float.ceil (p /. 100.0 *. float_of_int n)) in
+      arr.(max 0 (min (n - 1) (rank - 1)))
+
 let fraction_at_or_below samples v =
   match samples with
   | [] -> 0.0

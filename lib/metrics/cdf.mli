@@ -5,5 +5,10 @@ val points : ?buckets:int -> float list -> (float * float) list
     the value at each cumulative percentile, downsampled to [buckets]
     (default 20) evenly spaced percentiles. *)
 
+val percentile : float list -> float -> float
+(** [percentile samples p] is the nearest-rank p-th percentile (p in
+    [0, 100]): the smallest sample with at least p% of the distribution
+    at or below it. 0.0 on an empty list. *)
+
 val fraction_at_or_below : float list -> float -> float
 (** [fraction_at_or_below samples v] is the CDF evaluated at [v]. *)

@@ -28,6 +28,14 @@ let trace_span_end (rt : Rt.t) ~name args =
         ~ts:(Clock.now_ns rt.Rt.clock)
         ~cat:"gc" ~name ~args ()
 
+let trace_instant (rt : Rt.t) ~cat ~name args =
+  match Clock.tracer rt.Rt.clock with
+  | None -> ()
+  | Some tr ->
+      Th_trace.Recorder.instant tr
+        ~ts:(Clock.now_ns rt.Rt.clock)
+        ~cat ~name ~args ()
+
 (* ------------------------------------------------------------------ *)
 (* Minor GC                                                            *)
 
@@ -394,24 +402,42 @@ let major_gc (rt : Rt.t) =
          [In_h2] and the tagged list self-cleans on its next traversal
          (a per-root removal here would be quadratic). *)
       let tagged = H2.tagged_roots h2 in
-      List.iter
-        (fun (root : Obj_.t) ->
-          let label = root.Obj_.label in
-          if label >= 0 && root.Obj_.mark = epoch && H2.move_advised h2 ~label
-          then closure_of root label)
-        tagged;
-      if pressure_forced then
+      (* The resilience gate is sampled exactly once per cycle: an open
+         circuit breaker suppresses both move passes, leaving every
+         tagged root in H1 to be retried (or serialized off-heap by the
+         driver) later. Region reclamation below still runs — freeing
+         dead H2 regions needs no new device writes. *)
+      if Rt.h2_moves_allowed rt then begin
         List.iter
           (fun (root : Obj_.t) ->
             let label = root.Obj_.label in
-            if
-              label >= 0
-              && root.Obj_.mark = epoch
-              && root.Obj_.closure_mark <> cepoch
-              && (not (H2.move_advised h2 ~label))
-              && not (moved_budget_exhausted !moved)
+            if label >= 0 && root.Obj_.mark = epoch && H2.move_advised h2 ~label
             then closure_of root label)
           tagged;
+        if pressure_forced then
+          List.iter
+            (fun (root : Obj_.t) ->
+              let label = root.Obj_.label in
+              if
+                label >= 0
+                && root.Obj_.mark = epoch
+                && root.Obj_.closure_mark <> cepoch
+                && (not (H2.move_advised h2 ~label))
+                && not (moved_budget_exhausted !moved)
+              then closure_of root label)
+            tagged
+      end
+      else begin
+        let pending =
+          List.length
+            (List.filter
+               (fun (root : Obj_.t) ->
+                 root.Obj_.label >= 0 && root.Obj_.mark = epoch)
+               tagged)
+        in
+        trace_instant rt ~cat:"h2" ~name:"moves_suppressed"
+          [ ("tagged_roots", Th_trace.Event.Int pending) ]
+      end;
       regions_freed_now :=
         H2.free_dead_regions h2 ~on_free:(fun o -> o.Obj_.loc <- Obj_.Freed));
   let marking_ns, t1 = phase_delta t0 in

@@ -57,6 +57,11 @@ type t = {
   mutable g1_humongous_waste : int;  (* wasted bytes in humongous regions *)
   g1_region_size : int;
   mutable safepoint_hook : (safepoint -> unit) option;
+  (* Consulted once per major GC before the move-to-H2 passes; [false]
+     suppresses moving (tagged roots stay in H1 for this cycle). The
+     Th_resilience circuit breaker installs this — the collector itself
+     never decides to stop moving. *)
+  mutable h2_move_gate : (unit -> bool) option;
 }
 
 let create ?(collector = Ps) ?(profile = Cost_profile.dram)
@@ -81,7 +86,11 @@ let create ?(collector = Ps) ?(profile = Cost_profile.dram)
        the paper's heaps (partition arrays spanning a few regions). *)
     g1_region_size = max (Size.kib 64) (H1_heap.heap_bytes heap / 512);
     safepoint_hook = None;
+    h2_move_gate = None;
   }
+
+let h2_moves_allowed t =
+  match t.h2_move_gate with None -> true | Some gate -> gate ()
 
 let safepoint_name = function
   | Before_minor -> "before_minor"

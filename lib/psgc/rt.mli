@@ -56,6 +56,10 @@ type t = {
       (** wasted bytes in humongous regions *)
   g1_region_size : int;
   mutable safepoint_hook : (safepoint -> unit) option;
+  mutable h2_move_gate : (unit -> bool) option;
+      (** consulted once per major GC before the move-to-H2 passes;
+          [false] suppresses moving for that cycle (tagged roots stay in
+          H1). Installed by the {!Th_resilience} circuit breaker. *)
 }
 
 val create :
@@ -72,6 +76,9 @@ val create :
 val safepoint : t -> safepoint -> unit
 (** Announce a GC safepoint: runs the installed hook, if any. Called by
     {!Ps_gc} at entry and exit of the minor and major collections. *)
+
+val h2_moves_allowed : t -> bool
+(** Consult the installed move gate (true when none is installed). *)
 
 val teraheap_enabled : t -> bool
 

@@ -1,0 +1,120 @@
+type state = Closed | Open | Half_open
+
+type event = Trip | Probe_ok | Probe_fail | Cooldown_elapsed
+
+let step state event =
+  match (state, event) with
+  | _, Trip -> Open
+  | Open, Cooldown_elapsed -> Half_open
+  | Half_open, Probe_ok -> Closed
+  | Half_open, Probe_fail -> Open
+  | Closed, (Probe_ok | Probe_fail | Cooldown_elapsed) -> Closed
+  | Open, (Probe_ok | Probe_fail) -> Open
+  | Half_open, Cooldown_elapsed -> Half_open
+
+let state_name = function
+  | Closed -> "closed"
+  | Open -> "open"
+  | Half_open -> "half_open"
+
+type config = { open_cooldown_ns : float; probe_successes : int }
+
+(* One simulated second of cooldown spans several GC cycles of the soak
+   workloads; two clean probe samples in a row close the circuit. *)
+let default_config = { open_cooldown_ns = 1e9; probe_successes = 2 }
+
+type stats = {
+  trips : int;
+  reopens : int;
+  closes : int;
+  probes_ok : int;
+  probes_failed : int;
+}
+
+let zero_stats =
+  { trips = 0; reopens = 0; closes = 0; probes_ok = 0; probes_failed = 0 }
+
+type t = {
+  config : config;
+  mutable state : state;
+  mutable opened_at_ns : float;
+  mutable probe_streak : int;
+  mutable s : stats;
+}
+
+let create ?(config = default_config) () =
+  {
+    config;
+    state = Closed;
+    opened_at_ns = neg_infinity;
+    probe_streak = 0;
+    s = zero_stats;
+  }
+
+let state t = t.state
+
+let stats t = t.s
+
+let transition t event =
+  let next = step t.state event in
+  let changed = next <> t.state in
+  (if changed then
+     match next with
+     | Open ->
+         t.s <-
+           {
+             t.s with
+             trips = t.s.trips + 1;
+             reopens =
+               (t.s.reopens + if t.state = Half_open then 1 else 0);
+           }
+     | Closed -> t.s <- { t.s with closes = t.s.closes + 1 }
+     | Half_open -> ());
+  t.state <- next;
+  changed
+
+let on_sample t ~now_ns ~healthy =
+  match t.state with
+  | Closed ->
+      if healthy then `Unchanged
+      else begin
+        ignore (transition t Trip);
+        t.opened_at_ns <- now_ns;
+        t.probe_streak <- 0;
+        `Opened
+      end
+  | Open ->
+      if not healthy then begin
+        (* Still sick: restart the cooldown so the circuit only probes
+           after a full quiet interval. *)
+        t.opened_at_ns <- now_ns;
+        `Unchanged
+      end
+      else if now_ns -. t.opened_at_ns >= t.config.open_cooldown_ns then begin
+        ignore (transition t Cooldown_elapsed);
+        t.probe_streak <- 1;
+        t.s <- { t.s with probes_ok = t.s.probes_ok + 1 };
+        if t.probe_streak >= t.config.probe_successes then begin
+          ignore (transition t Probe_ok);
+          `Closed
+        end
+        else `Unchanged
+      end
+      else `Unchanged
+  | Half_open ->
+      if healthy then begin
+        t.probe_streak <- t.probe_streak + 1;
+        t.s <- { t.s with probes_ok = t.s.probes_ok + 1 };
+        if t.probe_streak >= t.config.probe_successes then begin
+          ignore (transition t Probe_ok);
+          `Closed
+        end
+        else `Unchanged
+      end
+      else begin
+        t.s <- { t.s with probes_failed = t.s.probes_failed + 1 };
+        ignore (transition t Probe_fail);
+        t.opened_at_ns <- now_ns;
+        t.probe_streak <- 0;
+        `Opened
+      end

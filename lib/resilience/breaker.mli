@@ -1,0 +1,63 @@
+(** Circuit breaker over the move-to-H2 path.
+
+    Classic three-state breaker (Closed / Open / Half-open) specialised
+    to the H2 device: while Closed, promotion proceeds normally; a trip
+    (error/latency tripwire firing) opens the circuit, suspending
+    move-to-H2 so the collector stops writing object groups to a sick
+    device; after a cooldown the breaker goes Half-open and lets a
+    bounded probe through — enough consecutive healthy samples close the
+    circuit again, any failure snaps it back Open for another cooldown.
+
+    The transition relation is exposed as the pure function {!step} so
+    tests can enumerate the full table; the stateful {!t} layers time
+    (cooldown expiry) and probe counting on top, driven by periodic
+    health samples from the {!Monitor}. *)
+
+type state = Closed | Open | Half_open
+
+type event =
+  | Trip  (** a tripwire fired on this sample *)
+  | Probe_ok  (** a Half-open probe round completed healthy *)
+  | Probe_fail  (** a Half-open probe round saw trouble *)
+  | Cooldown_elapsed  (** the Open cooldown timer expired *)
+
+val step : state -> event -> state
+(** The pure transition table. Events that make no sense in a state
+    (e.g. [Probe_ok] while Closed) leave it unchanged; [Trip] is
+    absorbing into [Open] from every state. *)
+
+val state_name : state -> string
+
+type config = {
+  open_cooldown_ns : float;
+      (** simulated time the circuit stays Open before probing *)
+  probe_successes : int;
+      (** consecutive healthy Half-open samples needed to close *)
+}
+
+val default_config : config
+
+type stats = {
+  trips : int;  (** transitions into Open (from any state) *)
+  reopens : int;  (** trips taken from Half-open (failed recoveries) *)
+  closes : int;  (** successful recoveries (Half-open -> Closed) *)
+  probes_ok : int;
+  probes_failed : int;
+}
+
+type t
+
+val create : ?config:config -> unit -> t
+(** A fresh breaker, Closed. *)
+
+val state : t -> state
+
+val stats : t -> stats
+
+val on_sample :
+  t -> now_ns:float -> healthy:bool -> [ `Unchanged | `Opened | `Closed ]
+(** Feed one health sample at simulated time [now_ns]. Returns whether
+    the circuit changed state so the caller can emit trace events. An
+    unhealthy sample while Open restarts the cooldown (the device is
+    still sick); a healthy sample after the cooldown moves to Half-open
+    and begins counting probe successes. *)

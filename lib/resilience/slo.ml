@@ -1,0 +1,110 @@
+type spec = { p99_pause_ns : float; max_degraded_fraction : float }
+
+let default = { p99_pause_ns = 50e6; max_degraded_fraction = 0.2 }
+
+let to_string s =
+  Printf.sprintf "p99_ms=%g,degraded_max=%g" (s.p99_pause_ns /. 1e6)
+    s.max_degraded_fraction
+
+let parse str =
+  let fields = String.split_on_char ',' (String.trim str) in
+  List.fold_left
+    (fun acc field ->
+      Result.bind acc (fun spec ->
+          let field = String.trim field in
+          if field = "" then Result.Ok spec
+          else
+            match String.index_opt field '=' with
+            | None ->
+                Result.Error
+                  (Printf.sprintf "slo spec: missing '=' in %S" field)
+            | Some i -> (
+                let key = String.sub field 0 i in
+                let v = String.sub field (i + 1) (String.length field - i - 1) in
+                let pos_v () =
+                  match float_of_string_opt v with
+                  | Some f when f > 0.0 -> Result.Ok f
+                  | _ ->
+                      Result.Error
+                        (Printf.sprintf "slo spec: bad value %S for %s" v key)
+                in
+                match key with
+                | "p99_ms" ->
+                    Result.map
+                      (fun f -> { spec with p99_pause_ns = f *. 1e6 })
+                      (pos_v ())
+                | "p99_us" ->
+                    Result.map
+                      (fun f -> { spec with p99_pause_ns = f *. 1e3 })
+                      (pos_v ())
+                | "degraded_max" -> (
+                    match float_of_string_opt v with
+                    | Some f when f >= 0.0 && f <= 1.0 ->
+                        Result.Ok { spec with max_degraded_fraction = f }
+                    | _ ->
+                        Result.Error
+                          (Printf.sprintf
+                             "slo spec: degraded_max=%s is not a fraction \
+                              (want 0..1)"
+                             v))
+                | _ ->
+                    Result.Error
+                      (Printf.sprintf "slo spec: unknown key %S" key))))
+    (Result.Ok default) fields
+
+type report = {
+  spec : spec;
+  pause_count : int;
+  p50_ns : float;
+  p99_ns : float;
+  p999_ns : float;
+  max_pause_ns : float;
+  pause_violations : int;
+  degraded_fraction : float;
+  pause_compliant : bool;
+  degraded_compliant : bool;
+  compliant : bool;
+}
+
+let evaluate spec ~pause_samples_ns ~total_ns ~degraded_ns =
+  let pct p = Th_metrics.Cdf.percentile pause_samples_ns p in
+  let p99 = pct 99.0 in
+  let degraded_fraction =
+    if total_ns > 0.0 then degraded_ns /. total_ns else 0.0
+  in
+  let pause_compliant =
+    pause_samples_ns = [] || p99 <= spec.p99_pause_ns
+  in
+  let degraded_compliant = degraded_fraction <= spec.max_degraded_fraction in
+  {
+    spec;
+    pause_count = List.length pause_samples_ns;
+    p50_ns = pct 50.0;
+    p99_ns = p99;
+    p999_ns = pct 99.9;
+    max_pause_ns = List.fold_left Float.max 0.0 pause_samples_ns;
+    pause_violations =
+      List.length
+        (List.filter (fun p -> p > spec.p99_pause_ns) pause_samples_ns);
+    degraded_fraction;
+    pause_compliant;
+    degraded_compliant;
+    compliant = pause_compliant && degraded_compliant;
+  }
+
+let verdict ok = if ok then "PASS" else "FAIL"
+
+let pp_report f r =
+  Format.fprintf f
+    "@[<v>SLO %s (budget: p99 pause %.1f ms, degraded <= %.0f%%)@,\
+     pauses: %d samples, p50 %.3f ms, p99 %.3f ms, p999 %.3f ms, max %.3f \
+     ms (%d over budget) [%s]@,\
+     degraded time: %.1f%% of run [%s]@]"
+    (verdict r.compliant)
+    (r.spec.p99_pause_ns /. 1e6)
+    (100.0 *. r.spec.max_degraded_fraction)
+    r.pause_count (r.p50_ns /. 1e6) (r.p99_ns /. 1e6) (r.p999_ns /. 1e6)
+    (r.max_pause_ns /. 1e6) r.pause_violations
+    (verdict r.pause_compliant)
+    (100.0 *. r.degraded_fraction)
+    (verdict r.degraded_compliant)

@@ -1,0 +1,50 @@
+(** Service-level objectives for long-running (streaming) workloads.
+
+    Following the server-throughput analysis line of work, a long-running
+    service is judged by its pause-time tail and by how much of the run
+    it spent in degraded mode — not by completion time. A {!spec} states
+    the budget (p99 GC pause, maximum degraded-time fraction); {!evaluate}
+    turns a run's pause samples and degraded-time accounting into a
+    compliance {!report} with p50/p99/p999 tails. *)
+
+type spec = {
+  p99_pause_ns : float;  (** budget for the 99th-percentile GC pause *)
+  max_degraded_fraction : float;
+      (** largest acceptable fraction of run time with the breaker not
+          Closed *)
+}
+
+val default : spec
+(** 50 ms p99 pause budget, at most 20% of the run degraded. *)
+
+val parse : string -> (spec, string) result
+(** [parse "p99_ms=40,degraded_max=0.25"]; keys [p99_ms] (or [p99_us])
+    and [degraded_max] (a fraction in [0, 1]), starting from {!default}. *)
+
+val to_string : spec -> string
+
+type report = {
+  spec : spec;
+  pause_count : int;
+  p50_ns : float;
+  p99_ns : float;
+  p999_ns : float;
+  max_pause_ns : float;
+  pause_violations : int;  (** pauses individually over the p99 budget *)
+  degraded_fraction : float;
+  pause_compliant : bool;  (** p99 tail within budget *)
+  degraded_compliant : bool;  (** degraded fraction within budget *)
+  compliant : bool;  (** both *)
+}
+
+val evaluate :
+  spec -> pause_samples_ns:float list -> total_ns:float -> degraded_ns:float ->
+  report
+(** Build the compliance report: percentiles are nearest-rank over the
+    pause samples ({!Th_metrics.Cdf.percentile}); [degraded_fraction] is
+    [degraded_ns / total_ns] (0 when the run had no duration). A run
+    with no pauses is pause-compliant by definition. *)
+
+val pp_report : Format.formatter -> report -> unit
+(** Multi-line human-readable report, stable across runs (no wall-clock
+    content), e.g. for the soak harness and CI artifacts. *)

@@ -14,6 +14,10 @@ type t = {
   device_read_ops : int;
   device_write_ops : int;
   faults_injected : int;
+  watchdog_timeouts : int;
+  breaker_opens : int;
+  breaker_closes : int;
+  slo_violations : int;
 }
 
 let zero =
@@ -33,6 +37,10 @@ let zero =
     device_read_ops = 0;
     device_write_ops = 0;
     faults_injected = 0;
+    watchdog_timeouts = 0;
+    breaker_opens = 0;
+    breaker_closes = 0;
+    slo_violations = 0;
   }
 
 let arg_float args k =
@@ -121,6 +129,14 @@ let of_events events =
           match (e.Event.cat, e.Event.name) with
           | "fault", name when List.mem name injection_names ->
               { acc with faults_injected = acc.faults_injected + 1 }
+          | "fault", "watchdog_timeout" ->
+              { acc with watchdog_timeouts = acc.watchdog_timeouts + 1 }
+          | "resilience", "breaker_open" ->
+              { acc with breaker_opens = acc.breaker_opens + 1 }
+          | "resilience", "breaker_close" ->
+              { acc with breaker_closes = acc.breaker_closes + 1 }
+          | "resilience", "slo_violation" ->
+              { acc with slo_violations = acc.slo_violations + 1 }
           | _ -> acc))
     zero events
 

@@ -28,6 +28,11 @@ type t = {
   faults_injected : int;
       (** injection instants: read/write errors, spikes, stalls, ENOSPC
           rejections — one event per fault the injector charged *)
+  watchdog_timeouts : int;
+      (** checked-I/O episodes the retry watchdog cut short *)
+  breaker_opens : int;  (** circuit-breaker open transitions *)
+  breaker_closes : int;  (** circuit-breaker recoveries *)
+  slo_violations : int;  (** pauses flagged over the SLO budget *)
 }
 
 val of_events : Event.t list -> t

@@ -4,6 +4,7 @@ module H2 = Th_core.H2
 module Device = Th_device.Device
 module Fault = Th_sim.Fault
 module Heap_census = Th_psgc.Heap_census
+module Monitor = Th_resilience.Monitor
 
 type outcome = Completed | Degraded | Oom
 
@@ -18,6 +19,7 @@ type t = {
   gc_stats : Gc_stats.t option;
   h2_device : Device.stats option;
   faults : Fault.stats option;
+  resilience : Monitor.summary option;
   census : Heap_census.entry list option;
       (* live-heap composition captured at OOM *)
   at_failure : Th_sim.Clock.breakdown option;
@@ -26,13 +28,24 @@ type t = {
 
 let fault_stats faults = Option.map Fault.stats faults
 
-let ok ~label rt ?h2_device ?faults () =
+(* A run whose breaker ever tripped — or that routed promotion
+   candidates around a suspended H2 — completed, but not on the
+   configuration's nominal path. *)
+let resilience_degraded (s : Monitor.summary) =
+  s.Monitor.breaker.Th_resilience.Breaker.trips > 0
+  || s.Monitor.moves_suppressed > 0
+  || s.Monitor.fallback_serializations > 0
+  || s.Monitor.deferred_batches > 0
+
+let ok ~label rt ?h2_device ?faults ?monitor () =
   let stats = Runtime.stats rt in
   let faults = fault_stats faults in
+  let resilience = Option.map Monitor.summary monitor in
   let outcome =
-    match faults with
-    | Some fs when Fault.degraded fs -> Degraded
-    | Some _ | None -> Completed
+    match (faults, resilience) with
+    | Some fs, _ when Fault.degraded fs -> Degraded
+    | _, Some rs when resilience_degraded rs -> Degraded
+    | _, _ -> Completed
   in
   {
     label;
@@ -45,6 +58,7 @@ let ok ~label rt ?h2_device ?faults () =
     gc_stats = Some stats;
     h2_device = Option.map Device.stats h2_device;
     faults;
+    resilience;
     census = None;
     at_failure = None;
   }
@@ -54,7 +68,7 @@ let ok ~label rt ?h2_device ?faults () =
    cannot raise and mask the original error. *)
 let guard f = try Some (f ()) with _ -> None
 
-let oom ?reason ?h2_device ?faults ~label rt =
+let oom ?reason ?h2_device ?faults ?monitor ~label rt =
   let stats = guard (fun () -> Runtime.stats rt) in
   let count f =
     match Option.bind stats (fun s -> guard (fun () -> f s)) with
@@ -74,6 +88,8 @@ let oom ?reason ?h2_device ?faults ~label rt =
     h2_device =
       Option.bind h2_device (fun d -> guard (fun () -> Device.stats d));
     faults = guard (fun () -> fault_stats faults) |> Option.join;
+    resilience =
+      guard (fun () -> Option.map Monitor.summary monitor) |> Option.join;
     census = guard (fun () -> Heap_census.of_runtime rt);
     at_failure = guard (fun () -> Th_sim.Clock.breakdown (Runtime.clock rt));
   }

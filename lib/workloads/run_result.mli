@@ -20,6 +20,8 @@ type t = {
   h2_device : Th_device.Device.stats option;
   faults : Th_sim.Fault.stats option;
       (** fault-injection counters, when the setup carried an injector *)
+  resilience : Th_resilience.Monitor.summary option;
+      (** breaker/SLO summary, when the run carried a health monitor *)
   census : Th_psgc.Heap_census.entry list option;
       (** live-heap composition captured at OOM *)
   at_failure : Th_sim.Clock.breakdown option;
@@ -31,16 +33,20 @@ val ok :
   Th_psgc.Runtime.t ->
   ?h2_device:Th_device.Device.t ->
   ?faults:Th_sim.Fault.t ->
+  ?monitor:Th_resilience.Monitor.t ->
   unit ->
   t
 (** Snapshot a completed run. With [faults], the injector's counters are
     recorded and the outcome becomes {!Degraded} when any fault was
-    injected or any recovery path fired. *)
+    injected or any recovery path fired; with [monitor], the breaker/SLO
+    summary is recorded and breaker trips or fallback routing likewise
+    mark the run {!Degraded}. *)
 
 val oom :
   ?reason:string ->
   ?h2_device:Th_device.Device.t ->
   ?faults:Th_sim.Fault.t ->
+  ?monitor:Th_resilience.Monitor.t ->
   label:string ->
   Th_psgc.Runtime.t ->
   t

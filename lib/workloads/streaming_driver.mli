@@ -1,0 +1,63 @@
+(** Long-horizon micro-batch streaming workload (ROADMAP item 5).
+
+    Models a stateful streaming service of the Spark-Streaming shape:
+    every micro-batch ingests a burst of transient events, appends a
+    block of windowed operator state (aggregations over the last
+    [window] batches), slowly churns older state in place, serves reads
+    against the window, expires the oldest batch, and then idles until
+    the next batch interval — so a run spans hours of {e simulated} time
+    while the allocator sees a steady old-generation churn that exercises
+    move-to-H2 on every major GC.
+
+    Retained state is the promotion candidate: each batch's state group
+    is tagged and moved to H2 (the TeraHeap path). When a resilience
+    {!Th_resilience.Monitor} is attached and its circuit breaker is Open,
+    the driver routes the batch to the serialize-to-offheap fallback
+    (sequential stream write, cheaper for a sick device than scattered
+    moves plus later read-modify-writes) or, if the group is not
+    serializable, defers it in H1 — the "Rock and Hard Place" frontier,
+    chosen per batch by device health rather than fixed per run.
+
+    The run is judged like a service, not a job: pause-time tails over
+    every GC cycle (via {!Th_metrics.Cdf.percentile}) and SLO compliance
+    land in the {!Run_result}'s resilience summary. *)
+
+type profile = {
+  name : string;
+  seed : int64;  (** drives slot selection for churn and reads *)
+  batches : int;
+  batch_interval_ns : float;
+      (** idle simulated time appended after each batch *)
+  events_bytes_per_batch : int;  (** transient ingest, dead within a batch *)
+  window : int;  (** batches of operator state retained *)
+  state_bytes_per_batch : int;  (** retained state appended per batch *)
+  elems_per_batch : int;  (** objects the state block is split into *)
+  churn_updates_per_batch : int;
+      (** in-place updates against random retained batches *)
+  reads_per_batch : int;  (** point reads against random retained batches *)
+  h1_gb : int;  (** H1 capacity (paper GB) the profile is sized for *)
+  dr2_gb : int;  (** H2 page-cache DRAM (paper GB) *)
+}
+
+val smoke : profile
+(** Small profile for tests and CI smoke runs (~2 simulated seconds). *)
+
+val soak : profile
+(** Long-horizon chaos-soak profile (~2.8 simulated hours). *)
+
+val by_name : string -> profile option
+(** ["smoke"] or ["soak"]. *)
+
+val run :
+  ?h2_device:Th_device.Device.t ->
+  ?faults:Th_sim.Fault.t ->
+  ?monitor:Th_resilience.Monitor.t ->
+  label:string ->
+  Th_psgc.Runtime.t ->
+  profile ->
+  Run_result.t
+(** Run the workload. [monitor] (attach it {e after}
+    {!Th_verify.Verify.attach}) enables breaker-driven routing and is
+    sampled at every batch boundary in addition to GC safepoints;
+    without it every batch takes the move-to-H2 path. [Out_of_memory]
+    and H2 exhaustion are captured as {!Run_result.oom}. *)

@@ -23,15 +23,23 @@ module Run_result = Th_workloads.Run_result
 
 let test_parse_presets () =
   (match Fault.parse "none" with
-  | Ok s -> Alcotest.(check bool) "none is zero" true (s = Fault.zero)
+  | Ok p -> Alcotest.(check bool) "none is zero" true (p = Fault.static Fault.zero)
   | Error e -> Alcotest.fail e);
   (match Fault.parse "default,seed=9" with
-  | Ok s ->
+  | Ok p ->
       Alcotest.(check bool) "preset with override" true
-        (s = { Fault.default_plan with Fault.seed = 9L })
+        (p = Fault.static { Fault.default_plan with Fault.seed = 9L })
   | Error e -> Alcotest.fail e);
   (match Fault.parse "harsh" with
-  | Ok s -> Alcotest.(check bool) "harsh preset" true (s = Fault.harsh)
+  | Ok p -> Alcotest.(check bool) "harsh preset" true (p = Fault.static Fault.harsh)
+  | Error e -> Alcotest.fail e);
+  (match Fault.parse "wearout" with
+  | Ok p -> Alcotest.(check bool) "wearout preset" true (p = Fault.wearout)
+  | Error e -> Alcotest.fail e);
+  (match Fault.parse "bursty" with
+  | Ok p ->
+      Alcotest.(check bool) "bursty preset" true (p = Fault.bursty);
+      Alcotest.(check bool) "bursty cycles" true p.Fault.cycle
   | Error e -> Alcotest.fail e);
   match Fault.parse "bogus_key=1" with
   | Ok _ -> Alcotest.fail "bogus key accepted"
@@ -39,9 +47,128 @@ let test_parse_presets () =
 
 let test_parse_roundtrip () =
   let spec = { Fault.harsh with Fault.seed = 123L } in
-  match Fault.parse (Fault.to_string spec) with
-  | Ok s -> Alcotest.(check bool) "to_string parses back" true (s = spec)
-  | Error e -> Alcotest.fail e
+  (match Fault.parse (Fault.to_string spec) with
+  | Ok p ->
+      Alcotest.(check bool) "to_string parses back" true (p = Fault.static spec)
+  | Error e -> Alcotest.fail e);
+  (* Plans (including the phased presets) round-trip through
+     plan_to_string too. *)
+  List.iter
+    (fun plan ->
+      match Fault.parse (Fault.plan_to_string plan) with
+      | Ok p -> Alcotest.(check bool) "plan round-trips" true (p = plan)
+      | Error e -> Alcotest.fail e)
+    [ Fault.wearout; Fault.bursty; Fault.static Fault.default_plan ]
+
+let test_parse_phases () =
+  (match Fault.parse "phase(none,dur_ms=80),phase(harsh,dur_ms=20),cycle" with
+  | Ok p ->
+      Alcotest.(check bool) "explicit phases equal bursty" true (p = Fault.bursty)
+  | Error e -> Alcotest.fail e);
+  (* A top-level key after phase(...) applies to every phase. *)
+  (match Fault.parse "phase(none,dur_s=1),phase(harsh),seed=77" with
+  | Ok p ->
+      List.iter
+        (fun (s, _) -> Alcotest.(check int64) "seed everywhere" 77L s.Fault.seed)
+        p.Fault.phases
+  | Error e -> Alcotest.fail e);
+  (* A finite last phase is legal in a non-cycling plan: it holds past
+     its stated end (the injector never runs out of schedule). *)
+  (match Fault.parse "phase(harsh,dur_ms=5)" with
+  | Ok p ->
+      let inj = Fault.create_plan p in
+      ignore (Fault.on_read inj ~now_ns:60e6);
+      Alcotest.(check int) "terminal phase persists" 0 (Fault.phase_index inj)
+  | Error e -> Alcotest.fail e);
+  (* But a cycling plan with an open-ended phase cannot wrap. *)
+  match Fault.parse "phase(harsh),cycle" with
+  | Ok _ -> Alcotest.fail "cycling plan with an infinite phase accepted"
+  | Error _ -> ()
+
+(* Satellite: hostile inputs must come back as descriptive [Error],
+   never as a silently-clamped plan or an exception. *)
+let test_parse_rejects_invalid () =
+  let expect_error ~needle input =
+    match Fault.parse input with
+    | Ok _ -> Alcotest.failf "accepted %S" input
+    | Error e ->
+        let lower = String.lowercase_ascii e in
+        let found =
+          let nl = String.length needle and el = String.length lower in
+          let rec scan i =
+            i + nl <= el && (String.sub lower i nl = needle || scan (i + 1))
+          in
+          scan 0
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "%S error mentions %S (got %S)" input needle e)
+          true found
+  in
+  expect_error ~needle:"probability" "read_err=-0.1";
+  expect_error ~needle:"probability" "write_err=1.5";
+  expect_error ~needle:"probability" "spike=2";
+  expect_error ~needle:"spike_factor" "spike_factor=0.5";
+  expect_error ~needle:"stall_us" "stall_us=-3";
+  expect_error ~needle:"dur" "phase(harsh,dur_ms=0),phase(none)";
+  expect_error ~needle:"dur" "phase(harsh,dur_ms=-2),phase(none)";
+  expect_error ~needle:"seed" "seed=banana";
+  expect_error ~needle:"unknown" "phase(harsh,bogus=1),phase(none)"
+
+(* Grid-valued generators: every value prints exactly under %g, so the
+   qcheck round-trip through the textual form is loss-free. *)
+let grid_spec_gen =
+  QCheck.Gen.(
+    let rate = oneofl [ 0.0; 0.05; 0.125; 0.25; 0.5; 1.0 ] in
+    let dur_us = oneofl [ 0.0; 50.0; 400.0; 2000.0 ] in
+    let* seed = map Int64.of_int (int_range 0 10_000) in
+    let* read_error_rate = rate in
+    let* write_error_rate = rate in
+    let* spike_rate = rate in
+    let* spike_factor = oneofl [ 1.0; 2.0; 8.0; 16.0 ] in
+    let* spike_d = dur_us in
+    let* stall_rate = rate in
+    let* stall_us = dur_us in
+    let* full_rate = rate in
+    let* full_d = dur_us in
+    return
+      {
+        Fault.seed;
+        read_error_rate;
+        write_error_rate;
+        spike_rate;
+        spike_factor;
+        spike_duration_ns = spike_d *. 1e3;
+        stall_rate;
+        stall_ns = stall_us *. 1e3;
+        full_rate;
+        full_duration_ns = full_d *. 1e3;
+      })
+
+let grid_plan_gen =
+  QCheck.Gen.(
+    let* specs = list_size (int_range 1 4) grid_spec_gen in
+    let* cycle = bool in
+    let* durs =
+      flatten_l
+        (List.map (fun _ -> oneofl [ 1_000.0; 500_000.0; 3e9 ]) specs)
+    in
+    let phases = List.combine specs durs in
+    if cycle then return { Fault.phases; cycle = true }
+    else
+      (* A non-cycling plan must end in an open-ended phase. *)
+      let rec cap = function
+        | [] -> []
+        | [ (s, _) ] -> [ (s, infinity) ]
+        | p :: rest -> p :: cap rest
+      in
+      return { Fault.phases = cap phases; cycle = false })
+
+let prop_plan_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"parse (plan_to_string p) = Ok p"
+    (QCheck.make grid_plan_gen) (fun plan ->
+      match Fault.parse (Fault.plan_to_string plan) with
+      | Ok p -> p = plan
+      | Error e -> QCheck.Test.fail_reportf "did not parse back: %s" e)
 
 (* --- zero-rate transparency ------------------------------------------ *)
 
@@ -232,7 +359,7 @@ let test_oom_result_is_defensive () =
 
 (* --- whole workloads under faults ------------------------------------ *)
 
-let spark_plan = { Fault.default_plan with Fault.seed = 11L }
+let spark_plan = Fault.static { Fault.default_plan with Fault.seed = 11L }
 
 let run_spark_pr_with_faults () =
   let p = Spark_profiles.pagerank in
@@ -268,7 +395,7 @@ let test_spark_pagerank_degrades_not_crashes () =
         (r.Run_result.faults = r2.Run_result.faults)
   | _ -> Alcotest.fail "a run OOMed"
 
-let giraph_plan = { Fault.harsh with Fault.seed = 5L }
+let giraph_plan = Fault.static { Fault.harsh with Fault.seed = 5L }
 
 let run_giraph_bfs_with_faults () =
   let p = Giraph_profiles.bfs in
@@ -297,6 +424,10 @@ let suite =
     Alcotest.test_case "plan presets and overrides parse" `Quick
       test_parse_presets;
     Alcotest.test_case "plan to_string round-trips" `Quick test_parse_roundtrip;
+    Alcotest.test_case "phase(...) syntax parses" `Quick test_parse_phases;
+    Alcotest.test_case "invalid plans rejected with reasons" `Quick
+      test_parse_rejects_invalid;
+    QCheck_alcotest.to_alcotest prop_plan_roundtrip;
     Alcotest.test_case "zero-rate plan is byte-identical to no injector"
       `Quick test_zero_rate_plan_is_transparent;
     Alcotest.test_case "clock delta = pure + backoff + penalty" `Quick

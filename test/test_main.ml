@@ -15,6 +15,8 @@ let () =
       ("giraph", Test_giraph.suite);
       ("metrics", Test_metrics.suite);
       ("faults", Test_faults.suite);
+      ("resilience", Test_resilience.suite);
+      ("streaming", Test_streaming.suite);
       ("trace", Test_trace.suite);
       ("analysis", Test_analysis.suite);
       ("dacapo-misc", Test_dacapo.suite);

@@ -481,7 +481,7 @@ let test_h2_degradation_on_timeline () =
 let test_spark_fault_run_timeline () =
   let p = Spark_profiles.pagerank in
   let dram = List.fold_left max 0 p.Spark_profiles.th_dram_gb in
-  let plan = { Fault.default_plan with Fault.seed = 11L } in
+  let plan = Fault.static { Fault.default_plan with Fault.seed = 11L } in
   let s =
     Setups.spark_teraheap ~huge_pages:p.Spark_profiles.sequential ~faults:plan
       ~h1_gb:(dram - Spark_profiles.dr2_gb)
