@@ -11,33 +11,36 @@ module Runtime = Th_psgc.Runtime
 module H1_heap = Th_minijvm.H1_heap
 open Th_sim
 
-let barrier_overhead () =
+let barrier_overhead b =
   (* §4: the DaCapo-style micro-suite; the paper reports a mean overhead
      within 3 % across all benchmarks and zero when EnableTeraHeap is
      unset. *)
   let measured =
-    pmap
+    Plan.cell_list b ~label:"extras/barrier"
       (List.map
-         (fun (b : Th_workloads.Dacapo.benchmark) () ->
-           (b.Th_workloads.Dacapo.name, Th_workloads.Dacapo.overhead b))
+         (fun (bench : Th_workloads.Dacapo.benchmark) () ->
+           (bench.Th_workloads.Dacapo.name, Th_workloads.Dacapo.overhead bench))
          Th_workloads.Dacapo.all)
   in
-  let rows =
-    List.map
-      (fun (name, (ov, barriers)) ->
-        [ name; string_of_int barriers; Report.pct ov ])
-      measured
-  in
-  let mean =
-    List.fold_left (fun acc (_, (ov, _)) -> acc +. ov) 0.0 measured
-    /. float_of_int (List.length measured)
-  in
-  Report.print_series
-    ~title:"§4: post-write barrier overhead (EnableTeraHeap), DaCapo-style suite"
-    ~header:[ "benchmark"; "barriers"; "overhead" ]
-    (rows @ [ [ "mean"; "-"; Report.pct mean ] ])
+  fun () ->
+    let measured = Plan.get measured in
+    let rows =
+      List.map
+        (fun (name, (ov, barriers)) ->
+          [ name; string_of_int barriers; Report.pct ov ])
+        measured
+    in
+    let mean =
+      List.fold_left (fun acc (_, (ov, _)) -> acc +. ov) 0.0 measured
+      /. float_of_int (List.length measured)
+    in
+    Report.print_series
+      ~title:
+        "§4: post-write barrier overhead (EnableTeraHeap), DaCapo-style suite"
+      ~header:[ "benchmark"; "barriers"; "overhead" ]
+      (rows @ [ [ "mean"; "-"; Report.pct mean ] ])
 
-let ablation_union_find () =
+let ablation_union_find b =
   let cell p mode () =
     let cfg = { H2.default_config with H2.reclaim_mode = mode } in
     let r = run_giraph ~h2_config:cfg G_th p in
@@ -48,110 +51,126 @@ let ablation_union_find () =
     | None -> ("OOM", nan)
   in
   let groups =
-    List.map
-      (fun (p : Giraph_profiles.t) ->
-        (p, [ cell p H2.Dependency_lists; cell p H2.Region_groups ]))
-      Giraph_profiles.all
+    Plan.grouped_costed b ~label:"extras/union-find"
+      (List.map
+         (fun (p : Giraph_profiles.t) ->
+           let c = giraph_cost p in
+           ( p,
+             [ (c, cell p H2.Dependency_lists); (c, cell p H2.Region_groups) ]
+           ))
+         Giraph_profiles.all)
   in
-  let rows =
-    List.map
-      (fun ((p : Giraph_profiles.t), results) ->
-        let (dep, dep_t), (uf, uf_t) =
-          pair2 ~what:"extras:h2-policy" results
-        in
-        [
-          p.Giraph_profiles.name;
-          dep;
-          Printf.sprintf "%.3fs" dep_t;
-          uf;
-          Printf.sprintf "%.3fs" uf_t;
-        ])
-      (pmap_grouped groups)
-  in
-  Report.print_series
-    ~title:
-      "§3.3 ablation: dependency lists vs Union-Find region groups \
-       (reclaimed/allocated regions)"
-    ~header:[ "workload"; "dep-lists"; "time"; "union-find"; "time" ]
-    rows
+  fun () ->
+    let rows =
+      List.map
+        (fun ((p : Giraph_profiles.t), results) ->
+          let (dep, dep_t), (uf, uf_t) =
+            pair2 ~what:"extras:h2-policy" results
+          in
+          [
+            p.Giraph_profiles.name;
+            dep;
+            Printf.sprintf "%.3fs" dep_t;
+            uf;
+            Printf.sprintf "%.3fs" uf_t;
+          ])
+        (Plan.get groups)
+    in
+    Report.print_series
+      ~title:
+        "§3.3 ablation: dependency lists vs Union-Find region groups \
+         (reclaimed/allocated regions)"
+      ~header:[ "workload"; "dep-lists"; "time"; "union-find"; "time" ]
+      rows
 
 (* §7.1: "TeraHeap can also be used with G1 ... by moving long-lived,
    humongous objects to H2". G1 alone OOMs on the columnar workloads;
    G1 + TeraHeap runs them because the humongous cached data leaves H1. *)
-let g1_with_teraheap () =
+let g1_with_teraheap b =
   let groups =
-    List.map
-      (fun name ->
-        let p = Spark_profiles.by_name name in
-        let dram = default_dram p in
-        ( name,
-          [
-            (fun () -> run_spark ~dram G1 p);
-            (fun () ->
-              let setup =
-                Setups.spark_teraheap ~collector:Th_psgc.Rt.G1
-                  ~huge_pages:p.Spark_profiles.sequential
-                  ~h1_gb:(heap_gb_of_dram dram) ~dr2_gb:Spark_profiles.dr2_gb
-                  ()
-              in
-              Spark_driver.run ~label:"g1+th" setup.Setups.ctx p);
-          ] ))
-      [ "SVM"; "BC"; "RL"; "PR" ]
+    Plan.grouped_costed b ~label:"extras/g1"
+      (List.map
+         (fun name ->
+           let p = Spark_profiles.by_name name in
+           let dram = default_dram p in
+           let c = spark_cost ~dram p in
+           ( name,
+             [
+               (c, fun () -> run_spark ~dram G1 p);
+               ( c,
+                 fun () ->
+                   let setup =
+                     Setups.spark_teraheap ~collector:Th_psgc.Rt.G1
+                       ~huge_pages:p.Spark_profiles.sequential
+                       ~h1_gb:(heap_gb_of_dram dram)
+                       ~dr2_gb:Spark_profiles.dr2_gb ()
+                   in
+                   Spark_driver.run ~label:"g1+th" setup.Setups.ctx p );
+             ] ))
+         [ "SVM"; "BC"; "RL"; "PR" ])
   in
-  let rows =
-    List.map
-      (fun (name, results) ->
-        let g1, g1_th = pair2 ~what:"extras:g1" results in
-        let cell (r : Run_result.t) =
-          match r.Run_result.breakdown with
-          | None -> "OOM"
-          | Some b -> Printf.sprintf "%.3fs" (Th_sim.Clock.total_ns b /. 1e9)
-        in
-        [ name; cell g1; cell g1_th ])
-      (pmap_grouped groups)
-  in
-  Report.print_series ~title:"§7.1 extension: G1 alone vs G1 + TeraHeap"
-    ~header:[ "workload"; "G1"; "G1+TeraHeap" ]
-    rows
+  fun () ->
+    let rows =
+      List.map
+        (fun (name, results) ->
+          let g1, g1_th = pair2 ~what:"extras:g1" results in
+          let cell (r : Run_result.t) =
+            match r.Run_result.breakdown with
+            | None -> "OOM"
+            | Some b -> Printf.sprintf "%.3fs" (Th_sim.Clock.total_ns b /. 1e9)
+          in
+          [ name; cell g1; cell g1_th ])
+        (Plan.get groups)
+    in
+    Report.print_series ~title:"§7.1 extension: G1 alone vs G1 + TeraHeap"
+      ~header:[ "workload"; "G1"; "G1+TeraHeap" ]
+      rows
 
 (* §7.2 future work: dynamic thresholds vs the static low threshold, on
    the Figure-9b large-dataset runs. *)
-let dynamic_thresholds () =
+let dynamic_thresholds b =
   let static_cfg = { H2.default_config with H2.low_threshold = Some 0.5 } in
   let dynamic_cfg =
-    { H2.default_config with H2.low_threshold = Some 0.5; dynamic_thresholds = true }
+    {
+      H2.default_config with
+      H2.low_threshold = Some 0.5;
+      dynamic_thresholds = true;
+    }
   in
   let groups =
-    List.map
-      (fun (p : Giraph_profiles.t) ->
-        let scale = 91.0 /. float_of_int p.Giraph_profiles.dataset_gb in
-        let t cfg () =
-          total_seconds (run_giraph ~scale ~h2_config:cfg G_th p)
-        in
-        (p, [ t static_cfg; t dynamic_cfg ]))
-      [ Giraph_profiles.pagerank; Giraph_profiles.sssp ]
+    Plan.grouped_costed b ~label:"extras/dyn-threshold"
+      (List.map
+         (fun (p : Giraph_profiles.t) ->
+           let scale = 91.0 /. float_of_int p.Giraph_profiles.dataset_gb in
+           let c = giraph_cost ~scale p in
+           let t cfg () =
+             total_seconds (run_giraph ~scale ~h2_config:cfg G_th p)
+           in
+           (p, [ (c, t static_cfg); (c, t dynamic_cfg) ]))
+         [ Giraph_profiles.pagerank; Giraph_profiles.sssp ])
   in
-  let rows =
-    List.map
-      (fun ((p : Giraph_profiles.t), results) ->
-        let st, dy = pair2 ~what:"extras:static-dynamic" results in
-        [
-          p.Giraph_profiles.name;
-          Printf.sprintf "%.3fs" st;
-          Printf.sprintf "%.3fs" dy;
-          Report.pct ((st -. dy) /. st);
-        ])
-      (pmap_grouped groups)
-  in
-  Report.print_series
-    ~title:"§7.2 extension: static vs dynamic low threshold (91GB runs)"
-    ~header:[ "workload"; "static 50%"; "dynamic"; "improvement" ]
-    rows
+  fun () ->
+    let rows =
+      List.map
+        (fun ((p : Giraph_profiles.t), results) ->
+          let st, dy = pair2 ~what:"extras:static-dynamic" results in
+          [
+            p.Giraph_profiles.name;
+            Printf.sprintf "%.3fs" st;
+            Printf.sprintf "%.3fs" dy;
+            Report.pct ((st -. dy) /. st);
+          ])
+        (Plan.get groups)
+    in
+    Report.print_series
+      ~title:"§7.2 extension: static vs dynamic low threshold (91GB runs)"
+      ~header:[ "workload"; "static 50%"; "dynamic"; "improvement" ]
+      rows
 
 (* §7.3 future work: size-segregated H2 placement. Large dead arrays no
    longer pin regions of small live objects, so more regions reclaim and
    less space is wasted (the BFS/SSSP pattern of Figure 10). *)
-let size_segregated_placement () =
+let size_segregated_placement b =
   let cell p placement () =
     let cfg = { H2.default_config with H2.placement } in
     let r = run_giraph ~h2_config:cfg G_th p in
@@ -163,29 +182,32 @@ let size_segregated_placement () =
     | None -> "OOM"
   in
   let groups =
-    List.map
-      (fun (p : Giraph_profiles.t) ->
-        (p, [ cell p H2.Label_only; cell p H2.Size_segregated ]))
-      [ Giraph_profiles.bfs; Giraph_profiles.sssp; Giraph_profiles.pagerank ]
+    Plan.grouped_costed b ~label:"extras/placement"
+      (List.map
+         (fun (p : Giraph_profiles.t) ->
+           let c = giraph_cost p in
+           (p, [ (c, cell p H2.Label_only); (c, cell p H2.Size_segregated) ]))
+         [ Giraph_profiles.bfs; Giraph_profiles.sssp; Giraph_profiles.pagerank ])
   in
-  let rows =
-    List.map
-      (fun ((p : Giraph_profiles.t), results) ->
-        let lo, ss = pair2 ~what:"extras:layout" results in
-        [ p.Giraph_profiles.name; lo; ss ])
-      (pmap_grouped groups)
-  in
-  Report.print_series
-    ~title:
-      "§7.3 extension: label-only vs size-segregated placement        (reclaimed/allocated regions)"
-    ~header:[ "workload"; "label-only"; "size-segregated" ]
-    rows
+  fun () ->
+    let rows =
+      List.map
+        (fun ((p : Giraph_profiles.t), results) ->
+          let lo, ss = pair2 ~what:"extras:layout" results in
+          [ p.Giraph_profiles.name; lo; ss ])
+        (Plan.get groups)
+    in
+    Report.print_series
+      ~title:
+        "§7.3 extension: label-only vs size-segregated placement        (reclaimed/allocated regions)"
+      ~header:[ "workload"; "label-only"; "size-segregated" ]
+      rows
 
 (* Synthetic X -> Y -> Z region chain (the exact example of §3.3): three
    labelled groups where X references Y references Z, and only Z stays
    referenced from H1. Directed dependency lists reclaim X and Y;
    Union-Find region groups keep the whole group alive. *)
-let synthetic_chain_ablation () =
+let synthetic_chain_ablation b =
   let run reclaim_mode =
     let clock = Clock.create () in
     let costs = Setups.default_costs in
@@ -222,22 +244,25 @@ let synthetic_chain_ablation () =
     Runtime.major_gc rt;
     (H2.stats h2).H2.regions_reclaimed
   in
-  Report.print_series
-    ~title:"§3.3 synthetic X->Y->Z chain: regions reclaimed with only Z live"
-    ~header:[ "dependency lists"; "union-find groups" ]
-    [
+  let cells =
+    Plan.cell_list b ~label:"extras/chain"
       [
-        string_of_int (run H2.Dependency_lists);
-        string_of_int (run H2.Region_groups);
-      ];
-    ]
+        (fun () -> run H2.Dependency_lists); (fun () -> run H2.Region_groups);
+      ]
+  in
+  fun () ->
+    let dep, uf = pair2 ~what:"extras:chain" (Plan.get cells) in
+    Report.print_series
+      ~title:"§3.3 synthetic X->Y->Z chain: regions reclaimed with only Z live"
+      ~header:[ "dependency lists"; "union-find groups" ]
+      [ [ string_of_int dep; string_of_int uf ] ]
 
 (* Synthetic mixed-size group (the Figure-10 BFS/SSSP pattern): one label
    holding many small long-lived objects and several large arrays that
    die early. Label-only placement interleaves them, so the dead arrays'
    space stays pinned by the live smalls; size-segregated placement puts
    the arrays in their own regions, which reclaim in bulk. *)
-let synthetic_placement_ablation () =
+let synthetic_placement_ablation b =
   let run placement =
     let clock = Clock.create () in
     let costs = Setups.default_costs in
@@ -281,22 +306,37 @@ let synthetic_placement_ablation () =
     let st = H2.stats h2 in
     (st.H2.regions_reclaimed, st.H2.used_bytes)
   in
-  let lo_r, lo_b = run H2.Label_only in
-  let ss_r, ss_b = run H2.Size_segregated in
-  Report.print_series
-    ~title:
-      "§7.3 synthetic mixed-size group: dead 192KiB arrays inside a live        label"
-    ~header:[ "placement"; "regions reclaimed"; "H2 bytes still used" ]
-    [
-      [ "label-only"; string_of_int lo_r; Th_sim.Size.to_string lo_b ];
-      [ "size-segregated"; string_of_int ss_r; Th_sim.Size.to_string ss_b ];
-    ]
+  let cells =
+    Plan.cell_list b ~label:"extras/mixed-size"
+      [ (fun () -> run H2.Label_only); (fun () -> run H2.Size_segregated) ]
+  in
+  fun () ->
+    let (lo_r, lo_b), (ss_r, ss_b) =
+      pair2 ~what:"extras:mixed-size" (Plan.get cells)
+    in
+    Report.print_series
+      ~title:
+        "§7.3 synthetic mixed-size group: dead 192KiB arrays inside a live        label"
+      ~header:[ "placement"; "regions reclaimed"; "H2 bytes still used" ]
+      [
+        [ "label-only"; string_of_int lo_r; Th_sim.Size.to_string lo_b ];
+        [ "size-segregated"; string_of_int ss_r; Th_sim.Size.to_string ss_b ];
+      ]
 
-let run () =
-  barrier_overhead ();
-  ablation_union_find ();
-  synthetic_chain_ablation ();
-  g1_with_teraheap ();
-  dynamic_thresholds ();
-  size_segregated_placement ();
-  synthetic_placement_ablation ()
+let plan () =
+  let b = Plan.create () in
+  let r1 = barrier_overhead b in
+  let r2 = ablation_union_find b in
+  let r3 = synthetic_chain_ablation b in
+  let r4 = g1_with_teraheap b in
+  let r5 = dynamic_thresholds b in
+  let r6 = size_segregated_placement b in
+  let r7 = synthetic_placement_ablation b in
+  Plan.seal b ~render:(fun () ->
+      r1 ();
+      r2 ();
+      r3 ();
+      r4 ();
+      r5 ();
+      r6 ();
+      r7 ())

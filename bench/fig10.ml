@@ -40,32 +40,40 @@ let print_cdf title samples =
   let row = title :: List.map (fun (_, v) -> Printf.sprintf "%.0f%%" v) pts in
   Report.print_series ~title:("Fig 10: " ^ title) ~header [ row ]
 
-let run () =
+let plan () =
+  let b = Plan.create () in
   let groups =
-    List.map
-      (fun mb_scaled ->
-        ( mb_scaled,
-          List.map
-            (fun (p : Giraph_profiles.t) () ->
-              (p, samples_for p ~region_size:(Size.kib mb_scaled)))
-            Giraph_profiles.all ))
-      [ 256; 4096 ]
+    Plan.grouped_costed b ~label:"fig10"
+      (List.map
+         (fun mb_scaled ->
+           ( mb_scaled,
+             List.map
+               (fun (p : Giraph_profiles.t) ->
+                 ( giraph_cost p,
+                   fun () -> (p, samples_for p ~region_size:(Size.kib mb_scaled))
+                 ))
+               Giraph_profiles.all ))
+         [ 256; 4096 ])
   in
-  List.iter
-    (fun (mb_scaled, per_profile) ->
-      let region_size = Size.kib mb_scaled in
-      Printf.printf "\n-- region size %s (paper: %d MB) --\n"
-        (Size.to_string region_size)
-        (mb_scaled * 64 / 1024);
+  Plan.seal b ~render:(fun () ->
       List.iter
-        (fun ((p : Giraph_profiles.t), samples) ->
-          let live_obj = List.map (fun s -> s.H2.live_object_pct) samples in
-          let live_space = List.map (fun s -> s.H2.live_space_pct) samples in
-          print_cdf
-            (Printf.sprintf "%s live objects/region" p.Giraph_profiles.name)
-            live_obj;
-          print_cdf
-            (Printf.sprintf "%s live space/region" p.Giraph_profiles.name)
-            live_space)
-        per_profile)
-    (pmap_grouped groups)
+        (fun (mb_scaled, per_profile) ->
+          let region_size = Size.kib mb_scaled in
+          Printf.printf "\n-- region size %s (paper: %d MB) --\n"
+            (Size.to_string region_size)
+            (mb_scaled * 64 / 1024);
+          List.iter
+            (fun ((p : Giraph_profiles.t), samples) ->
+              let live_obj = List.map (fun s -> s.H2.live_object_pct) samples in
+              let live_space =
+                List.map (fun s -> s.H2.live_space_pct) samples
+              in
+              print_cdf
+                (Printf.sprintf "%s live objects/region"
+                   p.Giraph_profiles.name)
+                live_obj;
+              print_cdf
+                (Printf.sprintf "%s live space/region" p.Giraph_profiles.name)
+                live_space)
+            per_profile)
+        (Plan.get groups))

@@ -17,32 +17,37 @@ let h2_minor_seconds (r : Run_result.t) =
   | Some s -> s.H2.minor_scan_time_ns /. 1e9
   | None -> nan
 
-let part_a () =
+let part_a b =
   let groups =
-    List.map
-      (fun (p : Giraph_profiles.t) ->
-        ( p,
-          List.map
-            (fun seg () ->
-              let cfg =
-                { H2.default_config with H2.card_segment_size = seg }
-              in
-              h2_minor_seconds (run_giraph ~h2_config:cfg G_th p))
-            segment_sizes ))
-      Giraph_profiles.all
+    Plan.grouped_costed b ~label:"fig11a"
+      (List.map
+         (fun (p : Giraph_profiles.t) ->
+           ( p,
+             List.map
+               (fun seg ->
+                 ( giraph_cost p,
+                   fun () ->
+                     let cfg =
+                       { H2.default_config with H2.card_segment_size = seg }
+                     in
+                     h2_minor_seconds (run_giraph ~h2_config:cfg G_th p) ))
+               segment_sizes ))
+         Giraph_profiles.all)
   in
-  let rows =
-    List.map
-      (fun ((p : Giraph_profiles.t), times) ->
-        let base = List.hd times in
-        p.Giraph_profiles.name
-        :: List.map (fun t -> Printf.sprintf "%.2f" (t /. base)) times)
-      (pmap_grouped groups)
-  in
-  Report.print_series
-    ~title:"Fig 11a: minor GC time vs H2 card segment size (normalized to 512B)"
-    ~header:("workload" :: List.map (fun s -> Size.to_string s) segment_sizes)
-    rows
+  fun () ->
+    let rows =
+      List.map
+        (fun ((p : Giraph_profiles.t), times) ->
+          let base = List.hd times in
+          p.Giraph_profiles.name
+          :: List.map (fun t -> Printf.sprintf "%.2f" (t /. base)) times)
+        (Plan.get groups)
+    in
+    Report.print_series
+      ~title:
+        "Fig 11a: minor GC time vs H2 card segment size (normalized to 512B)"
+      ~header:("workload" :: List.map (fun s -> Size.to_string s) segment_sizes)
+      rows
 
 let phase_row label (r : Run_result.t) =
   match r.Run_result.gc_stats with
@@ -61,25 +66,36 @@ let phase_row label (r : Run_result.t) =
           +. ph.Gc_stats.adjust_ns +. ph.Gc_stats.compact_ns);
       ]
 
-let part_b () =
+let part_b b =
   let groups =
-    List.map
-      (fun (p : Giraph_profiles.t) ->
-        ( p,
-          [ (fun () -> run_giraph Ooc p); (fun () -> run_giraph G_th p) ] ))
-      Giraph_profiles.all
+    Plan.grouped_costed b ~label:"fig11b"
+      (List.map
+         (fun (p : Giraph_profiles.t) ->
+           let c = giraph_cost p in
+           ( p,
+             [
+               (c, fun () -> run_giraph Ooc p);
+               (c, fun () -> run_giraph G_th p);
+             ] ))
+         Giraph_profiles.all)
   in
-  List.iter
-    (fun ((p : Giraph_profiles.t), results) ->
-      let ooc, th = pair2 ~what:"fig11" results in
-      Report.print_series
-        ~title:
-          (Printf.sprintf "Fig 11b / Giraph-%s: major GC phases (s)"
-             p.Giraph_profiles.name)
-        ~header:[ "system"; "marking"; "precompact"; "adjust"; "compact"; "total" ]
-        [ phase_row "Giraph-OOC" ooc; phase_row "TeraHeap" th ])
-    (pmap_grouped groups)
+  fun () ->
+    List.iter
+      (fun ((p : Giraph_profiles.t), results) ->
+        let ooc, th = pair2 ~what:"fig11" results in
+        Report.print_series
+          ~title:
+            (Printf.sprintf "Fig 11b / Giraph-%s: major GC phases (s)"
+               p.Giraph_profiles.name)
+          ~header:
+            [ "system"; "marking"; "precompact"; "adjust"; "compact"; "total" ]
+          [ phase_row "Giraph-OOC" ooc; phase_row "TeraHeap" th ])
+      (Plan.get groups)
 
-let run () =
-  part_a ();
-  part_b ()
+let plan () =
+  let b = Plan.create () in
+  let render_a = part_a b in
+  let render_b = part_b b in
+  Plan.seal b ~render:(fun () ->
+      render_a ();
+      render_b ())

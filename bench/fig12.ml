@@ -8,77 +8,98 @@ module Report = Th_metrics.Report
 module Setups = Th_baselines.Setups
 module Device = Th_device.Device
 
-let part_a () =
+let part_a b =
   let groups =
-    List.map
-      (fun (p : Spark_profiles.t) ->
-        ( p,
-          [ (fun () -> run_spark Sd_nvm p); (fun () -> run_spark Th_nvm p) ]
-        ))
-      Spark_profiles.all
+    Plan.grouped_costed b ~label:"fig12a"
+      (List.map
+         (fun (p : Spark_profiles.t) ->
+           let c = spark_cost p in
+           ( p,
+             [
+               (c, fun () -> run_spark Sd_nvm p);
+               (c, fun () -> run_spark Th_nvm p);
+             ] ))
+         Spark_profiles.all)
   in
-  List.iter
-    (fun ((p : Spark_profiles.t), results) ->
-      Report.print_breakdown_table
-        ~title:
-          (Printf.sprintf "Fig 12a / %s on NVM: Spark-SD vs TeraHeap"
-             p.Spark_profiles.name)
-        (rows_of_results results))
-    (pmap_grouped groups)
+  fun () ->
+    List.iter
+      (fun ((p : Spark_profiles.t), results) ->
+        Report.print_breakdown_table
+          ~title:
+            (Printf.sprintf "Fig 12a / %s on NVM: Spark-SD vs TeraHeap"
+               p.Spark_profiles.name)
+          (rows_of_results results))
+      (Plan.get groups)
 
-let part_b () =
+let part_b b =
   let groups =
-    List.map
-      (fun (p : Spark_profiles.t) ->
-        (p, [ (fun () -> run_spark Mo p); (fun () -> run_spark Th_nvm p) ]))
-      Spark_profiles.all
+    Plan.grouped_costed b ~label:"fig12b"
+      (List.map
+         (fun (p : Spark_profiles.t) ->
+           let c = spark_cost p in
+           ( p,
+             [
+               (c, fun () -> run_spark Mo p);
+               (c, fun () -> run_spark Th_nvm p);
+             ] ))
+         Spark_profiles.all)
   in
-  List.iter
-    (fun ((p : Spark_profiles.t), results) ->
-      Report.print_breakdown_table
-        ~title:
-          (Printf.sprintf "Fig 12b / %s on NVM: Spark-MO vs TeraHeap"
-             p.Spark_profiles.name)
-        (rows_of_results results))
-    (pmap_grouped groups)
+  fun () ->
+    List.iter
+      (fun ((p : Spark_profiles.t), results) ->
+        Report.print_breakdown_table
+          ~title:
+            (Printf.sprintf "Fig 12b / %s on NVM: Spark-MO vs TeraHeap"
+               p.Spark_profiles.name)
+          (rows_of_results results))
+      (Plan.get groups)
 
 (* Panthera's configuration fixes the heap at 64 GB (16 DRAM + 48 NVM);
    inputs are sized so the cached data fits the hybrid heap, and TeraHeap
    gets the same DRAM (16 GB H1) with H2 on NVM. *)
-let part_c () =
+let part_c b =
   let workloads =
     [ "PR"; "CC"; "SSSP"; "SVD"; "LR"; "LgR"; "KM"; "SVM"; "BC" ]
   in
   let groups =
-    List.map
-      (fun name ->
-        let p = Spark_profiles.by_name name in
-        let dataset_scale =
-          min 1.0 (32.0 /. float_of_int p.Spark_profiles.dataset_gb)
-        in
-        ( name,
-          [
-            (fun () -> run_spark ~dataset_scale Panthera p);
-            (fun () ->
-              let costs = costs () in
-              let setup =
-                Setups.spark_teraheap ~device_kind:Device.Nvm_app_direct
-                  ~costs ~huge_pages:p.Spark_profiles.sequential ~h1_gb:16
-                  ~dr2_gb:16 ()
-              in
-              Spark_driver.run ~dataset_scale
-                ~label:"TeraHeap (16GB H1 + NVM H2)" setup.Setups.ctx p);
-          ] ))
-      workloads
+    Plan.grouped_costed b ~label:"fig12c"
+      (List.map
+         (fun name ->
+           let p = Spark_profiles.by_name name in
+           let dataset_scale =
+             min 1.0 (32.0 /. float_of_int p.Spark_profiles.dataset_gb)
+           in
+           let c = spark_cost ~dataset_scale p in
+           ( name,
+             [
+               (c, fun () -> run_spark ~dataset_scale Panthera p);
+               ( c,
+                 fun () ->
+                   let costs = costs () in
+                   let setup =
+                     Setups.spark_teraheap ~device_kind:Device.Nvm_app_direct
+                       ~costs ~huge_pages:p.Spark_profiles.sequential ~h1_gb:16
+                       ~dr2_gb:16 ()
+                   in
+                   Spark_driver.run ~dataset_scale
+                     ~label:"TeraHeap (16GB H1 + NVM H2)" setup.Setups.ctx p );
+             ] ))
+         workloads)
   in
-  List.iter
-    (fun (name, results) ->
-      Report.print_breakdown_table
-        ~title:(Printf.sprintf "Fig 12c / %s: Panthera vs TeraHeap" name)
-        (rows_of_results results))
-    (pmap_grouped groups)
+  fun () ->
+    List.iter
+      (fun (name, results) ->
+        Report.print_breakdown_table
+          ~title:(Printf.sprintf "Fig 12c / %s: Panthera vs TeraHeap" name)
+          (rows_of_results results))
+      (Plan.get groups)
 
-let run () =
-  part_a ();
-  part_b ();
-  part_c ()
+let plan () =
+  let b = Plan.create () in
+  let render_a = part_a b in
+  let render_b = part_b b in
+  let render_c = part_c b in
+  Plan.seal b ~render:(fun () ->
+      render_a ();
+      render_b ();
+      render_c ())

@@ -13,41 +13,43 @@ let norm times =
       List.map (fun t -> if Float.is_nan t then "OOM" else Printf.sprintf "%.2f" (t /. t8)) times
   | _ -> List.map (fun _ -> "?") times
 
-let part_a () =
+let part_a b =
   let cc = Spark_profiles.connected_components in
   let lr = Spark_profiles.linear_regression in
   let cdlp = Giraph_profiles.cdlp in
   let spark_cells system p =
     List.map
-      (fun threads () -> total_seconds (run_spark ~threads system p))
+      (fun threads ->
+        (spark_cost p, fun () -> total_seconds (run_spark ~threads system p)))
       threads_list
   in
   let giraph_cells system p =
     List.map
-      (fun threads () -> total_seconds (run_giraph ~threads system p))
+      (fun threads ->
+        (giraph_cost p, fun () -> total_seconds (run_giraph ~threads system p)))
       threads_list
   in
   let groups =
-    [
-      ("Spark-SD CC", spark_cells Sd cc);
-      ("TeraHeap CC", spark_cells Th cc);
-      ("Spark-SD LR", spark_cells Sd lr);
-      ("TeraHeap LR", spark_cells Th lr);
-      ("Giraph-OOC CDLP", giraph_cells Ooc cdlp);
-      ("TeraHeap CDLP", giraph_cells G_th cdlp);
-    ]
+    Plan.grouped_costed b ~label:"fig13a"
+      [
+        ("Spark-SD CC", spark_cells Sd cc);
+        ("TeraHeap CC", spark_cells Th cc);
+        ("Spark-SD LR", spark_cells Sd lr);
+        ("TeraHeap LR", spark_cells Th lr);
+        ("Giraph-OOC CDLP", giraph_cells Ooc cdlp);
+        ("TeraHeap CDLP", giraph_cells G_th cdlp);
+      ]
   in
-  Report.print_series
-    ~title:"Fig 13a: scaling with mutator threads (normalized to 8 threads)"
-    ~header:("configuration" :: List.map string_of_int threads_list)
-    (List.map
-       (fun (label, times) -> label :: norm times)
-       (pmap_grouped groups))
+  fun () ->
+    Report.print_series
+      ~title:"Fig 13a: scaling with mutator threads (normalized to 8 threads)"
+      ~header:("configuration" :: List.map string_of_int threads_list)
+      (List.map (fun (label, times) -> label :: norm times) (Plan.get groups))
 
 (* Larger datasets: CC 84 -> ~2.3x, LR 70 -> ~3.7x, CDLP 85 -> ~1.07x
    (the paper's 32->73, 64->256, 25->91 GB pairs). TeraHeap H1 grows with
    the dataset as in the paper's large-dataset configurations. *)
-let part_b () =
+let part_b b =
   let improvement native th =
     if Float.is_nan native then "native OOM"
     else Report.pct ((native -. th) /. native)
@@ -58,41 +60,50 @@ let part_b () =
   (* Each case is a native/TeraHeap pair of cells at one dataset scale. *)
   let spark_cells p scale dram_mult =
     let dram = int_of_float (float_of_int (default_dram p) *. dram_mult) in
+    let c = spark_cost ~dram ~dataset_scale:scale p in
     [
-      (fun () -> total_seconds (run_spark ~dram ~dataset_scale:scale Sd p));
-      (fun () -> total_seconds (run_spark ~dram ~dataset_scale:scale Th p));
+      ( c,
+        fun () -> total_seconds (run_spark ~dram ~dataset_scale:scale Sd p) );
+      ( c,
+        fun () -> total_seconds (run_spark ~dram ~dataset_scale:scale Th p) );
     ]
   in
   let giraph_cells p scale h1_mult =
     let h1_gb =
       int_of_float (float_of_int p.Giraph_profiles.th_h1_gb *. h1_mult)
     in
+    let c = giraph_cost ~scale p in
     [
-      (fun () -> total_seconds (run_giraph ~scale Ooc p));
-      (fun () -> total_seconds (run_giraph ~scale ~h1_gb G_th p));
+      (c, fun () -> total_seconds (run_giraph ~scale Ooc p));
+      (c, fun () -> total_seconds (run_giraph ~scale ~h1_gb G_th p));
     ]
   in
   let groups =
-    [
-      ("Spark-CC", spark_cells cc 1.0 1.0 @ spark_cells cc 2.3 2.3);
-      ("Spark-LR", spark_cells lr 1.0 1.0 @ spark_cells lr 2.5 2.5);
-      ("Giraph-CDLP", giraph_cells cdlp 1.0 1.0 @ giraph_cells cdlp 2.5 2.5);
-    ]
+    Plan.grouped_costed b ~label:"fig13b"
+      [
+        ("Spark-CC", spark_cells cc 1.0 1.0 @ spark_cells cc 2.3 2.3);
+        ("Spark-LR", spark_cells lr 1.0 1.0 @ spark_cells lr 2.5 2.5);
+        ("Giraph-CDLP", giraph_cells cdlp 1.0 1.0 @ giraph_cells cdlp 2.5 2.5);
+      ]
   in
-  let rows =
-    List.map
-      (fun (label, times) ->
-        match times with
-        | [ n1; t1; n2; t2 ] ->
-            [ label; improvement n1 t1; improvement n2 t2 ]
-        | _ -> [ label; "?"; "?" ])
-      (pmap_grouped groups)
-  in
-  Report.print_series
-    ~title:"Fig 13b: TeraHeap improvement vs native at 1x and ~2.5x dataset"
-    ~header:[ "workload"; "baseline size"; "large size" ]
-    rows
+  fun () ->
+    let rows =
+      List.map
+        (fun (label, times) ->
+          match times with
+          | [ n1; t1; n2; t2 ] -> [ label; improvement n1 t1; improvement n2 t2 ]
+          | _ -> [ label; "?"; "?" ])
+        (Plan.get groups)
+    in
+    Report.print_series
+      ~title:"Fig 13b: TeraHeap improvement vs native at 1x and ~2.5x dataset"
+      ~header:[ "workload"; "baseline size"; "large size" ]
+      rows
 
-let run () =
-  part_a ();
-  part_b ()
+let plan () =
+  let b = Plan.create () in
+  let render_a = part_a b in
+  let render_b = part_b b in
+  Plan.seal b ~render:(fun () ->
+      render_a ();
+      render_b ())

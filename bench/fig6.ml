@@ -2,58 +2,62 @@
    (5 workloads) under the Figure-6 DRAM sweep, on the NVMe server.
    Normalized execution-time breakdowns; missing bars are OOM.
 
-   Every (workload, system, DRAM) cell is an independent job: the whole
-   sweep is submitted to the Domain pool in one batch and the tables are
-   rendered serially from the ordered results. *)
+   Every (workload, system, DRAM) cell is an independent job carrying a
+   DRAM x iterations cost hint; the whole sweep joins the harness's
+   global batch and the tables render serially from the ordered
+   results. *)
 
 open Runners
 module Report = Th_metrics.Report
 
-let spark () =
-  let groups =
-    List.map
-      (fun (p : Spark_profiles.t) ->
-        let cells =
-          List.map
-            (fun dram () -> run_spark ~dram Sd p)
-            p.Spark_profiles.sd_dram_gb
-          @ List.map
-              (fun dram () -> run_spark ~dram Th p)
-              p.Spark_profiles.th_dram_gb
-        in
-        (p, cells))
-      Spark_profiles.all
+let plan () =
+  let b = Plan.create () in
+  let spark =
+    Plan.grouped_costed b ~label:"fig6/spark"
+      (List.map
+         (fun (p : Spark_profiles.t) ->
+           let cells =
+             List.map
+               (fun dram ->
+                 (spark_cost ~dram p, fun () -> run_spark ~dram Sd p))
+               p.Spark_profiles.sd_dram_gb
+             @ List.map
+                 (fun dram ->
+                   (spark_cost ~dram p, fun () -> run_spark ~dram Th p))
+                 p.Spark_profiles.th_dram_gb
+           in
+           (p, cells))
+         Spark_profiles.all)
   in
-  List.iter
-    (fun ((p : Spark_profiles.t), results) ->
-      Report.print_breakdown_table
-        ~title:
-          (Printf.sprintf "Fig 6 / Spark-%s (normalized)" p.Spark_profiles.name)
-        (rows_of_results results))
-    (pmap_grouped groups)
-
-let giraph () =
-  let groups =
-    List.map
-      (fun (p : Giraph_profiles.t) ->
-        ( p,
-          [
-            (fun () -> run_giraph ~small_dram:true Ooc p);
-            (fun () -> run_giraph Ooc p);
-            (fun () -> run_giraph ~small_dram:true G_th p);
-            (fun () -> run_giraph G_th p);
-          ] ))
-      Giraph_profiles.all
+  let giraph =
+    Plan.grouped_costed b ~label:"fig6/giraph"
+      (List.map
+         (fun (p : Giraph_profiles.t) ->
+           ( p,
+             [
+               ( giraph_cost ~small_dram:true p,
+                 fun () -> run_giraph ~small_dram:true Ooc p );
+               (giraph_cost p, fun () -> run_giraph Ooc p);
+               ( giraph_cost ~small_dram:true p,
+                 fun () -> run_giraph ~small_dram:true G_th p );
+               (giraph_cost p, fun () -> run_giraph G_th p);
+             ] ))
+         Giraph_profiles.all)
   in
-  List.iter
-    (fun ((p : Giraph_profiles.t), results) ->
-      Report.print_breakdown_table
-        ~title:
-          (Printf.sprintf "Fig 6 / Giraph-%s (normalized)"
-             p.Giraph_profiles.name)
-        (rows_of_results results))
-    (pmap_grouped groups)
-
-let run () =
-  spark ();
-  giraph ()
+  Plan.seal b ~render:(fun () ->
+      List.iter
+        (fun ((p : Spark_profiles.t), results) ->
+          Report.print_breakdown_table
+            ~title:
+              (Printf.sprintf "Fig 6 / Spark-%s (normalized)"
+                 p.Spark_profiles.name)
+            (rows_of_results results))
+        (Plan.get spark);
+      List.iter
+        (fun ((p : Giraph_profiles.t), results) ->
+          Report.print_breakdown_table
+            ~title:
+              (Printf.sprintf "Fig 6 / Giraph-%s (normalized)"
+                 p.Giraph_profiles.name)
+            (rows_of_results results))
+        (Plan.get giraph))

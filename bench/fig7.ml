@@ -33,16 +33,18 @@ let summarize label (r : Run_result.t) =
         print_newline ()
       end
 
-let run () =
-  Printf.printf "\n== Fig 7: GC timeline, Spark-PR, 64GB heap ==\n";
+let plan () =
+  let b = Plan.create () in
   let p = Spark_profiles.pagerank in
-  let sd, th =
-    pair2 ~what:"fig7"
-      (pmap
-         [
-           (fun () -> run_spark ~dram:80 Sd p);
-           (fun () -> run_spark ~dram:80 Th p);
-         ])
+  let sd =
+    Plan.cell b ~label:"fig7/sd" ~cost:(spark_cost ~dram:80 p) (fun () ->
+        run_spark ~dram:80 Sd p)
   in
-  summarize "Spark-SD" sd;
-  summarize "TeraHeap" th
+  let th =
+    Plan.cell b ~label:"fig7/th" ~cost:(spark_cost ~dram:80 p) (fun () ->
+        run_spark ~dram:80 Th p)
+  in
+  Plan.seal b ~render:(fun () ->
+      Printf.printf "\n== Fig 7: GC timeline, Spark-PR, 64GB heap ==\n";
+      summarize "Spark-SD" (Plan.get sd);
+      summarize "TeraHeap" (Plan.get th))

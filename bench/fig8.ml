@@ -6,24 +6,28 @@
 open Runners
 module Report = Th_metrics.Report
 
-let run () =
+let plan () =
+  let b = Plan.create () in
   let groups =
-    List.map
-      (fun (p : Spark_profiles.t) ->
-        ( p,
-          [
-            (fun () -> run_spark Sd p);
-            (fun () -> run_spark Ps11 p);
-            (fun () -> run_spark G1 p);
-            (fun () -> run_spark Th p);
-          ] ))
-      Spark_profiles.all
+    Plan.grouped_costed b ~label:"fig8"
+      (List.map
+         (fun (p : Spark_profiles.t) ->
+           let c = spark_cost p in
+           ( p,
+             [
+               (c, fun () -> run_spark Sd p);
+               (c, fun () -> run_spark Ps11 p);
+               (c, fun () -> run_spark G1 p);
+               (c, fun () -> run_spark Th p);
+             ] ))
+         Spark_profiles.all)
   in
-  List.iter
-    (fun ((p : Spark_profiles.t), results) ->
-      Report.print_breakdown_table
-        ~title:
-          (Printf.sprintf "Fig 8 / %s: PS8 vs PS11 vs G1 vs TeraHeap"
-             p.Spark_profiles.name)
-        (rows_of_results results))
-    (pmap_grouped groups)
+  Plan.seal b ~render:(fun () ->
+      List.iter
+        (fun ((p : Spark_profiles.t), results) ->
+          Report.print_breakdown_table
+            ~title:
+              (Printf.sprintf "Fig 8 / %s: PS8 vs PS11 vs G1 vs TeraHeap"
+                 p.Spark_profiles.name)
+            (rows_of_results results))
+        (Plan.get groups))

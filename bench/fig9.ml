@@ -17,65 +17,78 @@ let high_only = with_hint
 
 let high_and_low = H2.{ default_config with low_threshold = Some 0.5 }
 
-let part_a () =
+let part_a b =
   let groups =
-    List.map
-      (fun (p : Giraph_profiles.t) ->
-        ( p,
-          [
-            (fun () -> run_giraph ~h2_config:no_hint G_th p);
-            (fun () -> run_giraph ~h2_config:with_hint G_th p);
-          ] ))
-      Giraph_profiles.all
+    Plan.grouped_costed b ~label:"fig9a"
+      (List.map
+         (fun (p : Giraph_profiles.t) ->
+           let c = giraph_cost p in
+           ( p,
+             [
+               (c, fun () -> run_giraph ~h2_config:no_hint G_th p);
+               (c, fun () -> run_giraph ~h2_config:with_hint G_th p);
+             ] ))
+         Giraph_profiles.all)
   in
-  List.iter
-    (fun ((p : Giraph_profiles.t), results) ->
-      let nh, h = pair2 ~what:"fig9a" results in
-      Report.print_breakdown_table
-        ~title:
-          (Printf.sprintf "Fig 9a / Giraph-%s: no-hint (NH) vs hint (H)"
-             p.Giraph_profiles.name)
-        (rows_of_results
-           [
-             { nh with Run_result.label = "NH (threshold only)" };
-             { h with Run_result.label = "H (h2_move hint)" };
-           ]);
-      Printf.printf "   majors NH=%d H=%d   minors NH=%d H=%d\n"
-        nh.Run_result.major_gcs h.Run_result.major_gcs
-        nh.Run_result.minor_gcs h.Run_result.minor_gcs)
-    (pmap_grouped groups)
+  fun () ->
+    List.iter
+      (fun ((p : Giraph_profiles.t), results) ->
+        let nh, h = pair2 ~what:"fig9a" results in
+        Report.print_breakdown_table
+          ~title:
+            (Printf.sprintf "Fig 9a / Giraph-%s: no-hint (NH) vs hint (H)"
+               p.Giraph_profiles.name)
+          (rows_of_results
+             [
+               { nh with Run_result.label = "NH (threshold only)" };
+               { h with Run_result.label = "H (h2_move hint)" };
+             ]);
+        Printf.printf "   majors NH=%d H=%d   minors NH=%d H=%d\n"
+          nh.Run_result.major_gcs h.Run_result.major_gcs
+          nh.Run_result.minor_gcs h.Run_result.minor_gcs)
+      (Plan.get groups)
 
 (* Figure 9b uses a larger dataset (91 GB) that trips the high-threshold
    mechanism even with hints enabled. *)
-let part_b () =
+let part_b b =
   let groups =
-    List.map
-      (fun (p : Giraph_profiles.t) ->
-        let scale = 91.0 /. float_of_int p.Giraph_profiles.dataset_gb in
-        let h1_gb = 5 * p.Giraph_profiles.th_h1_gb / 4 in
-        ( p,
-          [
-            (fun () -> run_giraph ~scale ~h1_gb ~h2_config:high_only G_th p);
-            (fun () ->
-              run_giraph ~scale ~h1_gb ~h2_config:high_and_low G_th p);
-          ] ))
-      [ Giraph_profiles.pagerank; Giraph_profiles.sssp ]
+    Plan.grouped_costed b ~label:"fig9b"
+      (List.map
+         (fun (p : Giraph_profiles.t) ->
+           let scale = 91.0 /. float_of_int p.Giraph_profiles.dataset_gb in
+           let h1_gb = 5 * p.Giraph_profiles.th_h1_gb / 4 in
+           let c = giraph_cost ~scale p in
+           ( p,
+             [
+               ( c,
+                 fun () -> run_giraph ~scale ~h1_gb ~h2_config:high_only G_th p
+               );
+               ( c,
+                 fun () ->
+                   run_giraph ~scale ~h1_gb ~h2_config:high_and_low G_th p );
+             ] ))
+         [ Giraph_profiles.pagerank; Giraph_profiles.sssp ])
   in
-  List.iter
-    (fun ((p : Giraph_profiles.t), results) ->
-      let nl, l = pair2 ~what:"fig9b" results in
-      Report.print_breakdown_table
-        ~title:
-          (Printf.sprintf
-             "Fig 9b / Giraph-%s (91GB): no-low (NL) vs low threshold (L)"
-             p.Giraph_profiles.name)
-        (rows_of_results
-           [
-             { nl with Run_result.label = "NL (high only)" };
-             { l with Run_result.label = "L (high+low 50%)" };
-           ]))
-    (pmap_grouped groups)
+  fun () ->
+    List.iter
+      (fun ((p : Giraph_profiles.t), results) ->
+        let nl, l = pair2 ~what:"fig9b" results in
+        Report.print_breakdown_table
+          ~title:
+            (Printf.sprintf
+               "Fig 9b / Giraph-%s (91GB): no-low (NL) vs low threshold (L)"
+               p.Giraph_profiles.name)
+          (rows_of_results
+             [
+               { nl with Run_result.label = "NL (high only)" };
+               { l with Run_result.label = "L (high+low 50%)" };
+             ]))
+      (Plan.get groups)
 
-let run () =
-  part_a ();
-  part_b ()
+let plan () =
+  let b = Plan.create () in
+  let render_a = part_a b in
+  let render_b = part_b b in
+  Plan.seal b ~render:(fun () ->
+      render_a ();
+      render_b ())

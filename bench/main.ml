@@ -3,36 +3,40 @@
    or select sections: `dune exec bench/main.exe -- fig6 fig7 ...`.
    `micro` runs the bechamel micro-benchmarks of the core structures.
 
-   Experiment cells run on a domain pool; `--jobs N` (or `-j N`) selects
-   the pool width, defaulting to the machine's recommended domain count.
-   All rendering stays serial and in submission order, so stdout is
+   Every section declares a plan: independent experiment cells plus a
+   pure render that consumes results in submission order. The harness
+   concatenates the cells of all requested sections into ONE global
+   batch for the work-stealing scheduler (`--jobs N` / `-j N` selects
+   the domain count, defaulting to the machine's recommended count),
+   then runs the renders serially in request order — so stdout is
    byte-identical for every jobs value. Timing goes to stderr, and a
-   machine-readable summary is written to BENCH_harness.json (override
-   the path with the TH_BENCH_JSON environment variable). *)
+   machine-readable summary is merge-updated into BENCH_harness.json
+   (override the path with the TH_BENCH_JSON environment variable). *)
 
 (* Harness self-timing only: Sys.time here measures the harness's own
    CPU cost for BENCH_harness.json and stderr. It never feeds a
    simulated result, which all come from Th_sim.Clock. *)
 [@@@th.allow "wall-clock"]
 
-module Pool = Th_exec.Pool
+module Scheduler = Th_exec.Scheduler
+module Plan = Th_exec.Plan
 module Wall = Th_exec.Wall
 module Bench_log = Th_metrics.Bench_log
 
-let sections : (string * string * (unit -> unit)) list =
+let sections : (string * string * (unit -> Plan.section)) list =
   [
-    ("table5", "H2 metadata size per TB vs region size", Table5.run);
-    ("fig6", "TeraHeap vs Spark-SD / Giraph-OOC, DRAM sweep", Fig6.run);
-    ("fig7", "GC timeline and old-gen occupancy, Spark-PR", Fig7.run);
-    ("fig8", "PS-JDK11 and G1-JDK17 collectors vs TeraHeap", Fig8.run);
-    ("fig9", "transfer hint and low-threshold policies", Fig9.run);
-    ("fig10", "CDF of live objects/space per H2 region", Fig10.run);
-    ("fig11", "H2 card segment sizes; major GC phases", Fig11.run);
-    ("fig12", "NVM server: Spark-SD, Spark-MO, Panthera", Fig12.run);
-    ("fig13", "scaling with threads and dataset size", Fig13.run);
-    ("extras", "write-barrier overhead; union-find ablation", Extras.run);
-    ("soak", "chaos soak: streaming under phased faults, breaker A/B", Soak.run);
-    ("micro", "bechamel micro-benchmarks", Micro.run);
+    ("table5", "H2 metadata size per TB vs region size", Table5.plan);
+    ("fig6", "TeraHeap vs Spark-SD / Giraph-OOC, DRAM sweep", Fig6.plan);
+    ("fig7", "GC timeline and old-gen occupancy, Spark-PR", Fig7.plan);
+    ("fig8", "PS-JDK11 and G1-JDK17 collectors vs TeraHeap", Fig8.plan);
+    ("fig9", "transfer hint and low-threshold policies", Fig9.plan);
+    ("fig10", "CDF of live objects/space per H2 region", Fig10.plan);
+    ("fig11", "H2 card segment sizes; major GC phases", Fig11.plan);
+    ("fig12", "NVM server: Spark-SD, Spark-MO, Panthera", Fig12.plan);
+    ("fig13", "scaling with threads and dataset size", Fig13.plan);
+    ("extras", "write-barrier overhead; union-find ablation", Extras.plan);
+    ("soak", "chaos soak: streaming under phased faults, breaker A/B", Soak.plan);
+    ("micro", "bechamel micro-benchmarks", Micro.plan);
   ]
 
 let usage () =
@@ -45,7 +49,7 @@ let usage () =
    `--seed=N`, `--trace FILE`, `--trace-format chrome|text`; every other
    argument is a section name. *)
 let parse_args argv =
-  let jobs = ref (Pool.default_jobs ()) in
+  let jobs = ref (Scheduler.default_jobs ()) in
   let seed = ref None in
   let trace = ref None in
   let trace_format = ref `Chrome in
@@ -118,6 +122,13 @@ let parse_args argv =
   go (List.tl (Array.to_list argv));
   (max 1 !jobs, !seed, !trace, !trace_format, List.rev !names)
 
+let sum_slice (arr : float array) ~offset ~count =
+  let s = ref 0.0 in
+  for i = offset to offset + count - 1 do
+    s := !s +. arr.(i)
+  done;
+  !s
+
 let () =
   let jobs, seed, trace, trace_format, requested = parse_args Sys.argv in
   let requested =
@@ -125,44 +136,68 @@ let () =
     | [] -> List.map (fun (name, _, _) -> name) sections
     | names -> names
   in
+  let selected =
+    List.filter_map
+      (fun name ->
+        match List.find_opt (fun (n, _, _) -> n = name) sections with
+        | Some s -> Some s
+        | None ->
+            Printf.eprintf "unknown section %s; available: %s\n" name
+              (String.concat ", " (List.map (fun (n, _, _) -> n) sections));
+            None)
+      requested
+  in
   (match seed with
   | Some s -> Runners.giraph_seed := Some (Int64.of_int s)
   | None -> ());
-  let pool = Pool.create ~jobs () in
-  Runners.set_pool pool;
-  let timed = ref [] in
+  let sched = Scheduler.create ~jobs () in
+  Runners.set_pool sched;
   let wall0 = Wall.now_s () in
   let cpu0 = Sys.time () in
-  Fun.protect
-    ~finally:(fun () -> Pool.shutdown pool)
-    (fun () ->
-      List.iter
-        (fun name ->
-          match List.find_opt (fun (n, _, _) -> n = name) sections with
-          | Some (n, descr, f) ->
-              Printf.printf "\n##### %s — %s #####\n%!" n descr;
-              let w0 = Wall.now_s () in
-              let c0 = Sys.time () in
-              f ();
-              timed :=
-                {
-                  Bench_log.name = n;
-                  wall_s = Wall.elapsed_s ~since:w0;
-                  cpu_s = Sys.time () -. c0;
-                }
-                :: !timed
-          | None ->
-              Printf.eprintf "unknown section %s; available: %s\n" name
-                (String.concat ", " (List.map (fun (n, _, _) -> n) sections)))
-        requested);
   let log =
-    {
-      Bench_log.jobs;
-      sections = List.rev !timed;
-      total_wall_s = Wall.elapsed_s ~since:wall0;
-      total_cpu_s = Sys.time () -. cpu0;
-    }
+    Fun.protect
+      ~finally:(fun () -> Scheduler.shutdown sched)
+      (fun () ->
+        (* Build every requested plan first, then submit the cells of
+           all sections as one global batch: the scheduler sees the
+           whole cell population at once instead of 2–4 cells per
+           pmap call. *)
+        let plans = List.map (fun (n, d, mk) -> (n, d, mk ())) selected in
+        let batch = List.concat_map (fun (_, _, s) -> Plan.cells s) plans in
+        ignore (Scheduler.run_cells sched batch);
+        let stats = Scheduler.last_batch sched in
+        (* Renders run serially in request order; each reads only its
+           own section's futures. *)
+        let offset = ref 0 in
+        let timed =
+          List.map
+            (fun (n, d, s) ->
+              let count = List.length (Plan.cells s) in
+              let cell_wall_s =
+                sum_slice stats.Scheduler.cell_wall_s ~offset:!offset ~count
+              in
+              offset := !offset + count;
+              Printf.printf "\n##### %s — %s #####\n%!" n d;
+              let r0 = Wall.now_s () in
+              Plan.render s;
+              {
+                Bench_log.name = n;
+                jobs;
+                cells = count;
+                cell_wall_s;
+                render_wall_s = Wall.elapsed_s ~since:r0;
+              })
+            plans
+        in
+        ( {
+            Bench_log.jobs;
+            sections = timed;
+            total_wall_s = Wall.elapsed_s ~since:wall0;
+            total_cpu_s = Sys.time () -. cpu0;
+          },
+          stats ))
   in
+  let log, stats = log in
   let json_path =
     match Sys.getenv_opt "TH_BENCH_JSON" with
     | Some p -> p
@@ -172,12 +207,15 @@ let () =
   (match trace with
   | Some path -> Trace_capture.run ~path ~format:trace_format
   | None -> ());
-  (* Timing is jobs-dependent, so it goes to stderr: stdout stays
-     byte-identical across --jobs values. *)
+  (* Timing is jobs- and scheduling-dependent, so it goes to stderr:
+     stdout stays byte-identical across --jobs values. *)
   Printf.eprintf
     "\n\
-     (benchmarks completed in %.1f s wall / %.1f s cpu, jobs=%d, est. \
-     speedup %.2fx; %s)\n"
+     (benchmarks completed in %.1f s wall / %.1f s cpu, jobs=%d, measured \
+     speedup %.2fx vs serial (est %.2fx); %d cells in %d chunks, %d steals; \
+     %s)\n"
     log.Bench_log.total_wall_s log.Bench_log.total_cpu_s jobs
+    (Bench_log.speedup_vs_serial_measured log)
     (Bench_log.speedup_vs_serial_est log)
+    stats.Scheduler.cells stats.Scheduler.chunks stats.Scheduler.steals
     json_path

@@ -122,28 +122,37 @@ let benchmarks =
   [ test_card_mark; test_card_scan; test_region_cycle; test_closure; test_h1_cards ]
   @ rset_benchmarks
 
-let run () =
+(* One cell per bechamel test: each cell runs its benchmark and returns
+   name-sorted [(name, estimate option)] rows; the render only prints. *)
+let measure test =
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
-  List.iter
-    (fun test ->
-      let results =
-        Benchmark.all cfg instances test
-        |> fun raw ->
-        Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false
-                       ~predictors:[| Measure.run |]) Instance.monotonic_clock raw
-      in
-      let rows =
-        (* th-lint: allow hashtbl-order — collected into a list and
-           sorted by name below before printing. *)
-        Hashtbl.fold (fun name result acc -> (name, result) :: acc) results []
-        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
-      in
+  let results =
+    Benchmark.all cfg instances test
+    |> fun raw ->
+    Analyze.all
+      (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+      Instance.monotonic_clock raw
+  in
+  (* th-lint: allow hashtbl-order — collected into a list and sorted by
+     name below before printing. *)
+  Hashtbl.fold (fun name result acc -> (name, result) :: acc) results []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.map (fun (name, result) ->
+         match Analyze.OLS.estimates result with
+         | Some [ est ] -> (name, Some est)
+         | _ -> (name, None))
+
+let plan () =
+  let b = Th_exec.Plan.create () in
+  let rows =
+    Th_exec.Plan.cell_list b ~label:"micro"
+      (List.map (fun test () -> measure test) benchmarks)
+  in
+  Th_exec.Plan.seal b ~render:(fun () ->
       List.iter
-        (fun (name, result) ->
-          match Analyze.OLS.estimates result with
-          | Some [ est ] -> Printf.printf "%-40s %12.1f ns/op\n" name est
-          | _ -> Printf.printf "%-40s (no estimate)\n" name)
-        rows)
-    benchmarks;
-  ()
+        (List.iter (fun (name, est) ->
+             match est with
+             | Some est -> Printf.printf "%-40s %12.1f ns/op\n" name est
+             | None -> Printf.printf "%-40s (no estimate)\n" name))
+        (Th_exec.Plan.get rows))

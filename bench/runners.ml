@@ -15,17 +15,20 @@ module H2 = Th_core.H2
 module Device = Th_device.Device
 
 module Pool = Th_exec.Pool
+module Scheduler = Th_exec.Scheduler
+module Plan = Th_exec.Plan
 
-(* The harness's Domain pool, installed once by [Main] (or left unset by
-   other entry points, in which case everything runs serially in-place).
-   Every experiment cell builds its own clock/heap/device stack inside
-   its thunk, so cells are independent jobs; results come back in
-   submission order, keeping all printing serial and deterministic. *)
-let pool : Pool.t option ref = ref None
+(* The harness's work-stealing scheduler, installed once by [Main] (or
+   left unset by other entry points, in which case everything runs
+   serially in-place). Every experiment cell builds its own
+   clock/heap/device stack inside its thunk, so cells are independent
+   jobs; results come back in submission order, keeping all printing
+   serial and deterministic. *)
+let pool : Scheduler.t option ref = ref None
 
 let set_pool p = pool := Some p
 
-let jobs () = match !pool with Some p -> Pool.jobs p | None -> 1
+let jobs () = match !pool with Some p -> Scheduler.jobs p | None -> 1
 
 (* Deterministic base seed for the randomized (Giraph) drivers; settable
    via --seed. [None] keeps each driver's built-in default. *)
@@ -33,21 +36,24 @@ let giraph_seed : int64 option ref = ref None
 
 let pmap (thunks : (unit -> 'a) list) : 'a list =
   match !pool with
-  | Some p -> Pool.run p thunks
+  | Some p -> Scheduler.run_thunks p thunks
   | None -> List.map (fun f -> f ()) thunks
 
 (* Run every cell of every group through the pool as ONE batch (maximum
    parallelism across groups), then hand the results back regrouped per
-   key, in order. *)
+   key, in order. The regroup is a single indexed pass — the old
+   repeated filteri split was quadratic in the total cell count, which
+   matters now that cross-section batches reach ~100 cells. *)
 let pmap_grouped (groups : ('k * (unit -> 'a) list) list) : ('k * 'a list) list
     =
-  let results = ref (pmap (List.concat_map snd groups)) in
+  let results = Array.of_list (pmap (List.concat_map snd groups)) in
+  let next = ref 0 in
   List.map
     (fun (key, cells) ->
       let n = List.length cells in
-      let taken = List.filteri (fun i _ -> i < n) !results in
-      results := List.filteri (fun i _ -> i >= n) !results;
-      (key, taken))
+      let base = !next in
+      next := base + n;
+      (key, List.init n (fun i -> results.(base + i))))
     groups
 
 (* Destructure the exactly-two-results shape every A/B experiment uses.
@@ -161,6 +167,22 @@ let run_giraph ?(threads = 8) ?(small_dram = false) ?scale ?h2_config ?seed
         Printf.sprintf "TeraHeap @%dGB" (p.Giraph_profiles.dram_gb - delta)
       in
       Giraph_driver.run ~label s.Setups.rt ~mode:s.Setups.mode ?scale ?seed p
+
+(* Cost hints for longest-expected-first scheduling: arbitrary units
+   proportional to a cell's expected runtime — heap size times workload
+   iterations, per the profile. A wrong hint only costs balance, never
+   correctness, so these stay deliberately crude. *)
+let spark_cost ?dram ?(dataset_scale = 1.0) (p : Spark_profiles.t) =
+  let dram = match dram with Some d -> d | None -> default_dram p in
+  dataset_scale
+  *. float_of_int (max 1 dram * max 1 p.Spark_profiles.iterations)
+
+let giraph_cost ?(scale = 1.0) ?(small_dram = false) (p : Giraph_profiles.t) =
+  let dram =
+    if small_dram then p.Giraph_profiles.dram_small_gb
+    else p.Giraph_profiles.dram_gb
+  in
+  scale *. float_of_int (max 1 dram * max 1 p.Giraph_profiles.dataset_gb)
 
 let rows_of_results results = List.map Run_result.to_report_row results
 

@@ -17,6 +17,7 @@ module Verify = Th_verify.Verify
 module Monitor = Th_resilience.Monitor
 module Breaker = Th_resilience.Breaker
 module Slo = Th_resilience.Slo
+module Plan = Th_exec.Plan
 
 (* Bench-scale soak: long enough for the wear-out schedule to reach its
    terminal phase and for breaker open/close cycles to play out, short
@@ -32,9 +33,9 @@ let profile =
 let schedules =
   [ ("wearout", Fault.wearout); ("bursty", Fault.bursty) ]
 
-let cell ~schedule ~plan ~with_breaker () =
+let cell ~schedule ~fplan ~with_breaker () =
   let s =
-    Setups.streaming_teraheap ~faults:plan
+    Setups.streaming_teraheap ~faults:fplan
       ~h1_gb:profile.Th_workloads.Streaming_driver.h1_gb
       ~dr2_gb:profile.Th_workloads.Streaming_driver.dr2_gb ()
   in
@@ -97,33 +98,41 @@ let row ((r : Run_result.t), v) =
     string_of_int (Verify.violation_count v);
   ]
 
-let run () =
-  let cells =
-    List.concat_map
-      (fun (schedule, plan) ->
-        [
-          cell ~schedule ~plan ~with_breaker:true;
-          cell ~schedule ~plan ~with_breaker:false;
-        ])
-      schedules
+(* The soak cells dominate any batch they join: weight them by batch
+   count so the scheduler starts them first. *)
+let soak_cost =
+  float_of_int profile.Th_workloads.Streaming_driver.batches /. 10.0
+
+let plan () =
+  let b = Plan.create () in
+  let results =
+    Plan.costed_list b ~label:"soak"
+      (List.concat_map
+         (fun (schedule, fplan) ->
+           [
+             (soak_cost, cell ~schedule ~fplan ~with_breaker:true);
+             (soak_cost, cell ~schedule ~fplan ~with_breaker:false);
+           ])
+         schedules)
   in
-  let results = Runners.pmap cells in
-  Report.print_series
-    ~title:
-      (Printf.sprintf
-         "Chaos soak: streaming service, %d batches, verify=safepoint \
-          (pause tails in ms)"
-         profile.Th_workloads.Streaming_driver.batches)
-    ~header:
-      [
-        "cell"; "outcome"; "p50"; "p99"; "p999"; "trips"; "routed"; "slo";
-        "violations";
-      ]
-    (List.map row results);
-  List.iter
-    (fun ((r : Run_result.t), _) ->
-      match r.Run_result.resilience with
-      | Some s when s.Monitor.breaker.Breaker.trips > 0 ->
-          Format.printf "%s: %a@." r.Run_result.label Monitor.pp_summary s
-      | Some _ | None -> ())
-    results
+  Plan.seal b ~render:(fun () ->
+      let results = Plan.get results in
+      Report.print_series
+        ~title:
+          (Printf.sprintf
+             "Chaos soak: streaming service, %d batches, verify=safepoint \
+              (pause tails in ms)"
+             profile.Th_workloads.Streaming_driver.batches)
+        ~header:
+          [
+            "cell"; "outcome"; "p50"; "p99"; "p999"; "trips"; "routed"; "slo";
+            "violations";
+          ]
+        (List.map row results);
+      List.iter
+        (fun ((r : Run_result.t), _) ->
+          match r.Run_result.resilience with
+          | Some s when s.Monitor.breaker.Breaker.trips > 0 ->
+              Format.printf "%s: %a@." r.Run_result.label Monitor.pp_summary s
+          | Some _ | None -> ())
+        results)

@@ -2,21 +2,30 @@
    The paper measures 417 MB/TB at 1 MB regions, halving as region size
    doubles, down to 2 MB/TB at 256 MB regions. *)
 
+open Runners
 module H2 = Th_core.H2
 module Report = Th_metrics.Report
 open Th_sim
 
 let region_sizes_mb = [ 1; 2; 4; 8; 16; 32; 64; 128; 256 ]
 
-let run () =
-  let header = "Region Size (MB)" :: List.map string_of_int region_sizes_mb in
+let plan () =
+  let b = Plan.create () in
   let row =
-    "Metadata Size (MB)"
-    :: List.map
-         (fun mb ->
-           let bytes = H2.metadata_bytes_per_tb ~region_size:(Size.mib mb) in
-           Printf.sprintf "%.0f"
-             (Float.round (float_of_int bytes /. 1048576.0)))
-         region_sizes_mb
+    Plan.cell b ~label:"table5" ~cost:0.1 (fun () ->
+        "Metadata Size (MB)"
+        :: List.map
+             (fun mb ->
+               let bytes =
+                 H2.metadata_bytes_per_tb ~region_size:(Size.mib mb)
+               in
+               Printf.sprintf "%.0f"
+                 (Float.round (float_of_int bytes /. 1048576.0)))
+             region_sizes_mb)
   in
-  Report.print_series ~title:"Table 5: H2 metadata per TB" ~header [ row ]
+  Plan.seal b ~render:(fun () ->
+      let header =
+        "Region Size (MB)" :: List.map string_of_int region_sizes_mb
+      in
+      Report.print_series ~title:"Table 5: H2 metadata per TB" ~header
+        [ Plan.get row ])

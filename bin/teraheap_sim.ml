@@ -332,8 +332,32 @@ let write_trace ~path ~format recorders =
   output_string oc data;
   close_out oc
 
-(* Split the WORKLOAD argument on commas, run every cell on the pool,
-   then print the results serially in argument order. *)
+(* Cost hint for the scheduler: the same heap-size × iteration heuristic
+   the bench harness uses (bench/runners.ml). Unknown workload names get
+   the default cost — the cell itself reports the error when it runs. *)
+let cost_hint fw name dram =
+  match fw with
+  | `Spark -> (
+      match Spark_profiles.by_name name with
+      | p ->
+          let dram =
+            if dram > 0 then dram
+            else List.fold_left max 0 p.Spark_profiles.sd_dram_gb
+          in
+          float_of_int (max 1 dram * max 1 p.Spark_profiles.iterations)
+      | exception _ -> Th_exec.Cell.default_cost)
+  | `Giraph -> (
+      match Giraph_profiles.by_name name with
+      | p ->
+          float_of_int
+            (max 1 p.Giraph_profiles.dram_gb
+            * max 1 p.Giraph_profiles.dataset_gb)
+      | exception _ -> Th_exec.Cell.default_cost)
+  | `Streaming -> Th_exec.Cell.default_cost
+
+(* Split the WORKLOAD argument on commas, run every cell on the
+   work-stealing scheduler, then print the results serially in argument
+   order. *)
 let run_all fw workloads sys thr dram faults jobs verify trace trace_format
     slo soak =
   let names = String.split_on_char ',' workloads in
@@ -346,23 +370,25 @@ let run_all fw workloads sys thr dram faults jobs verify trace trace_format
   let tracer_of lane =
     match recorders with [] -> None | rs -> Some (List.nth rs lane)
   in
-  let cell lane name () =
-    let tracer = tracer_of lane in
-    match fw with
-    | `Spark -> run_spark ?tracer name sys thr dram faults verify
-    | `Giraph -> run_giraph ?tracer name sys thr faults verify
-    | `Streaming -> run_streaming ?tracer name thr faults verify slo soak
+  let cell lane name =
+    Th_exec.Cell.make ~label:name ~cost:(cost_hint fw name dram) ~lane
+      (fun () ->
+        let tracer = tracer_of lane in
+        match fw with
+        | `Spark -> run_spark ?tracer name sys thr dram faults verify
+        | `Giraph -> run_giraph ?tracer name sys thr faults verify
+        | `Streaming -> run_streaming ?tracer name thr faults verify slo soak)
   in
-  let thunks = List.mapi cell names in
+  let cells = List.mapi cell names in
   let results =
-    match names with
-    | [ _ ] -> List.map (fun f -> f ()) thunks
+    match cells with
+    | [ c ] -> [ c.Th_exec.Cell.run () ]
     | _ ->
         let jobs =
-          if jobs > 0 then jobs else Th_exec.Pool.default_jobs ()
+          if jobs > 0 then jobs else Th_exec.Scheduler.default_jobs ()
         in
-        Th_exec.Pool.with_pool ~jobs (fun pool ->
-            Th_exec.Pool.run pool thunks)
+        Th_exec.Scheduler.with_scheduler ~jobs (fun sched ->
+            Th_exec.Scheduler.run_cells sched cells)
   in
   List.iter (fun (r, _) -> print_result r) results;
   (match trace with

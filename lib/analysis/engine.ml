@@ -511,8 +511,14 @@ let pmap_callee ctx fn =
           Some (List.hd path)
       | _ -> (
           match last2 path with
-          | Some ("Pool", ("run" | "map")) | Some ("Runners", ("pmap" | "pmap_grouped"))
-            ->
+          | Some ("Pool", ("run" | "map"))
+          | Some ("Runners", ("pmap" | "pmap_grouped"))
+          | Some ("Scheduler", ("run_cells" | "run_thunks"))
+          | Some
+              ( "Plan",
+                ( "cell" | "cell_list" | "costed_list" | "grouped"
+                | "grouped_costed" ) )
+          | Some ("Cell", ("make" | "of_thunk")) ->
               Some (String.concat "." path)
           | _ -> None))
   | _ -> None

@@ -90,10 +90,14 @@ let all =
       family = Domain_safety;
       severity = Finding.Error;
       synopsis =
-        "mutable top-level state reachable from a closure run on the Domain pool";
+        "mutable top-level state reachable from a closure run on a worker \
+         domain";
       explain =
-        "Benchmark cells submitted to Th_exec.Pool (Pool.run/map, \n\
-         Runners.pmap/pmap_grouped) execute on worker domains. Any \n\
+        "Benchmark cells submitted to the work-stealing scheduler \n\
+         (Scheduler.run_cells/run_thunks, Cell.make/of_thunk, \n\
+         Plan.cell/cell_list/costed_list/grouped/grouped_costed, \n\
+         Pool.run/map, Runners.pmap/pmap_grouped) execute on worker \n\
+         domains. Any \n\
          top-level ref, Hashtbl, Vec, Buffer or array they touch — \n\
          directly or through a called function, which this rule resolves \n\
          over the intra-library call graph — is shared across domains \n\

@@ -1,0 +1,76 @@
+(* Chase-Lev-style work-stealing deque over int work ids (chunk
+   indices), specialised for the scheduler's batch discipline: the
+   submitting domain seeds every deque before a batch starts (the
+   batch-start handshake publishes the writes), after which the owner
+   domain pops from the bottom and idle domains steal from the top.
+   No pushes happen while thieves are active, so the buffer never
+   grows or wraps: [capacity] is sized to the batch's chunk count.
+
+   Both indices are Atomic.t: OCaml's memory model makes the CAS on
+   [top] the single point of contention — a thief claims slot [t] by
+   CAS(top, t, t+1); the owner claims slot [b-1] by publishing
+   [bottom := b-1] first and falling back to the same CAS when only
+   one element remains, so owner and thief can never both win the
+   last slot. *)
+
+type t = {
+  buf : int array;
+  top : int Atomic.t;  (* next slot thieves claim *)
+  bottom : int Atomic.t;  (* next free slot; owner pops at bottom-1 *)
+}
+
+let empty_id = -1
+
+let create ~capacity =
+  {
+    buf = Array.make (max 1 capacity) empty_id;
+    top = Atomic.make 0;
+    bottom = Atomic.make 0;
+  }
+
+(* Owner only, before the batch handshake (or with no concurrent
+   thieves): no ordering needed beyond the publishing handshake. *)
+let push t x =
+  let b = Atomic.get t.bottom in
+  if b >= Array.length t.buf then invalid_arg "Deque.push: capacity exceeded";
+  t.buf.(b) <- x;
+  Atomic.set t.bottom (b + 1)
+
+(* Owner end. Publish the decremented bottom before reading top so a
+   concurrent thief either sees the smaller bottom (and gives up on the
+   last element) or wins the CAS race that [pop] then loses. *)
+let pop t =
+  let b = Atomic.get t.bottom - 1 in
+  Atomic.set t.bottom b;
+  let tp = Atomic.get t.top in
+  if b > tp then Some t.buf.(b)
+  else if b = tp then begin
+    (* Single element left: race thieves for it via the top CAS. *)
+    let won = Atomic.compare_and_set t.top tp (tp + 1) in
+    Atomic.set t.bottom (tp + 1);
+    if won then Some t.buf.(b) else None
+  end
+  else begin
+    (* Already empty: restore the canonical empty state. *)
+    Atomic.set t.bottom (b + 1);
+    None
+  end
+
+(* Thief end: claim the top slot with a CAS. A lost CAS means another
+   thief (or the owner, on the last element) won; report [None] and let
+   the caller rescan victims. *)
+let steal t =
+  let tp = Atomic.get t.top in
+  let b = Atomic.get t.bottom in
+  if tp >= b then None
+  else
+    let x = t.buf.(tp) in
+    if Atomic.compare_and_set t.top tp (tp + 1) then Some x else None
+
+let size t = max 0 (Atomic.get t.bottom - Atomic.get t.top)
+
+let is_empty t = size t = 0
+
+let reset t =
+  Atomic.set t.top 0;
+  Atomic.set t.bottom 0

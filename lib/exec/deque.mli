@@ -1,0 +1,32 @@
+(** Chase-Lev-style work-stealing deque over int work ids.
+
+    Owner-end [push]/[pop], thief-end [steal] via a CAS on the top
+    index. Specialised for the scheduler's batch discipline: deques are
+    seeded (and [reset]) between batches by the submitting domain —
+    the batch-start handshake publishes the seeded state — so the
+    fixed-capacity buffer never grows or wraps mid-batch. *)
+
+type t
+
+val create : capacity:int -> t
+(** Capacity is the maximum number of ids ever pushed between two
+    [reset]s (the batch's chunk count). *)
+
+val push : t -> int -> unit
+(** Owner only; raises [Invalid_argument] past capacity. *)
+
+val pop : t -> int option
+(** Owner end (LIFO). Safe against concurrent {!steal}s: on the last
+    element both sides race a CAS and exactly one wins. *)
+
+val steal : t -> int option
+(** Thief end (FIFO). [None] means empty {e or} a lost race — callers
+    rescan victims either way. *)
+
+val size : t -> int
+(** Snapshot; may be stale under concurrency. *)
+
+val is_empty : t -> bool
+
+val reset : t -> unit
+(** Owner/submitter only, between batches. *)

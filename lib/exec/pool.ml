@@ -1,114 +1,23 @@
-type task = unit -> unit
+(* Compatibility facade over the work-stealing Scheduler: the original
+   single-shared-queue pool API, now backed by per-domain deques. Thunks
+   submitted here carry no cost hints, so they are planned at the
+   default cost (uniform chunking, round-robin-ish LPT deal). *)
 
-type t = {
-  jobs : int;
-  mutex : Mutex.t;
-  work_available : Condition.t;
-  batch_done : Condition.t;
-  queue : task Queue.t;
-  mutable pending : int;  (* submitted but not yet completed tasks *)
-  mutable shutting_down : bool;
-  mutable workers : unit Domain.t list;
-}
+type t = Scheduler.t
 
-let default_jobs () = Domain.recommended_domain_count ()
+let default_jobs = Scheduler.default_jobs
 
-let jobs t = t.jobs
-
-(* Workers block on [work_available]; a task is executed with the lock
-   released. On shutdown they drain whatever is still queued, then exit. *)
-let worker_loop t =
-  let rec loop () =
-    Mutex.lock t.mutex;
-    while Queue.is_empty t.queue && not t.shutting_down do
-      Condition.wait t.work_available t.mutex
-    done;
-    if Queue.is_empty t.queue then Mutex.unlock t.mutex
-    else begin
-      let task = Queue.pop t.queue in
-      Mutex.unlock t.mutex;
-      task ();
-      loop ()
-    end
-  in
-  loop ()
+let jobs = Scheduler.jobs
 
 let create ~jobs () =
   if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
-  let t =
-    {
-      jobs;
-      mutex = Mutex.create ();
-      work_available = Condition.create ();
-      batch_done = Condition.create ();
-      queue = Queue.create ();
-      pending = 0;
-      shutting_down = false;
-      workers = [];
-    }
-  in
-  if jobs > 1 then
-    t.workers <-
-      List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
-  t
+  Scheduler.create ~jobs ()
 
-let run t thunks =
-  let n = List.length thunks in
-  if n = 0 then []
-  else if t.jobs = 1 then List.map (fun f -> f ()) thunks
-  else begin
-    let results = Array.make n None in
-    Mutex.lock t.mutex;
-    t.pending <- t.pending + n;
-    List.iteri
-      (fun i f ->
-        Queue.push
-          (fun () ->
-            let r =
-              match f () with
-              | v -> Ok v
-              | exception e -> Error (e, Printexc.get_raw_backtrace ())
-            in
-            Mutex.lock t.mutex;
-            results.(i) <- Some r;
-            t.pending <- t.pending - 1;
-            if t.pending = 0 then Condition.broadcast t.batch_done;
-            Mutex.unlock t.mutex)
-          t.queue)
-      thunks;
-    Condition.broadcast t.work_available;
-    (* The submitting domain participates until the queue drains, then
-       waits for tasks still in flight on the workers. *)
-    let rec drain () =
-      if not (Queue.is_empty t.queue) then begin
-        let task = Queue.pop t.queue in
-        Mutex.unlock t.mutex;
-        task ();
-        Mutex.lock t.mutex;
-        drain ()
-      end
-    in
-    drain ();
-    while t.pending > 0 do
-      Condition.wait t.batch_done t.mutex
-    done;
-    Mutex.unlock t.mutex;
-    Array.to_list results
-    |> List.map (function
-         | Some (Ok v) -> v
-         | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
-         | None -> failwith "Pool.run: worker slot finished without a result")
-  end
+let run t thunks = Scheduler.run_thunks t thunks
 
 let map t f xs = run t (List.map (fun x () -> f x) xs)
 
-let shutdown t =
-  Mutex.lock t.mutex;
-  t.shutting_down <- true;
-  Condition.broadcast t.work_available;
-  Mutex.unlock t.mutex;
-  List.iter Domain.join t.workers;
-  t.workers <- []
+let shutdown = Scheduler.shutdown
 
 let with_pool ~jobs f =
   let t = create ~jobs () in

@@ -1,13 +1,13 @@
-(** Stdlib-only Domain pool for embarrassingly parallel experiment cells.
+(** Compatibility facade over the work-stealing {!Scheduler}.
 
-    [jobs - 1] worker domains plus the submitting domain drain a shared
-    Mutex/Condition work queue. Tasks must be independent: each benchmark
-    cell builds its own clock, heap, device stack and PRNG, so no
-    simulator state crosses domains. Results come back in submission
-    order, which keeps downstream rendering byte-identical to a serial
-    run regardless of completion order. *)
+    The original pool API: submit a list of cost-blind thunks, get the
+    results back in submission order. Tasks must be independent: each
+    benchmark cell builds its own clock, heap, device stack and PRNG,
+    so no simulator state crosses domains. New code that knows per-cell
+    cost hints should build {!Cell.t}s and call
+    {!Scheduler.run_cells} directly. *)
 
-type t
+type t = Scheduler.t
 
 val create : jobs:int -> unit -> t
 (** [create ~jobs ()] spawns [jobs - 1] worker domains ([jobs = 1] spawns

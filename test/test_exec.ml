@@ -4,6 +4,10 @@
    serial run. *)
 
 module Pool = Th_exec.Pool
+module Scheduler = Th_exec.Scheduler
+module Cell = Th_exec.Cell
+module Plan = Th_exec.Plan
+module Deque = Th_exec.Deque
 module Wall = Th_exec.Wall
 module Csv = Th_metrics.Csv
 module Setups = Th_baselines.Setups
@@ -88,6 +92,149 @@ let test_pooled_csv_identical () =
   in
   Alcotest.(check string) "serial and pooled CSV bytes" serial pooled
 
+(* ------------------------------------------------------------------ *)
+(* Deque: owner pops the bottom (LIFO), thieves steal the top (FIFO).  *)
+
+let test_deque_lifo_fifo () =
+  let d = Deque.create ~capacity:4 in
+  List.iter (Deque.push d) [ 1; 2; 3; 4 ];
+  Alcotest.(check (option int)) "thief steals the oldest" (Some 1)
+    (Deque.steal d);
+  Alcotest.(check (option int)) "owner pops the newest" (Some 4) (Deque.pop d);
+  Alcotest.(check (option int)) "steal again" (Some 2) (Deque.steal d);
+  Alcotest.(check (option int)) "pop the last" (Some 3) (Deque.pop d);
+  Alcotest.(check (option int)) "pop empty" None (Deque.pop d);
+  Alcotest.(check (option int)) "steal empty" None (Deque.steal d);
+  Alcotest.check_raises "push past capacity"
+    (Invalid_argument "Deque.push: capacity exceeded") (fun () ->
+      let d = Deque.create ~capacity:1 in
+      Deque.push d 1;
+      Deque.push d 2)
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler: the steal path, forced deterministically with [pin].     *)
+
+(* Every chunk is pinned onto domain 1, so the submitting domain (0)
+   starts with an empty deque and can only make progress by stealing. *)
+let test_forced_steals () =
+  Scheduler.with_scheduler ~jobs:2 (fun t ->
+      let cells =
+        List.init 16 (fun i ->
+            Cell.make ~label:(Printf.sprintf "steal-%d" i) ~lane:i (fun () ->
+                Unix.sleepf 0.002;
+                i))
+      in
+      let results = Scheduler.run_cells ~pin:(fun _ -> 1) ~chunk_max:1 t cells in
+      Alcotest.(check (list int))
+        "submission order despite steals"
+        (List.init 16 Fun.id) results;
+      let stats = Scheduler.last_batch t in
+      Alcotest.(check int) "one chunk per cell" 16 stats.Scheduler.chunks;
+      Alcotest.(check bool)
+        "the idle domain stole work" true
+        (stats.Scheduler.steals > 0);
+      Alcotest.(check int)
+        "per-cell wall times recorded" 16
+        (Array.length stats.Scheduler.cell_wall_s);
+      Alcotest.(check bool)
+        "wall times are positive" true
+        (Array.for_all (fun w -> w > 0.0) stats.Scheduler.cell_wall_s))
+
+let test_pin_out_of_range () =
+  Scheduler.with_scheduler ~jobs:2 (fun t ->
+      Alcotest.check_raises "pin must land inside [0, jobs)"
+        (Invalid_argument "Scheduler.run_cells: pin out of range") (fun () ->
+          ignore
+            (Scheduler.run_cells
+               ~pin:(fun _ -> 2)
+               t
+               [ Cell.of_thunk (fun () -> 1) ])))
+
+(* ------------------------------------------------------------------ *)
+(* Plan: futures, grouped regrouping, read-before-run.                 *)
+
+let test_plan_futures () =
+  let b = Plan.create () in
+  let x = Plan.cell b ~label:"x" ~cost:2.0 (fun () -> 21 * 2) in
+  let ys = Plan.cell_list b ~label:"ys" [ (fun () -> "a"); (fun () -> "b") ] in
+  let g =
+    Plan.grouped b ~label:"g"
+      [
+        ("k0", List.init 3 (fun i () -> i));
+        ("k1", []);
+        ("k2", List.init 2 (fun i () -> 10 + i));
+      ]
+  in
+  Alcotest.(check int) "cell count" 8 (Plan.cell_count b);
+  let rendered = Buffer.create 64 in
+  let section =
+    Plan.seal b ~render:(fun () ->
+        Buffer.add_string rendered (string_of_int (Plan.get x));
+        List.iter (Buffer.add_string rendered) (Plan.get ys);
+        List.iter
+          (fun (k, vs) ->
+            Buffer.add_string rendered
+              (Printf.sprintf "%s=%s" k
+                 (String.concat "+" (List.map string_of_int vs))))
+          (Plan.get g))
+  in
+  Scheduler.with_scheduler ~jobs:4 (fun t -> Plan.run_section t section);
+  Alcotest.(check string)
+    "futures resolve in submission order, groups regroup exactly"
+    "42abk0=0+1+2k1=k2=10+11" (Buffer.contents rendered)
+
+let test_plan_get_before_run () =
+  let b = Plan.create () in
+  let x = Plan.cell b ~label:"early" (fun () -> 1) in
+  Alcotest.check_raises "future read before the batch"
+    (Failure "Plan.get: cell \"early\" read before the batch executed it")
+    (fun () -> ignore (Plan.get x))
+
+(* ------------------------------------------------------------------ *)
+(* Property: for ANY cost vector, chunking and jobs count, the
+   scheduler returns submission-order results and a render over those
+   results is byte-identical to the serial reference.                  *)
+
+let prop_scheduler_deterministic =
+  let gen =
+    QCheck.Gen.(
+      triple
+        (list_size (int_range 0 40) (int_range (-5) 80))
+        (int_range 1 6)
+        (oneofl [ 1; 2; 4; 8 ]))
+  in
+  let arb =
+    QCheck.make
+      ~print:(fun (costs, chunk_max, jobs) ->
+        Printf.sprintf "costs(x0.1)=[%s] chunk_max=%d jobs=%d"
+          (String.concat ";" (List.map string_of_int costs))
+          chunk_max jobs)
+      gen
+  in
+  QCheck.Test.make ~count:40
+    ~name:"random cell DAGs render byte-identically at any jobs" arb
+    (fun (deci_costs, chunk_max, jobs) ->
+      let cells =
+        List.mapi
+          (fun i dc ->
+            (* Negative and zero hints exercise the default-cost path. *)
+            let cost = float_of_int dc /. 10.0 in
+            Cell.make ~label:(string_of_int i) ~cost ~lane:i (fun () ->
+                (i * 31) + dc))
+          deci_costs
+      in
+      let render results =
+        String.concat "," (List.map string_of_int results)
+      in
+      let serial =
+        render (List.mapi (fun i dc -> (i * 31) + dc) deci_costs)
+      in
+      let scheduled =
+        Scheduler.with_scheduler ~jobs (fun t ->
+            render (Scheduler.run_cells ~chunk_max t cells))
+      in
+      String.equal serial scheduled)
+
 let suite =
   [
     Alcotest.test_case "results in submission order" `Quick
@@ -100,4 +247,13 @@ let suite =
       test_wall_clock_monotonic;
     Alcotest.test_case "pooled CSV identical to serial" `Slow
       test_pooled_csv_identical;
+    Alcotest.test_case "deque LIFO owner / FIFO thief" `Quick
+      test_deque_lifo_fifo;
+    Alcotest.test_case "pinned batch forces steals" `Quick test_forced_steals;
+    Alcotest.test_case "pin out of range rejected" `Quick test_pin_out_of_range;
+    Alcotest.test_case "plan futures and grouped regroup" `Quick
+      test_plan_futures;
+    Alcotest.test_case "plan future read before run" `Quick
+      test_plan_get_before_run;
+    QCheck_alcotest.to_alcotest prop_scheduler_deterministic;
   ]
