@@ -1,12 +1,14 @@
 (* Thin CLI over the Th_analysis AST analyzer (lib/analysis).
 
    Usage: lint.exe [options] [paths...]
-     --format text|json   report format (default text)
+     --format text|json|sarif  report format (default text)
      --rules r1,r2        run only the named rules
      --explain RULE       print a rule's documentation and exit
      --list-rules         one-line summary of every rule
      --self-test          run the analyzer over its embedded fixtures
      --dump-fixtures DIR  write the embedded fixtures as files into DIR
+     --callgraph-dump     print the cross-library call graph and exit
+     --interleave [full]  run the bounded-interleaving deque checker
      -o FILE              write the report to FILE instead of stdout
      paths                files or directories (default: lib bin bench)
 
@@ -21,8 +23,11 @@ let default_paths = [ "lib"; "bin"; "bench" ]
 
 let usage () =
   prerr_endline
-    "usage: lint.exe [--format text|json] [--rules r1,r2] [--explain RULE]\n\
-    \       [--list-rules] [--self-test] [-o FILE] [paths...]";
+    "usage: lint.exe [--format text|json|sarif] [--rules r1,r2] [--explain \
+     RULE]\n\
+    \       [--list-rules] [--self-test] [--callgraph-dump] [--interleave \
+     [full]]\n\
+    \       [-o FILE] [paths...]";
   exit 2
 
 let rec collect path acc =
@@ -116,6 +121,52 @@ let dump_fixtures dir =
     Th_analysis.Selftest.cases;
   exit 0
 
+(* Exhaustive schedule enumeration over the deque's owner/thief
+   protocol, plus the sanity leg: the harness must reject a variant
+   whose steal skips the CAS. *)
+let interleave ~full =
+  let failed = ref false in
+  let show tag (r : Th_analysis.Deque_check.report) =
+    Printf.printf "interleave %s %-22s %7d schedule(s), %3d outcome(s)%s\n" tag
+      r.config r.schedules r.distinct
+      (if r.violations = [] then "" else ", VIOLATIONS:");
+    List.iter (fun v -> Printf.printf "  not linearizable: %s\n" v) r.violations
+  in
+  List.iter
+    (fun r ->
+      show "deque" r;
+      if r.Th_analysis.Deque_check.violations <> [] then failed := true)
+    (Th_analysis.Deque_check.check ~full ());
+  let buggy = Th_analysis.Deque_check.check_buggy () in
+  List.iter (show "buggy") buggy;
+  if
+    not
+      (List.exists
+         (fun (r : Th_analysis.Deque_check.report) -> r.violations <> [])
+         buggy)
+  then begin
+    Printf.printf
+      "interleave: FAILED — the harness accepted the seeded-bug deque\n";
+    failed := true
+  end;
+  if !failed then exit 1
+  else begin
+    Printf.printf "interleave: deque linearizable, seeded bug rejected\n";
+    exit 0
+  end
+
+let callgraph_dump paths =
+  let files =
+    List.sort String.compare (List.concat_map (fun p -> collect p []) paths)
+  in
+  let sources =
+    List.filter_map
+      (fun f -> Result.to_option (Th_analysis.Source.parse_file f))
+      files
+  in
+  print_string (Th_analysis.Engine.callgraph_dump sources);
+  exit 0
+
 let self_test () =
   match Th_analysis.Selftest.run () with
   | Ok n ->
@@ -136,8 +187,9 @@ let () =
         (match v with
         | "text" -> format := `Text
         | "json" -> format := `Json
+        | "sarif" -> format := `Sarif
         | _ ->
-            Printf.eprintf "lint: unknown format %S (text|json)\n" v;
+            Printf.eprintf "lint: unknown format %S (text|json|sarif)\n" v;
             exit 2);
         parse_args rest
     | "--rules" :: v :: rest ->
@@ -160,6 +212,10 @@ let () =
     | [ "--explain" ] -> usage ()
     | "--list-rules" :: _ -> list_rules ()
     | "--self-test" :: _ -> self_test ()
+    | "--interleave" :: "full" :: _ -> interleave ~full:true
+    | "--interleave" :: _ -> interleave ~full:false
+    | "--callgraph-dump" :: rest ->
+        callgraph_dump (match rest with [] -> default_paths | ps -> ps)
     | "--dump-fixtures" :: dir :: _ -> dump_fixtures dir
     | [ "--dump-fixtures" ] -> usage ()
     | "-o" :: v :: rest | "--output" :: v :: rest ->
@@ -193,6 +249,7 @@ let () =
     match !format with
     | `Text -> Th_analysis.Report.to_text ~waived findings
     | `Json -> Th_analysis.Report.to_json ~waived findings
+    | `Sarif -> Th_analysis.Report.to_sarif ~waived findings
   in
   (match !output with
   | None -> print_string report

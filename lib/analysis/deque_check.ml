@@ -1,0 +1,295 @@
+(* Linearizability harness for the work-stealing deque: run small
+   owner/thief programs over [Th_exec.Deque.Make (Interleave.Instrumented)]
+   under every schedule, and check each distinct outcome against a
+   sequential deque specification.
+
+   The specification: the deque holds the seeded items; the owner's
+   [pop] takes the back item (LIFO) and returns [None] only on an empty
+   deque; a thief's [steal] takes the front item (FIFO) and may return
+   [None] at any time (the interface lets a steal fail on a lost race
+   even when items remain — callers rescan). An outcome is linearizable
+   when some interleaving that respects each thread's program order
+   reproduces every observed result and leaves exactly the observed
+   leftover (drained front-to-back after all threads join). Seeds use
+   distinct values so results identify slots unambiguously.
+
+   [check_buggy] runs the same harness over a deliberately broken
+   variant whose steal claims the top slot with a plain write instead
+   of a CAS; two thieves can then take the same item, which no
+   interleaving of the specification can produce — the harness must
+   reject it, and that rejection is itself asserted by the self-test. *)
+
+type observed = {
+  pops : int option list;
+  steals : int option list list;
+  leftover : int list;
+}
+
+let compare_int_opt a b =
+  match (a, b) with
+  | None, None -> 0
+  | None, Some _ -> -1
+  | Some _, None -> 1
+  | Some x, Some y -> Int.compare x y
+
+let rec compare_list cmp a b =
+  match (a, b) with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | x :: xs, y :: ys -> (
+      match cmp x y with 0 -> compare_list cmp xs ys | c -> c)
+
+let compare_observed a b =
+  match compare_list compare_int_opt a.pops b.pops with
+  | 0 -> (
+      match
+        compare_list (compare_list compare_int_opt) a.steals b.steals
+      with
+      | 0 -> compare_list Int.compare a.leftover b.leftover
+      | c -> c)
+  | c -> c
+
+let string_of_int_opt = function
+  | None -> "-"
+  | Some x -> string_of_int x
+
+let observed_to_string o =
+  Printf.sprintf "pops:[%s] steals:[%s] leftover:[%s]"
+    (String.concat " " (List.map string_of_int_opt o.pops))
+    (String.concat "|"
+       (List.map
+          (fun s -> String.concat " " (List.map string_of_int_opt s))
+          o.steals))
+    (String.concat " " (List.map string_of_int o.leftover))
+
+(* Sequential-specification search: does some program-order-respecting
+   interleaving over the model reproduce the outcome? The model is the
+   window [front, back) into the seed array. *)
+let linearizable ~seed o =
+  let arr = Array.of_list seed in
+  let rec go front back pops thieves =
+    let done_ =
+      pops = []
+      && List.for_all (fun t -> t = []) thieves
+    in
+    if done_ then
+      (* Leftover must be exactly the remaining window, front-to-back. *)
+      compare_list Int.compare o.leftover
+        (Array.to_list (Array.sub arr front (back - front)))
+      = 0
+    else
+      let owner_step () =
+        match pops with
+        | [] -> false
+        | Some x :: rest ->
+            front < back && arr.(back - 1) = x && go front (back - 1) rest thieves
+        | None :: rest -> front >= back && go front back rest thieves
+      in
+      let thief_step () =
+        let rec try_thieves before = function
+          | [] -> false
+          | t :: after -> (
+              let rebuilt rest = List.rev_append before (rest :: after) in
+              (match t with
+              | Some x :: rest ->
+                  front < back && arr.(front) = x
+                  && go (front + 1) back pops (rebuilt rest)
+              | None :: rest ->
+                  (* A steal may fail at any point: lost-race None. *)
+                  go front back pops (rebuilt rest)
+              | [] -> false)
+              || try_thieves (t :: before) after)
+        in
+        try_thieves [] thieves
+      in
+      owner_step () || thief_step ()
+  in
+  go 0 (Array.length arr) o.pops o.steals
+
+(* ------------------------------------------------------------------ *)
+(* Programs                                                            *)
+
+type config = { cname : string; seed : int list; pops : int; steals : int list }
+
+(* Schedule counts are the multinomial over per-thread atomic-op
+   counts; the quick set stays in the low thousands (cheap enough for
+   the embedded self-test), the full set tops out around 750k schedules
+   (seed3-pop1-steal2x2: six deque ops across an owner and two
+   thieves), a couple of seconds end to end. *)
+let quick_configs =
+  [
+    { cname = "seed2-pop2-steal1"; seed = [ 1; 2 ]; pops = 2; steals = [ 1 ] };
+    {
+      cname = "seed1-pop1-steal1x2";
+      seed = [ 1 ];
+      pops = 1;
+      steals = [ 1; 1 ];
+    };
+  ]
+
+let full_configs =
+  quick_configs
+  @ [
+      {
+        cname = "seed2-pop1-steal1x2";
+        seed = [ 1; 2 ];
+        pops = 1;
+        steals = [ 1; 1 ];
+      };
+      {
+        cname = "seed3-pop2-steal1x2";
+        seed = [ 1; 2; 3 ];
+        pops = 2;
+        steals = [ 1; 1 ];
+      };
+      {
+        cname = "seed2-pop2-steal2";
+        seed = [ 1; 2 ];
+        pops = 2;
+        steals = [ 2 ];
+      };
+      {
+        cname = "seed3-pop3-steal1";
+        seed = [ 1; 2; 3 ];
+        pops = 3;
+        steals = [ 1 ];
+      };
+      {
+        cname = "seed3-pop1-steal2x2";
+        seed = [ 1; 2; 3 ];
+        pops = 1;
+        steals = [ 2; 2 ];
+      };
+    ]
+
+module Good = Th_exec.Deque.Make (Interleave.Instrumented)
+
+(* The seeded-bug variant: steal publishes top with a plain write
+   instead of claiming the slot via CAS, so two thieves that read the
+   same top both take the same item. Everything else mirrors the real
+   deque closely enough that only the interleaving harness can tell
+   them apart. *)
+module Buggy = struct
+  module A = Interleave.Instrumented
+
+  type t = {
+    buf : int array;
+    top : int A.t; [@th.atomic "next slot thieves claim; the bug: stolen WITHOUT a CAS"]
+    bottom : int A.t; [@th.atomic "next free slot; owner-written, thief-read"]
+  }
+
+  let create ~capacity =
+    { buf = Array.make (max 1 capacity) (-1); top = A.make 0; bottom = A.make 0 }
+
+  let push t x =
+    let b = A.get t.bottom in
+    t.buf.(b) <- x;
+    A.set t.bottom (b + 1)
+
+  let pop t =
+    let b = A.get t.bottom - 1 in
+    A.set t.bottom b;
+    let tp = A.get t.top in
+    if b > tp then Some t.buf.(b)
+    else if b = tp then begin
+      let won = A.compare_and_set t.top tp (tp + 1) in
+      A.set t.bottom (tp + 1);
+      if won then Some t.buf.(b) else None
+    end
+    else begin
+      A.set t.bottom (b + 1);
+      None
+    end
+
+  let steal t =
+    let tp = A.get t.top in
+    let b = A.get t.bottom in
+    if tp >= b then None
+    else begin
+      let x = t.buf.(tp) in
+      A.set t.top (tp + 1);
+      Some x
+    end
+  [@@th.allow
+    "atomic-plain-read atomic-plain-write atomic-check-then-act — the \
+     deliberate bug under test: claiming the slot without a CAS"]
+
+  let size t = max 0 (A.get t.bottom - A.get t.top)
+  [@@th.allow
+    "atomic-plain-read — advisory snapshot, mirrors the real deque's size"]
+
+  let is_empty t = size t = 0
+
+  let reset t =
+    A.set t.top 0;
+    A.set t.bottom 0
+  [@@th.allow
+    "atomic-plain-write — harness-only reset between sequential runs"]
+end
+
+type report = {
+  config : string;
+  schedules : int;
+  distinct : int;
+  violations : string list;
+}
+
+let run_config (module D : Th_exec.Deque.S) cfg =
+  let program () =
+    let d = D.create ~capacity:(List.length cfg.seed) in
+    List.iter (D.push d) cfg.seed;
+    let pop_res = Array.make (max cfg.pops 1) None in
+    let steal_res =
+      List.map (fun k -> Array.make (max k 1) None) cfg.steals
+    in
+    let owner () =
+      for i = 0 to cfg.pops - 1 do
+        pop_res.(i) <- D.pop d
+      done
+    in
+    let thief arr k () =
+      for i = 0 to k - 1 do
+        arr.(i) <- D.steal d
+      done
+    in
+    let threads =
+      Array.of_list
+        (owner :: List.map2 (fun arr k -> thief arr k) steal_res cfg.steals)
+    in
+    let collect () =
+      let rec drain acc =
+        match D.steal d with Some x -> drain (x :: acc) | None -> List.rev acc
+      in
+      {
+        pops = Array.to_list (Array.sub pop_res 0 cfg.pops);
+        steals =
+          List.map2
+            (fun arr k -> Array.to_list (Array.sub arr 0 k))
+            steal_res cfg.steals;
+        leftover = drain [];
+      }
+    in
+    (threads, collect)
+  in
+  let outcomes, schedules = Interleave.explore program in
+  let distinct = List.sort_uniq compare_observed outcomes in
+  let violations =
+    List.filter_map
+      (fun o ->
+        if linearizable ~seed:cfg.seed o then None
+        else Some (observed_to_string o))
+      distinct
+  in
+  {
+    config = cfg.cname;
+    schedules;
+    distinct = List.length distinct;
+    violations;
+  }
+
+let check ?(full = false) () =
+  let configs = if full then full_configs else quick_configs in
+  List.map (run_config (module Good)) configs
+
+let check_buggy () = List.map (run_config (module Buggy)) quick_configs

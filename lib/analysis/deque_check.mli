@@ -1,0 +1,28 @@
+(** Linearizability harness for the work-stealing deque.
+
+    Runs small owner/thief programs over
+    [Th_exec.Deque.Make (Interleave.Instrumented)] under every schedule
+    ({!Interleave.explore}) and checks each distinct outcome against a
+    sequential deque specification: owner pops LIFO and sees [None]
+    only on empty, thief steals FIFO and may spuriously return [None]
+    (lost race), and the drained leftover must match exactly. *)
+
+type report = {
+  config : string;  (** config name, e.g. ["seed2-pop2-steal1"] *)
+  schedules : int;  (** complete schedules executed (exhaustive) *)
+  distinct : int;  (** distinct outcomes across those schedules *)
+  violations : string list;
+      (** rendered outcomes no specification interleaving can produce *)
+}
+
+val check : ?full:bool -> unit -> report list
+(** Check the real deque. [full] adds the larger configurations (owner
+    plus two thieves, up to six deque operations); the default quick
+    set is small enough for the embedded self-test. All [violations]
+    lists must come back empty. *)
+
+val check_buggy : unit -> report list
+(** Check a deliberately broken variant whose steal claims the top slot
+    with a plain write instead of a CAS. At least one configuration
+    must report a violation — asserting that the harness can actually
+    reject a racy deque. *)

@@ -1,344 +1,56 @@
 open Parsetree
-module SS = Set.Make (String)
+module SS = Syntax.SS
 
 type result = { findings : Finding.t list; waived : Finding.t list }
 
 let parse_error_rule = "parse-error"
 
 (* ------------------------------------------------------------------ *)
-(* Small syntax helpers                                                *)
-
-let flatten_lid lid =
-  (* [Longident.flatten] raises on functor applications; those can never
-     match a rule pattern, so map them to the empty path. *)
-  match Longident.flatten lid with l -> l | exception _ -> []
-
-(* Last two components of a path: [Th_exec.Pool.map] and [Pool.map] both
-   resolve to [("Pool", "map")], which is how rules name stdlib and
-   intra-repo modules regardless of library wrapping. *)
-let last2 path =
-  match List.rev path with n :: m :: _ -> Some (m, n) | _ -> None
-
-let split_words s =
-  String.split_on_char ' ' s
-  |> List.concat_map (String.split_on_char '\n')
-  |> List.concat_map (String.split_on_char '\t')
-  |> List.concat_map (String.split_on_char ',')
-  |> List.filter (fun w -> w <> "")
-
-let attr_allows (attrs : attributes) =
-  List.concat_map
-    (fun a ->
-      if String.equal a.attr_name.txt "th.allow" then
-        match a.attr_payload with
-        | PStr
-            [
-              {
-                pstr_desc =
-                  Pstr_eval
-                    ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
-                _;
-              };
-            ] ->
-            split_words s
-        | _ -> []
-      else [])
-    attrs
-
-let rec pat_vars p =
-  match p.ppat_desc with
-  | Ppat_var { txt; _ } -> [ txt ]
-  | Ppat_alias (p, { txt; _ }) -> txt :: pat_vars p
-  | Ppat_tuple ps | Ppat_array ps -> List.concat_map pat_vars ps
-  | Ppat_construct (_, Some (_, p))
-  | Ppat_variant (_, Some p)
-  | Ppat_constraint (p, _)
-  | Ppat_lazy p
-  | Ppat_exception p
-  | Ppat_open (_, p) ->
-      pat_vars p
-  | Ppat_record (fields, _) -> List.concat_map (fun (_, p) -> pat_vars p) fields
-  | Ppat_or (a, b) -> pat_vars a @ pat_vars b
-  | Ppat_any | Ppat_constant _ | Ppat_interval _ | Ppat_construct (_, None)
-  | Ppat_variant (_, None)
-  | Ppat_type _ | Ppat_unpack _ | Ppat_extension _ ->
-      []
-
-let rec pat_constructors p =
-  match p.ppat_desc with
-  | Ppat_construct ({ txt; _ }, arg) ->
-      let here =
-        match List.rev (flatten_lid txt) with n :: _ -> [ n ] | [] -> []
-      in
-      here @ (match arg with Some (_, p) -> pat_constructors p | None -> [])
-  | Ppat_alias (p, _)
-  | Ppat_constraint (p, _)
-  | Ppat_lazy p
-  | Ppat_exception p
-  | Ppat_open (_, p)
-  | Ppat_variant (_, Some p) ->
-      pat_constructors p
-  | Ppat_tuple ps | Ppat_array ps -> List.concat_map pat_constructors ps
-  | Ppat_record (fields, _) ->
-      List.concat_map (fun (_, p) -> pat_constructors p) fields
-  | Ppat_or (a, b) -> pat_constructors a @ pat_constructors b
-  | Ppat_any | Ppat_var _ | Ppat_constant _ | Ppat_interval _
-  | Ppat_variant (_, None)
-  | Ppat_type _ | Ppat_unpack _ | Ppat_extension _ ->
-      []
-
-let rec is_catch_all p =
-  match p.ppat_desc with
-  | Ppat_any | Ppat_var _ -> true
-  | Ppat_alias (p, _) | Ppat_constraint (p, _) -> is_catch_all p
-  | Ppat_or (a, b) -> is_catch_all a || is_catch_all b
-  | _ -> false
-
-(* ------------------------------------------------------------------ *)
-(* Scoped ident iteration                                              *)
-
-(* Walk an expression calling [f lid loc] for every identifier
-   reference whose unqualified name is not bound locally — the scope
-   and shadowing awareness the old char-level linter lacked. Qualified
-   references ([M.x]) are always reported. *)
-let iter_unshadowed_idents ~f root =
-  let shadow : (string, int) Hashtbl.t = Hashtbl.create 16 in
-  let count n = Option.value ~default:0 (Hashtbl.find_opt shadow n) in
-  let with_vars vars k =
-    List.iter (fun n -> Hashtbl.replace shadow n (count n + 1)) vars;
-    k ();
-    List.iter (fun n -> Hashtbl.replace shadow n (count n - 1)) vars
-  in
-  let open Ast_iterator in
-  let expr it e =
-    let sub e = it.expr it e in
-    match e.pexp_desc with
-    | Pexp_ident { txt; _ } -> (
-        match txt with
-        | Longident.Lident n when count n > 0 -> ()
-        | _ -> f txt e.pexp_loc)
-    | Pexp_let (rf, vbs, body) ->
-        let vars = List.concat_map (fun vb -> pat_vars vb.pvb_pat) vbs in
-        let visit () = List.iter (fun vb -> sub vb.pvb_expr) vbs in
-        (match rf with
-        | Recursive -> with_vars vars (fun () -> visit (); sub body)
-        | Nonrecursive -> visit (); with_vars vars (fun () -> sub body))
-    | Pexp_fun (_, dflt, pat, body) ->
-        Option.iter sub dflt;
-        with_vars (pat_vars pat) (fun () -> sub body)
-    | Pexp_function cases ->
-        List.iter
-          (fun c ->
-            with_vars (pat_vars c.pc_lhs) (fun () ->
-                Option.iter sub c.pc_guard;
-                sub c.pc_rhs))
-          cases
-    | Pexp_match (s, cases) | Pexp_try (s, cases) ->
-        sub s;
-        List.iter
-          (fun c ->
-            with_vars (pat_vars c.pc_lhs) (fun () ->
-                Option.iter sub c.pc_guard;
-                sub c.pc_rhs))
-          cases
-    | Pexp_for (pat, a, b, _, body) ->
-        sub a;
-        sub b;
-        with_vars (pat_vars pat) (fun () -> sub body)
-    | _ -> default_iterator.expr it e
-  in
-  let it = { default_iterator with expr } in
-  it.expr it root
-
-(* ------------------------------------------------------------------ *)
-(* Effect analysis: mutable top-level state and its reachability       *)
-
-module Effects = struct
-  type key = string * string (* module, value name *)
-
-  let compare_key (ma, na) (mb, nb) =
-    match String.compare ma mb with 0 -> String.compare na nb | c -> c
-
-  module KS = Set.Make (struct
-    type t = key
-
-    let compare = compare_key
-  end)
-
-  type db = {
-    globals : (key, Location.t * bool (* blessed *)) Hashtbl.t;
-        (* blessed: the definition carries [@@th.allow
-           "pmap-mutable-global"], declaring the global is only written
-           on the serial path; reachability findings become waived. *)
-    defs : (key, expression) Hashtbl.t;
-    mutable effects : (key * KS.t) list; (* fixpoint result, assoc *)
-  }
-
-  let mutable_ctor_modules =
-    SS.of_list
-      [
-        "Hashtbl"; "Array"; "Bytes"; "Buffer"; "Queue"; "Stack"; "Atomic";
-        "Vec"; "Dynarray"; "Weak";
-      ]
-
-  (* Does a top-level binding allocate mutable state? Covers [ref e],
-     [Hashtbl.create n], [Array.make ...], [Vec.create ()], array
-     literals — the shapes that appear at module top level. Mutable
-     records are invisible without type information; the rule's docs
-     call that out. *)
-  let rec is_mutable_init e =
-    match e.pexp_desc with
-    | Pexp_array _ -> true
-    | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) -> (
-        match List.rev (flatten_lid txt) with
-        | [ "ref" ] -> true
-        | fn :: m :: _ ->
-            SS.mem m mutable_ctor_modules
-            && List.mem fn [ "create"; "make"; "init"; "copy"; "of_list"; "of_seq" ]
-        | _ -> false)
-    | Pexp_constraint (e, _) | Pexp_open (_, e) -> is_mutable_init e
-    | Pexp_let (_, _, body) | Pexp_sequence (_, body) -> is_mutable_init body
-    | _ -> false
-
-  (* Resolve an identifier to candidate top-level keys. Unqualified
-     names resolve to the current module when it defines them; otherwise
-     — a reference through [open] — to whichever single analyzed module
-     defines the name (ambiguous names resolve to nothing rather than
-     guess). *)
-  let resolve_all db current_mod lid =
-    match flatten_lid lid with
-    | [ n ] ->
-        let home = (current_mod, n) in
-        if Hashtbl.mem db.globals home || Hashtbl.mem db.defs home then
-          [ home ]
-        else begin
-          let hits = ref [] in
-          (* th-lint: allow hashtbl-order — membership collection only;
-             the result is used only when it is a singleton. *)
-          Hashtbl.iter
-            (fun ((_, gn) as k) _ ->
-              if String.equal gn n then hits := k :: !hits)
-            db.globals;
-          (* th-lint: allow hashtbl-order — as above: membership only. *)
-          Hashtbl.iter
-            (fun ((_, dn) as k) _ ->
-              if String.equal dn n then hits := k :: !hits)
-            db.defs;
-          match !hits with [ k ] -> [ k ] | _ -> []
-        end
-    | path -> ( match last2 path with Some k -> [ k ] | None -> [])
-
-  let build (sources : Source.t list) =
-    let db =
-      { globals = Hashtbl.create 64; defs = Hashtbl.create 256; effects = [] }
-    in
-    (* Pass 1: top-level bindings — mutable globals and function defs. *)
-    List.iter
-      (fun (s : Source.t) ->
-        match s.ast with
-        | Source.Signature _ -> ()
-        | Source.Structure str ->
-            List.iter
-              (fun item ->
-                match item.pstr_desc with
-                | Pstr_value (_, vbs) ->
-                    List.iter
-                      (fun vb ->
-                        match vb.pvb_pat.ppat_desc with
-                        | Ppat_var { txt; _ } ->
-                            let key = (s.modname, txt) in
-                            if is_mutable_init vb.pvb_expr then
-                              let blessed =
-                                List.mem "pmap-mutable-global"
-                                  (attr_allows vb.pvb_attributes)
-                              in
-                              Hashtbl.replace db.globals key (vb.pvb_loc, blessed)
-                            else Hashtbl.replace db.defs key vb.pvb_expr
-                        | _ -> ())
-                      vbs
-                | _ -> ())
-              str)
-      sources;
-    (* Pass 2: direct effects and call edges per def. *)
-    let direct : (key * (KS.t * KS.t)) list =
-      (* th-lint: allow hashtbl-order — collected into a list and sorted
-         by compare_key immediately after the fold. *)
-      Hashtbl.fold
-        (fun ((dmod, _) as key) body acc ->
-          let eff = ref KS.empty and calls = ref KS.empty in
-          iter_unshadowed_idents body ~f:(fun lid _loc ->
-              List.iter
-                (fun k ->
-                  if Hashtbl.mem db.globals k then eff := KS.add k !eff
-                  else if Hashtbl.mem db.defs k then calls := KS.add k !calls)
-                (resolve_all db dmod lid));
-          (key, (!eff, !calls)) :: acc)
-        db.defs []
-    in
-    let direct = List.sort (fun (a, _) (b, _) -> compare_key a b) direct in
-    (* Pass 3: transitive closure over the call graph. *)
-    let table = Hashtbl.create 256 in
-    List.iter (fun (k, (eff, _)) -> Hashtbl.replace table k eff) direct;
-    let changed = ref true in
-    while !changed do
-      changed := false;
-      List.iter
-        (fun (k, (_, calls)) ->
-          let cur = Hashtbl.find table k in
-          let next =
-            KS.fold
-              (fun callee acc ->
-                match Hashtbl.find_opt table callee with
-                | Some e -> KS.union acc e
-                | None -> acc)
-              calls cur
-          in
-          if not (KS.equal next cur) then begin
-            Hashtbl.replace table k next;
-            changed := true
-          end)
-        direct
-    done;
-    db.effects <- List.map (fun (k, _) -> (k, Hashtbl.find table k)) direct;
-    db
-
-  let global_info db key = Hashtbl.find_opt db.globals key
-
-  let global_site db key =
-    match Hashtbl.find_opt db.globals key with
-    | Some ((loc : Location.t), _) ->
-        Printf.sprintf "%s:%d" loc.loc_start.pos_fname loc.loc_start.pos_lnum
-    | None -> "?"
-
-  let def_effects db key =
-    match List.find_opt (fun (k, _) -> compare_key k key = 0) db.effects with
-    | Some (_, e) -> KS.elements e
-    | None -> []
-end
-
-(* ------------------------------------------------------------------ *)
 (* Per-file analysis context                                           *)
+
+(* Classification of a local binding for the escape analysis: what does
+   capturing it hand to a worker domain? *)
+type local_class =
+  | Mut  (** ref / array / Hashtbl / record with mutable fields *)
+  | Safe  (** Atomic.t, Mutex, Condition — shareable by construction *)
+  | Unknown
 
 type ctx = {
   file : string;
   modname : string;
+  lib : string;
   enabled : string -> bool;
   module_defs : SS.t;  (** top-level value names — they shadow stdlib *)
   file_allowed : SS.t;
   comment_allow : (int * SS.t) list;
   mutable allow_stack : string list list;
   shadow : (string, int) Hashtbl.t;
-  db : Effects.db;
+  locals : (string, local_class list) Hashtbl.t;
+      (** innermost-first classification stack per name, maintained in
+          lockstep with [shadow] *)
+  db : Callgraph.t;
   mutable findings : Finding.t list;
   mutable waived : Finding.t list;
 }
 
 let shadow_count ctx n = Option.value ~default:0 (Hashtbl.find_opt ctx.shadow n)
 
+let local_class ctx n =
+  match Hashtbl.find_opt ctx.locals n with
+  | Some (c :: _) -> c
+  | _ -> Unknown
+
 let comment_waived ctx line rule =
   List.exists
     (fun (l, rules) -> l <= line && line - l <= 3 && SS.mem rule rules)
     ctx.comment_allow
+
+(* Is a waiver token (a rule name, or a bless token like
+   [domain_shared]) in scope at [line] through any waiver channel? *)
+let token_in_scope ctx line tok =
+  SS.mem tok ctx.file_allowed
+  || List.exists (List.mem tok) ctx.allow_stack
+  || comment_waived ctx line tok
 
 let emit ?(force_waive = false) ctx ~(loc : Location.t) ~rule message =
   if ctx.enabled rule then begin
@@ -358,12 +70,7 @@ let emit ?(force_waive = false) ctx ~(loc : Location.t) ~rule message =
         message;
       }
     in
-    let allowed =
-      force_waive
-      || SS.mem rule ctx.file_allowed
-      || List.exists (List.mem rule) ctx.allow_stack
-      || comment_waived ctx line rule
-    in
+    let allowed = force_waive || token_in_scope ctx line rule in
     if allowed then ctx.waived <- f :: ctx.waived
     else ctx.findings <- f :: ctx.findings
   end
@@ -384,7 +91,7 @@ let wall_clock_idents =
   ]
 
 let check_ident ctx lid (loc : Location.t) =
-  let path = flatten_lid lid in
+  let path = Syntax.flatten_lid lid in
   (match path with
   | [ "compare" ]
     when shadow_count ctx "compare" = 0
@@ -401,7 +108,7 @@ let check_ident ctx lid (loc : Location.t) =
     emit ctx ~loc ~rule:"ambient-entropy"
       "stdlib Random draws from global, cross-domain shared state; use a \
        seeded Th_sim.Prng stream";
-  match last2 path with
+  match Syntax.last2 path with
   | Some ("Hashtbl", fn) when SS.mem fn hashtbl_order_fns ->
       emit ctx ~loc ~rule:"hashtbl-order"
         (Printf.sprintf
@@ -451,11 +158,11 @@ let rec is_floaty e =
       | Ptyp_constr ({ txt = Longident.Lident "float"; _ }, []) -> true
       | _ -> false)
   | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) -> (
-      match flatten_lid txt with
+      match Syntax.flatten_lid txt with
       | [ op ] when SS.mem op float_ops -> true
       | [ ("float_of_int" | "float_of_string") ] -> true
       | path -> (
-          match last2 path with
+          match Syntax.last2 path with
           | Some ("Float", fn) -> not (SS.mem fn float_non_float_results)
           | _ -> false))
   | _ -> false
@@ -486,31 +193,33 @@ let check_catch_all ctx cases =
       (fun c ->
         List.exists
           (fun n -> SS.mem n sensitive_constructors)
-          (pat_constructors c.pc_lhs))
+          (Syntax.pat_constructors c.pc_lhs))
       cases
   in
   if mentions_sensitive then
     List.iter
       (fun c ->
-        if is_catch_all c.pc_lhs then
+        if Syntax.is_catch_all c.pc_lhs then
           emit ctx ~loc:c.pc_lhs.ppat_loc ~rule:"catch-all-match"
             "catch-all branch in a match over card states or trace events; \
              list the constructors explicitly so new ones force a revisit")
       cases
 
 (* ------------------------------------------------------------------ *)
-(* Rule: mutable globals reachable from Domain-pool closures           *)
+(* Rules at domain-crossing sinks: mutable globals reachable from the  *)
+(* closure (pmap-mutable-global) and captured mutable locals           *)
+(* (escape-capture)                                                    *)
 
 let pmap_callee ctx fn =
   match fn.pexp_desc with
   | Pexp_ident { txt; _ } -> (
-      let path = flatten_lid txt in
+      let path = Syntax.flatten_lid txt in
       match path with
       | [ ("pmap" | "pmap_grouped") ] when shadow_count ctx (List.hd path) = 0
         ->
           Some (List.hd path)
       | _ -> (
-          match last2 path with
+          match Syntax.last2 path with
           | Some ("Pool", ("run" | "map"))
           | Some ("Runners", ("pmap" | "pmap_grouped"))
           | Some ("Scheduler", ("run_cells" | "run_thunks"))
@@ -518,74 +227,107 @@ let pmap_callee ctx fn =
               ( "Plan",
                 ( "cell" | "cell_list" | "costed_list" | "grouped"
                 | "grouped_costed" ) )
-          | Some ("Cell", ("make" | "of_thunk")) ->
+          | Some ("Cell", ("make" | "of_thunk"))
+          | Some ("Domain", "spawn") ->
               Some (String.concat "." path)
           | _ -> None))
   | _ -> None
 
 let check_pmap_site ctx callee args =
   let seen = Hashtbl.create 8 in
-  let report (loc : Location.t) ((gmod, gname) as key) ~via ~blessed =
+  let seen_escape = Hashtbl.create 8 in
+  let report (loc : Location.t) key ~via ~blessed =
     if not (Hashtbl.mem seen (key, loc.loc_start.pos_lnum)) then begin
       Hashtbl.replace seen (key, loc.loc_start.pos_lnum) ();
       let via_s =
         match via with
         | None -> ""
-        | Some (cm, cn) -> Printf.sprintf " (via %s.%s)" cm cn
+        | Some k -> Printf.sprintf " (via %s.%s)" k.Callgraph.modname k.name
       in
       emit ~force_waive:blessed ctx ~loc ~rule:"pmap-mutable-global"
         (Printf.sprintf
-           "mutable global %s.%s (defined at %s) is reachable from a closure \
+           "mutable global %s (defined at %s) is reachable from a closure \
             passed to %s%s; cells run on worker domains, so confine mutable \
             state to the cell or the serial render path"
-           gmod gname
-           (Effects.global_site ctx.db key)
+           (Callgraph.key_to_string key)
+           (Callgraph.global_site ctx.db key)
            callee via_s)
     end
   in
   let blessed_of key =
-    match Effects.global_info ctx.db key with
+    match Callgraph.global_info ctx.db key with
     | Some (_, b) -> b
     | None -> false
   in
   List.iter
     (fun (_, arg) ->
-      iter_unshadowed_idents arg ~f:(fun lid loc ->
+      Syntax.iter_unshadowed_idents arg ~f:(fun lid loc ->
           (* The iterator's own table covers bindings inside [arg]; the
-             ctx table covers locals of the enclosing scope, which are
-             not top-level state either. *)
-          let enclosing_local =
-            match lid with
-            | Longident.Lident n -> shadow_count ctx n > 0
-            | _ -> false
-          in
-          if not enclosing_local then
-            List.iter
-              (fun key ->
-                match Effects.global_info ctx.db key with
-                | Some (_, blessed) -> report loc key ~via:None ~blessed
-                | None ->
-                    List.iter
-                      (fun g ->
-                        report loc g ~via:(Some key) ~blessed:(blessed_of g))
-                      (Effects.def_effects ctx.db key))
-              (Effects.resolve_all ctx.db ctx.modname lid)))
+             ctx tables cover locals of the enclosing scope. An
+             enclosing local is never top-level state, but if it is
+             classified mutable, capturing it ships unsynchronised
+             state to a worker domain: the escape-capture rule. *)
+          match lid with
+          | Longident.Lident n when shadow_count ctx n > 0 -> (
+              match local_class ctx n with
+              | Mut when not (Hashtbl.mem seen_escape n) ->
+                  Hashtbl.replace seen_escape n ();
+                  let line = loc.loc_start.pos_lnum in
+                  emit ctx ~loc ~rule:"escape-capture"
+                    ~force_waive:
+                      (token_in_scope ctx line Syntax.escape_bless_token)
+                    (Printf.sprintf
+                       "local mutable value %S is captured by a closure \
+                        passed to %s and escapes to a worker domain; make it \
+                        domain-local (allocate inside the closure), switch \
+                        to Atomic.t, or bless the capture with [@th.allow \
+                        \"domain_shared <why it is safe>\"]"
+                       n callee)
+              | Mut | Safe | Unknown -> ())
+          | _ ->
+              List.iter
+                (fun key ->
+                  match Callgraph.global_info ctx.db key with
+                  | Some (_, blessed) -> report loc key ~via:None ~blessed
+                  | None ->
+                      List.iter
+                        (fun g ->
+                          report loc g ~via:(Some key) ~blessed:(blessed_of g))
+                        (Callgraph.def_effects ctx.db key))
+                (Callgraph.resolve ctx.db ~cur_lib:ctx.lib ~cur_mod:ctx.modname
+                   lid)))
     args
 
 (* ------------------------------------------------------------------ *)
 (* Main per-file pass                                                  *)
 
+let classify_rhs ctx e =
+  if Callgraph.is_domain_safe_init e then Safe
+  else if Callgraph.is_mutable_init ctx.db ~lib:ctx.lib ~modname:ctx.modname e
+  then Mut
+  else Unknown
+
 let run_structure ctx str =
   let open Ast_iterator in
+  (* [vars] carries (name, classification) pairs so the escape analysis
+     knows what a captured name aliases. *)
   let with_vars ctx vars k =
     List.iter
-      (fun n -> Hashtbl.replace ctx.shadow n (shadow_count ctx n + 1))
+      (fun (n, c) ->
+        Hashtbl.replace ctx.shadow n (shadow_count ctx n + 1);
+        let prev = Option.value ~default:[] (Hashtbl.find_opt ctx.locals n) in
+        Hashtbl.replace ctx.locals n (c :: prev))
       vars;
     k ();
     List.iter
-      (fun n -> Hashtbl.replace ctx.shadow n (shadow_count ctx n - 1))
+      (fun (n, _) ->
+        Hashtbl.replace ctx.shadow n (shadow_count ctx n - 1);
+        match Hashtbl.find_opt ctx.locals n with
+        | Some (_ :: rest) -> Hashtbl.replace ctx.locals n rest
+        | _ -> ())
       vars
   in
+  let unknowns vars = List.map (fun n -> (n, Unknown)) vars in
   let with_allows allows k =
     match allows with
     | [] -> k ()
@@ -594,14 +336,21 @@ let run_structure ctx str =
         k ();
         ctx.allow_stack <- List.tl ctx.allow_stack
   in
+  (* Binding vars with classification: a simple [let x = rhs] gets its
+     RHS classified; destructuring patterns stay Unknown. *)
+  let vb_vars vb =
+    match vb.pvb_pat.ppat_desc with
+    | Ppat_var { txt; _ } -> [ (txt, classify_rhs ctx vb.pvb_expr) ]
+    | _ -> unknowns (Syntax.pat_vars vb.pvb_pat)
+  in
   let rec expr it e =
     let sub e = expr it e in
     let visit_case c =
-      with_vars ctx (pat_vars c.pc_lhs) (fun () ->
+      with_vars ctx (unknowns (Syntax.pat_vars c.pc_lhs)) (fun () ->
           Option.iter sub c.pc_guard;
           sub c.pc_rhs)
     in
-    with_allows (attr_allows e.pexp_attributes) (fun () ->
+    with_allows (Syntax.attr_allows e.pexp_attributes) (fun () ->
         match e.pexp_desc with
         | Pexp_ident { txt; _ } -> check_ident ctx txt e.pexp_loc
         | Pexp_apply (fn, args) ->
@@ -638,9 +387,9 @@ let run_structure ctx str =
                (invalid_arg, Rt.Invalid_heap_state, failwith with the \
                unexpected value)"
         | Pexp_let (rf, vbs, body) ->
-            let vars = List.concat_map (fun vb -> pat_vars vb.pvb_pat) vbs in
+            let vars = List.concat_map vb_vars vbs in
             let visit_vb vb =
-              with_allows (attr_allows vb.pvb_attributes) (fun () ->
+              with_allows (Syntax.attr_allows vb.pvb_attributes) (fun () ->
                   sub vb.pvb_expr)
             in
             (match rf with
@@ -653,7 +402,7 @@ let run_structure ctx str =
                 with_vars ctx vars (fun () -> sub body))
         | Pexp_fun (_, dflt, pat, body) ->
             Option.iter sub dflt;
-            with_vars ctx (pat_vars pat) (fun () -> sub body)
+            with_vars ctx (unknowns (Syntax.pat_vars pat)) (fun () -> sub body)
         | Pexp_function cases ->
             check_catch_all ctx cases;
             List.iter visit_case cases
@@ -667,7 +416,7 @@ let run_structure ctx str =
         | Pexp_for (pat, a, b, _, body) ->
             sub a;
             sub b;
-            with_vars ctx (pat_vars pat) (fun () -> sub body)
+            with_vars ctx (unknowns (Syntax.pat_vars pat)) (fun () -> sub body)
         | _ -> default_iterator.expr it e)
   in
   let structure_item it si =
@@ -675,7 +424,7 @@ let run_structure ctx str =
     | Pstr_value (_, vbs) ->
         List.iter
           (fun vb ->
-            with_allows (attr_allows vb.pvb_attributes) (fun () ->
+            with_allows (Syntax.attr_allows vb.pvb_attributes) (fun () ->
                 default_iterator.value_binding it vb))
           vbs
     | _ -> default_iterator.structure_item it si
@@ -688,7 +437,10 @@ let file_level_allows str =
     (fun acc item ->
       match item.pstr_desc with
       | Pstr_attribute a ->
-          List.fold_left (fun acc r -> SS.add r acc) acc (attr_allows [ a ])
+          List.fold_left
+            (fun acc r -> SS.add r acc)
+            acc
+            (Syntax.attr_allows [ a ])
       | _ -> acc)
     SS.empty str
 
@@ -697,7 +449,7 @@ let analyze ?rules sources =
     String.equal r parse_error_rule
     || match rules with None -> true | Some l -> List.mem r l
   in
-  let db = Effects.build sources in
+  let db = Callgraph.build sources in
   let findings = ref [] and waived = ref [] in
   List.iter
     (fun (s : Source.t) ->
@@ -716,7 +468,8 @@ let analyze ?rules sources =
                       (fun acc vb ->
                         List.fold_left
                           (fun acc n -> SS.add n acc)
-                          acc (pat_vars vb.pvb_pat))
+                          acc
+                          (Syntax.pat_vars vb.pvb_pat))
                       acc vbs
                 | _ -> acc)
               SS.empty str
@@ -725,6 +478,7 @@ let analyze ?rules sources =
             {
               file = s.file;
               modname = s.modname;
+              lib = s.library;
               enabled;
               module_defs;
               file_allowed = file_level_allows str;
@@ -734,12 +488,23 @@ let analyze ?rules sources =
                   (Source.line_waivers s);
               allow_stack = [];
               shadow = Hashtbl.create 16;
+              locals = Hashtbl.create 16;
               db;
               findings = [];
               waived = [];
             }
           in
           run_structure ctx str;
+          (* Atomic-protocol pass: its own traversal (it needs
+             whole-module views of each location), findings funnel
+             through the same emit so file- and comment-level waivers
+             apply uniformly. *)
+          List.iter
+            (fun (r : Atomics.raw) ->
+              emit ctx ~loc:r.loc ~rule:r.rule
+                ~force_waive:(List.mem r.rule r.allows)
+                r.message)
+            (Atomics.analyze str);
           findings := ctx.findings @ !findings;
           waived := ctx.waived @ !waived)
     sources;
@@ -769,3 +534,5 @@ let analyze_files ?rules files =
   in
   let r = analyze ?rules (List.rev parsed) in
   { r with findings = List.sort Finding.compare (errors @ r.findings) }
+
+let callgraph_dump sources = Callgraph.dump (Callgraph.build sources)

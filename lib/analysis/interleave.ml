@@ -1,0 +1,134 @@
+(* Bounded-interleaving explorer, dscheck-style: run a small
+   multi-threaded program under instrumented atomics that yield to a
+   scheduler before every operation, and exhaustively enumerate every
+   schedule of those operations by re-executing the program once per
+   schedule with one-shot effect continuations.
+
+   A "thread" is a plain closure over the instrumented state; the
+   explorer runs them all in a single domain, so the only
+   nondeterminism is the schedule itself, which the explorer owns. A
+   schedule is the sequence of thread ids chosen at each step; a step
+   executes exactly one atomic operation of the chosen thread (the
+   [Yield] is performed immediately before each operation, so a paused
+   thread is always parked right in front of its next atomic access).
+
+   Enumeration is lexicographic depth-first: execute the schedule that
+   extends the forced prefix by always picking the smallest runnable
+   thread, record the runnable set at every step, then branch on every
+   position past the prefix where a larger thread id was runnable.
+   Each complete schedule is executed exactly once; with per-thread
+   operation counts l_0..l_k the schedule count is the multinomial
+   (sum l_i)! / prod (l_i !), which is why callers keep programs to a
+   handful of operations. *)
+
+type _ Effect.t += Yield : unit Effect.t
+
+(* Instrumentation is process-global but only armed while the explorer
+   is stepping threads: program setup and result collection run with
+   [active = false] so their atomic accesses perform no effects. The
+   explorer is strictly single-domain and non-reentrant. *)
+let active = ref false
+
+module Instrumented : Th_exec.Atomic_intf.S = struct
+  type 'a t = 'a Atomic.t
+
+  let yield () = if !active then Effect.perform Yield
+
+  let make v = Atomic.make v
+
+  (* Delegation wrappers: the [Atomic] protocol rules see a CAS and
+     plain accesses on the same polymorphic cell here, but every call
+     is a pass-through on behalf of the instrumented program. *)
+  (* th-lint: allow atomic-plain-read atomic-plain-write *)
+  let get a =
+    yield ();
+    Atomic.get a
+
+  (* th-lint: allow atomic-plain-read atomic-plain-write *)
+  let set a v =
+    yield ();
+    Atomic.set a v
+
+  let compare_and_set a old next =
+    yield ();
+    Atomic.compare_and_set a old next
+end
+
+exception Schedule_limit of int
+
+(* Execute one schedule: follow [forced], then always the smallest
+   runnable thread. Returns the step trace (choice, runnable set) in
+   execution order, plus the program's collected outcome. *)
+let execute (program : unit -> (unit -> unit) array * (unit -> 'r)) forced =
+  let open Effect.Deep in
+  let threads, collect = program () in
+  let n = Array.length threads in
+  let conts : (unit, unit) continuation option array = Array.make n None in
+  let handler i =
+    {
+      retc = (fun () -> ());
+      exnc = (fun e -> raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Yield ->
+              Some (fun (k : (a, unit) continuation) -> conts.(i) <- Some k)
+          | _ -> None);
+    }
+  in
+  let steps = ref [] in
+  Fun.protect
+    ~finally:(fun () -> active := false)
+    (fun () ->
+      active := true;
+      (* Start every thread: it runs its pure prefix and parks at its
+         first atomic operation (or completes if it has none). *)
+      Array.iteri (fun i f -> match_with f () (handler i)) threads;
+      let rec loop forced =
+        let runnable = ref [] in
+        for i = n - 1 downto 0 do
+          if Option.is_some conts.(i) then runnable := i :: !runnable
+        done;
+        match !runnable with
+        | [] -> ()
+        | smallest :: _ ->
+            let choice, rest =
+              match forced with c :: tl -> (c, tl) | [] -> (smallest, [])
+            in
+            steps := (choice, !runnable) :: !steps;
+            (match conts.(choice) with
+            | Some k ->
+                conts.(choice) <- None;
+                continue k ()
+            | None -> invalid_arg "Interleave.execute: forced choice not runnable");
+            loop rest
+      in
+      loop forced;
+      active := false);
+  (List.rev !steps, collect ())
+
+let explore ?(max_schedules = 2_000_000) program =
+  let count = ref 0 in
+  let outcomes = ref [] in
+  let rec go prefix =
+    if !count >= max_schedules then raise (Schedule_limit !count);
+    incr count;
+    let steps, outcome = execute program prefix in
+    outcomes := outcome :: !outcomes;
+    let arr = Array.of_list steps in
+    let plen = List.length prefix in
+    (* Branch on every position past the forced prefix where a larger
+       thread id was runnable; smaller ids were covered by schedules
+       enumerated earlier (the greedy default picks the smallest). *)
+    for i = Array.length arr - 1 downto plen do
+      let chosen, runnable = arr.(i) in
+      let stem =
+        Array.to_list (Array.sub arr 0 i) |> List.map (fun (c, _) -> c)
+      in
+      List.iter
+        (fun alt -> if alt > chosen then go (stem @ [ alt ]))
+        runnable
+    done
+  in
+  go [];
+  (List.rev !outcomes, !count)

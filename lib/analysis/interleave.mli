@@ -1,0 +1,31 @@
+(** Bounded-interleaving explorer (dscheck-style).
+
+    Programs are written against {!Instrumented} (an
+    {!Th_exec.Atomic_intf.S}) and handed to {!explore} as a thunk that
+    performs setup, returns the thread closures, and a collector that
+    reads the outcome after all threads finish. The explorer re-executes
+    the program once per schedule and enumerates {e every} interleaving
+    of the threads' atomic operations — exhaustive, no partial-order
+    reduction, so keep programs to a handful of operations. Setup and
+    collection run uninstrumented (no schedule points). Single-domain
+    and non-reentrant. *)
+
+type _ Effect.t += Yield : unit Effect.t
+
+module Instrumented : Th_exec.Atomic_intf.S
+(** Stdlib [Atomic] that performs {!Yield} before every operation while
+    an exploration is stepping threads. *)
+
+exception Schedule_limit of int
+(** Raised when enumeration exceeds [max_schedules] — the program is
+    too big to check exhaustively, which should fail loudly rather than
+    silently truncate coverage. *)
+
+val explore :
+  ?max_schedules:int ->
+  (unit -> (unit -> unit) array * (unit -> 'r)) ->
+  'r list * int
+(** [explore program] returns the outcome of every complete schedule
+    (in enumeration order, duplicates included — callers dedupe with
+    their own comparator) and the number of schedules executed.
+    [max_schedules] defaults to 2_000_000. *)

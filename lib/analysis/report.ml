@@ -79,6 +79,64 @@ let to_json ?(waived = []) findings =
   Buffer.contents b
 
 (* ------------------------------------------------------------------ *)
+(* SARIF 2.1.0 (minimal profile)                                       *)
+
+(* One run, one driver, every registry rule in the driver's rule
+   metadata; waived findings are emitted as results carrying an
+   inSource suppression, which is how SARIF viewers (and the GitHub
+   code-scanning UI) display "found but deliberately accepted". Only
+   strings and integers are emitted so [of_sarif] can reuse the same
+   dependency-free tokenizer as [of_json]. *)
+let add_sarif_result b ~suppressed (f : Finding.t) =
+  Buffer.add_string b "{\"ruleId\":\"";
+  escape_json b f.rule;
+  Buffer.add_string b "\",\"level\":\"";
+  Buffer.add_string b (Finding.severity_to_string f.severity);
+  Buffer.add_string b "\",\"message\":{\"text\":\"";
+  escape_json b f.message;
+  Buffer.add_string b
+    "\"},\"locations\":[{\"physicalLocation\":{\"artifactLocation\":{\"uri\":\"";
+  escape_json b f.file;
+  Buffer.add_string b "\"},\"region\":{\"startLine\":";
+  Buffer.add_string b (string_of_int f.line);
+  Buffer.add_string b ",\"startColumn\":";
+  (* SARIF columns are 1-based; findings carry 0-based columns. *)
+  Buffer.add_string b (string_of_int (f.col + 1));
+  Buffer.add_string b "}}}]";
+  if suppressed then
+    Buffer.add_string b ",\"suppressions\":[{\"kind\":\"inSource\"}]";
+  Buffer.add_string b "}"
+
+let to_sarif ?(waived = []) findings =
+  let b = Buffer.create 8192 in
+  Buffer.add_string b
+    "{\"version\":\"2.1.0\",\n\
+     \"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\n\
+     \"runs\":[{\"tool\":{\"driver\":{\"name\":\"th-lint\",\"rules\":[";
+  List.iteri
+    (fun i (r : Rule.t) ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b "{\"id\":\"";
+      escape_json b r.name;
+      Buffer.add_string b "\",\"shortDescription\":{\"text\":\"";
+      escape_json b r.synopsis;
+      Buffer.add_string b "\"}}")
+    Rule.all;
+  Buffer.add_string b "]}},\n\"results\":[";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_string b ",\n";
+      add_sarif_result b ~suppressed:false f)
+    findings;
+  List.iteri
+    (fun i f ->
+      if i > 0 || findings <> [] then Buffer.add_string b ",\n";
+      add_sarif_result b ~suppressed:true f)
+    waived;
+  Buffer.add_string b "]}]}\n";
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
 (* JSON reading (exactly the subset written above: objects, arrays,    *)
 (* strings with the escapes we emit, and non-negative integers)        *)
 
@@ -218,4 +276,110 @@ let of_json s =
                 | _ -> Error "trailing tokens")
             | _ -> Error "missing waived array")
         | _ -> Error "missing version/findings header"
+      with Bad m -> Error m)
+
+(* ------------------------------------------------------------------ *)
+(* SARIF reading: a generic value parser over the same tokens, then    *)
+(* navigation down to runs[0].results                                  *)
+
+type json = Obj of (string * json) list | Arr of json list | JStr of string | JNum of int
+
+let rec parse_value = function
+  | Lbrace :: rest -> parse_obj [] rest
+  | Lbrack :: rest -> parse_arr [] rest
+  | Str s :: rest -> (JStr s, rest)
+  | Num n :: rest -> (JNum n, rest)
+  | _ -> raise (Bad "malformed value")
+
+and parse_obj acc = function
+  | Rbrace :: rest -> (Obj (List.rev acc), rest)
+  | Comma :: rest -> parse_obj acc rest
+  | Str k :: Colon :: rest ->
+      let v, rest = parse_value rest in
+      parse_obj ((k, v) :: acc) rest
+  | _ -> raise (Bad "malformed object")
+
+and parse_arr acc = function
+  | Rbrack :: rest -> (Arr (List.rev acc), rest)
+  | Comma :: rest -> parse_arr acc rest
+  | toks ->
+      let v, rest = parse_value toks in
+      parse_arr (v :: acc) rest
+
+let member k = function
+  | Obj fields -> List.assoc_opt k fields
+  | _ -> None
+
+let of_sarif s =
+  match tokenize s with
+  | exception Bad m -> Error m
+  | toks -> (
+      try
+        let doc, rest = parse_value toks in
+        if rest <> [] then raise (Bad "trailing tokens");
+        (match member "version" doc with
+        | Some (JStr "2.1.0") -> ()
+        | _ -> raise (Bad "not a SARIF 2.1.0 document"));
+        let run =
+          match member "runs" doc with
+          | Some (Arr (run :: _)) -> run
+          | _ -> raise (Bad "missing runs")
+        in
+        let results =
+          match member "results" run with
+          | Some (Arr rs) -> rs
+          | _ -> raise (Bad "missing results")
+        in
+        let finding r =
+          let str path = match path with Some (JStr s) -> s | _ -> raise (Bad "missing string") in
+          let rule = str (member "ruleId" r) in
+          let severity =
+            match Finding.severity_of_string (str (member "level" r)) with
+            | Some s -> s
+            | None -> raise (Bad "unknown level")
+          in
+          let message = str (member "message" r |> Option.map (member "text") |> Option.join) in
+          let phys =
+            match member "locations" r with
+            | Some (Arr (l :: _)) -> (
+                match member "physicalLocation" l with
+                | Some p -> p
+                | None -> raise (Bad "missing physicalLocation"))
+            | _ -> raise (Bad "missing locations")
+          in
+          let file =
+            str
+              (member "artifactLocation" phys
+              |> Option.map (member "uri")
+              |> Option.join)
+          in
+          let num path = match path with Some (JNum n) -> n | _ -> raise (Bad "missing number") in
+          let region =
+            match member "region" phys with
+            | Some rg -> rg
+            | None -> raise (Bad "missing region")
+          in
+          let suppressed =
+            match member "suppressions" r with
+            | Some (Arr (_ :: _)) -> true
+            | _ -> false
+          in
+          ( {
+              Finding.file;
+              line = num (member "startLine" region);
+              col = num (member "startColumn" region) - 1;
+              rule;
+              severity;
+              message;
+            },
+            suppressed )
+        in
+        let fs, ws =
+          List.fold_left
+            (fun (fs, ws) r ->
+              let f, suppressed = finding r in
+              if suppressed then (fs, f :: ws) else (f :: fs, ws))
+            ([], []) results
+        in
+        Ok (List.rev fs, List.rev ws)
       with Bad m -> Error m)

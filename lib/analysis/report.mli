@@ -22,3 +22,14 @@ val to_json : ?waived:Finding.t list -> Finding.t list -> string
 
 val of_json : string -> (Finding.t list * Finding.t list, string) result
 (** Parse {!to_json} output back into [(findings, waived)]. *)
+
+val to_sarif : ?waived:Finding.t list -> Finding.t list -> string
+(** SARIF 2.1.0 (minimal profile): one run, driver ["th-lint"] with the
+    full rule registry as rule metadata, one result per finding. Waived
+    findings become results carrying an [inSource] suppression, so
+    SARIF viewers show them as deliberately accepted rather than
+    dropping them. Deterministic output; only strings and integers. *)
+
+val of_sarif : string -> (Finding.t list * Finding.t list, string) result
+(** Parse {!to_sarif} output back into [(findings, waived)] — waived
+    are the suppressed results. Round-trips like {!of_json}. *)

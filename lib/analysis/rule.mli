@@ -6,7 +6,7 @@
     that says what the rule catches, why it matters for bit-exact
     reproduction, and how to waive it. *)
 
-type family = Determinism | Domain_safety | Hygiene
+type family = Determinism | Domain_safety | Atomic_protocol | Hygiene
 
 type t = {
   name : string;

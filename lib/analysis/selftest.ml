@@ -63,6 +63,63 @@ let cases =
         \  !total\n";
     };
     {
+      rule = "escape-capture";
+      positive =
+        "let run pool xs =\n\
+        \  let acc = ref 0 in\n\
+        \  Th_exec.Pool.map pool (fun x -> acc := !acc + x; x) xs\n";
+      negative =
+        "let run pool xs =\n\
+        \  let hits = Atomic.make 0 [@th.atomic \"shared hit counter\"] in\n\
+        \  Th_exec.Pool.map pool (fun x -> Atomic.incr hits; x) xs\n";
+    };
+    {
+      rule = "atomic-missing-role";
+      positive =
+        "let pending = Atomic.make 0\n\nlet bump () = Atomic.incr pending\n";
+      negative =
+        "let pending =\n\
+        \  Atomic.make 0 [@th.atomic \"outstanding cells, bumped via RMW\"]\n\n\
+         let bump () = Atomic.incr pending\n";
+    };
+    {
+      rule = "atomic-plain-write";
+      positive =
+        "type t = { top : int Atomic.t [@th.atomic \"cursor, claimed via CAS\"] }\n\n\
+         let steal t =\n\
+        \  let v = Atomic.get t.top in\n\
+        \  if Atomic.compare_and_set t.top v (v + 1) then Some v else None\n\n\
+         let reset t = Atomic.set t.top 0\n";
+      negative =
+        "type t = { top : int Atomic.t [@th.atomic \"cursor, claimed via CAS\"] }\n\n\
+         let steal t =\n\
+        \  let v = Atomic.get t.top in\n\
+        \  if Atomic.compare_and_set t.top v (v + 1) then Some v else None\n";
+    };
+    {
+      rule = "atomic-plain-read";
+      positive =
+        "type t = { size : int Atomic.t [@th.atomic \"count, reconciled via CAS\"] }\n\n\
+         let rec add t n =\n\
+        \  let v = Atomic.get t.size in\n\
+        \  if not (Atomic.compare_and_set t.size v (v + n)) then add t n\n\n\
+         let peek t = Atomic.get t.size\n";
+      negative =
+        "type t = { size : int Atomic.t [@th.atomic \"count, reconciled via CAS\"] }\n\n\
+         let rec add t n =\n\
+        \  let v = Atomic.get t.size in\n\
+        \  if not (Atomic.compare_and_set t.size v (v + n)) then add t n\n";
+    };
+    {
+      rule = "atomic-check-then-act";
+      positive =
+        "let closed = Atomic.make false [@th.atomic \"one-shot shutdown latch\"]\n\n\
+         let shutdown () = if not (Atomic.get closed) then Atomic.set closed true\n";
+      negative =
+        "let closed = Atomic.make false [@th.atomic \"one-shot shutdown latch\"]\n\n\
+         let shutdown () = ignore (Atomic.compare_and_set closed false true)\n";
+    };
+    {
       rule = "catch-all-match";
       positive =
         "type state = Clean | Dirty | Young_gen | Old_gen\n\n\
@@ -153,6 +210,21 @@ let run () =
   | Ok (fs', ws') ->
       check "JSON report round-trips" (fs' = fs && ws' = fs)
   | Error m -> failures := ("JSON round-trip failed: " ^ m) :: !failures);
+  (match Report.of_sarif (Report.to_sarif ~waived:fs fs) with
+  | Ok (fs', ws') ->
+      check "SARIF report round-trips" (fs' = fs && ws' = fs)
+  | Error m -> failures := ("SARIF round-trip failed: " ^ m) :: !failures);
+  (* The bounded-interleaving harness: the real deque must pass the
+     quick configurations, and the seeded-bug variant must fail at
+     least one — otherwise the harness has lost its teeth. *)
+  check "interleave: deque linearizable under quick configs"
+    (List.for_all
+       (fun (r : Deque_check.report) -> r.violations = [])
+       (Deque_check.check ()));
+  check "interleave: seeded-bug deque rejected"
+    (List.exists
+       (fun (r : Deque_check.report) -> r.violations <> [])
+       (Deque_check.check_buggy ()));
   match !failures with
   | [] -> Ok !passed
   | msgs -> Error (List.rev msgs)

@@ -5,12 +5,30 @@ type ast =
 type t = {
   file : string;
   modname : string;
+  library : string;
   ast : ast;
   comments : (string * Location.t) list;
 }
 
 let modname_of_file file =
   String.capitalize_ascii Filename.(remove_extension (basename file))
+
+(* Library tag from the path, mirroring the dune layout: lib/<d>/x.ml
+   belongs to library th_<d> (whose wrapper module is Th_<d>); bin/ and
+   bench/ hold unwrapped executables; anything else (tests, fixtures,
+   snippets fed to [parse_string]) gets the anonymous library "". *)
+let library_of_file file =
+  let segs =
+    String.split_on_char '/' file |> List.filter (fun s -> s <> "" && s <> ".")
+  in
+  let rec find = function
+    | "lib" :: d :: _ :: _ -> "th_" ^ d
+    | "bin" :: _ :: _ -> "bin"
+    | "bench" :: _ :: _ -> "bench"
+    | _ :: rest -> find rest
+    | [] -> ""
+  in
+  find segs
 
 let parse_string ~file source =
   let lexbuf = Lexing.from_string source in
@@ -24,7 +42,14 @@ let parse_string ~file source =
     else Structure (Parse.implementation lexbuf)
   with
   | ast ->
-      Ok { file; modname = modname_of_file file; ast; comments = Lexer.comments () }
+      Ok
+        {
+          file;
+          modname = modname_of_file file;
+          library = library_of_file file;
+          ast;
+          comments = Lexer.comments ();
+        }
   | exception exn -> (
       match Location.error_of_exn exn with
       | Some (`Ok report) ->

@@ -1,0 +1,23 @@
+(* The atomic operations the work-stealing deque needs, as a functor
+   argument so the bounded-interleaving checker (Th_analysis.Interleave)
+   can thread an instrumented implementation that yields to a schedule
+   explorer before every operation. Production code instantiates with
+   [Default] = stdlib [Atomic]. *)
+
+module type S = sig
+  type 'a t
+
+  val make : 'a -> 'a t
+  val get : 'a t -> 'a
+  val set : 'a t -> 'a -> unit
+  val compare_and_set : 'a t -> 'a -> 'a -> bool
+end
+
+module Default : S with type 'a t = 'a Atomic.t = struct
+  type 'a t = 'a Atomic.t
+
+  let make = Atomic.make
+  let get = Atomic.get
+  let set = Atomic.set
+  let compare_and_set = Atomic.compare_and_set
+end

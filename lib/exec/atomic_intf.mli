@@ -1,0 +1,17 @@
+(** Atomic operations as a functor argument.
+
+    {!Deque.Make} is parameterised over this signature so the
+    bounded-interleaving checker can substitute an instrumented
+    implementation that yields control to a schedule explorer before
+    every atomic operation; {!Default} is the stdlib [Atomic]. *)
+
+module type S = sig
+  type 'a t
+
+  val make : 'a -> 'a t
+  val get : 'a t -> 'a
+  val set : 'a t -> 'a -> unit
+  val compare_and_set : 'a t -> 'a -> 'a -> bool
+end
+
+module Default : S with type 'a t = 'a Atomic.t

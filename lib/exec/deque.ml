@@ -11,66 +11,97 @@
    CAS(top, t, t+1); the owner claims slot [b-1] by publishing
    [bottom := b-1] first and falling back to the same CAS when only
    one element remains, so owner and thief can never both win the
-   last slot. *)
+   last slot.
 
-type t = {
-  buf : int array;
-  top : int Atomic.t;  (* next slot thieves claim *)
-  bottom : int Atomic.t;  (* next free slot; owner pops at bottom-1 *)
-}
+   The implementation is a functor over the atomic primitives so the
+   bounded-interleaving checker (Th_analysis.Interleave) can run the
+   very same code under an instrumented Atomic that yields to a
+   schedule explorer before every operation; production code uses the
+   [include Make (Atomic_intf.Default)] at the bottom. *)
 
-let empty_id = -1
+module type S = sig
+  type t
 
-let create ~capacity =
-  {
-    buf = Array.make (max 1 capacity) empty_id;
-    top = Atomic.make 0;
-    bottom = Atomic.make 0;
+  val create : capacity:int -> t
+  val push : t -> int -> unit
+  val pop : t -> int option
+  val steal : t -> int option
+  val size : t -> int
+  val is_empty : t -> bool
+  val reset : t -> unit
+end
+
+module Make (A : Atomic_intf.S) = struct
+  type t = {
+    buf : int array;
+    top : int A.t; [@th.atomic "next slot thieves claim; stolen via CAS"]
+    bottom : int A.t;
+        [@th.atomic
+          "next free slot, owner pops at bottom-1; owner-written, \
+           thief-read"]
   }
 
-(* Owner only, before the batch handshake (or with no concurrent
-   thieves): no ordering needed beyond the publishing handshake. *)
-let push t x =
-  let b = Atomic.get t.bottom in
-  if b >= Array.length t.buf then invalid_arg "Deque.push: capacity exceeded";
-  t.buf.(b) <- x;
-  Atomic.set t.bottom (b + 1)
+  let empty_id = -1
 
-(* Owner end. Publish the decremented bottom before reading top so a
-   concurrent thief either sees the smaller bottom (and gives up on the
-   last element) or wins the CAS race that [pop] then loses. *)
-let pop t =
-  let b = Atomic.get t.bottom - 1 in
-  Atomic.set t.bottom b;
-  let tp = Atomic.get t.top in
-  if b > tp then Some t.buf.(b)
-  else if b = tp then begin
-    (* Single element left: race thieves for it via the top CAS. *)
-    let won = Atomic.compare_and_set t.top tp (tp + 1) in
-    Atomic.set t.bottom (tp + 1);
-    if won then Some t.buf.(b) else None
-  end
-  else begin
-    (* Already empty: restore the canonical empty state. *)
-    Atomic.set t.bottom (b + 1);
-    None
-  end
+  let create ~capacity =
+    {
+      buf = Array.make (max 1 capacity) empty_id;
+      top = A.make 0;
+      bottom = A.make 0;
+    }
 
-(* Thief end: claim the top slot with a CAS. A lost CAS means another
-   thief (or the owner, on the last element) won; report [None] and let
-   the caller rescan victims. *)
-let steal t =
-  let tp = Atomic.get t.top in
-  let b = Atomic.get t.bottom in
-  if tp >= b then None
-  else
-    let x = t.buf.(tp) in
-    if Atomic.compare_and_set t.top tp (tp + 1) then Some x else None
+  (* Owner only, before the batch handshake (or with no concurrent
+     thieves): no ordering needed beyond the publishing handshake. *)
+  let push t x =
+    let b = A.get t.bottom in
+    if b >= Array.length t.buf then invalid_arg "Deque.push: capacity exceeded";
+    t.buf.(b) <- x;
+    A.set t.bottom (b + 1)
 
-let size t = max 0 (Atomic.get t.bottom - Atomic.get t.top)
+  (* Owner end. Publish the decremented bottom before reading top so a
+     concurrent thief either sees the smaller bottom (and gives up on the
+     last element) or wins the CAS race that [pop] then loses. *)
+  let pop t =
+    let b = A.get t.bottom - 1 in
+    A.set t.bottom b;
+    let tp = A.get t.top in
+    if b > tp then Some t.buf.(b)
+    else if b = tp then begin
+      (* Single element left: race thieves for it via the top CAS. *)
+      let won = A.compare_and_set t.top tp (tp + 1) in
+      A.set t.bottom (tp + 1);
+      if won then Some t.buf.(b) else None
+    end
+    else begin
+      (* Already empty: restore the canonical empty state. *)
+      A.set t.bottom (b + 1);
+      None
+    end
 
-let is_empty t = size t = 0
+  (* Thief end: claim the top slot with a CAS. A lost CAS means another
+     thief (or the owner, on the last element) won; report [None] and let
+     the caller rescan victims. *)
+  let steal t =
+    let tp = A.get t.top in
+    let b = A.get t.bottom in
+    if tp >= b then None
+    else
+      let x = t.buf.(tp) in
+      if A.compare_and_set t.top tp (tp + 1) then Some x else None
 
-let reset t =
-  Atomic.set t.top 0;
-  Atomic.set t.bottom 0
+  (* th-lint: allow atomic-plain-read — size is an advisory snapshot by
+     contract (victim-scan heuristics); staleness is documented in the
+     interface. *)
+  let size t = max 0 (A.get t.bottom - A.get t.top)
+
+  let is_empty t = size t = 0
+
+  (* th-lint: allow atomic-plain-write — reset runs on the submitting
+     domain between batches, after the epoch barrier has quiesced every
+     worker: no thief can be racing the store to top. *)
+  let reset t =
+    A.set t.top 0;
+    A.set t.bottom 0
+end
+
+include Make (Atomic_intf.Default)

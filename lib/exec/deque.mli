@@ -4,29 +4,40 @@
     index. Specialised for the scheduler's batch discipline: deques are
     seeded (and [reset]) between batches by the submitting domain —
     the batch-start handshake publishes the seeded state — so the
-    fixed-capacity buffer never grows or wraps mid-batch. *)
+    fixed-capacity buffer never grows or wraps mid-batch.
 
-type t
+    The implementation is a functor over {!Atomic_intf.S} so the
+    bounded-interleaving checker can run the same code under
+    instrumented atomics; the toplevel values are
+    [Make (Atomic_intf.Default)]. *)
 
-val create : capacity:int -> t
-(** Capacity is the maximum number of ids ever pushed between two
-    [reset]s (the batch's chunk count). *)
+module type S = sig
+  type t
 
-val push : t -> int -> unit
-(** Owner only; raises [Invalid_argument] past capacity. *)
+  val create : capacity:int -> t
+  (** Capacity is the maximum number of ids ever pushed between two
+      [reset]s (the batch's chunk count). *)
 
-val pop : t -> int option
-(** Owner end (LIFO). Safe against concurrent {!steal}s: on the last
-    element both sides race a CAS and exactly one wins. *)
+  val push : t -> int -> unit
+  (** Owner only; raises [Invalid_argument] past capacity. *)
 
-val steal : t -> int option
-(** Thief end (FIFO). [None] means empty {e or} a lost race — callers
-    rescan victims either way. *)
+  val pop : t -> int option
+  (** Owner end (LIFO). Safe against concurrent {!steal}s: on the last
+      element both sides race a CAS and exactly one wins. *)
 
-val size : t -> int
-(** Snapshot; may be stale under concurrency. *)
+  val steal : t -> int option
+  (** Thief end (FIFO). [None] means empty {e or} a lost race — callers
+      rescan victims either way. *)
 
-val is_empty : t -> bool
+  val size : t -> int
+  (** Snapshot; may be stale under concurrency. *)
 
-val reset : t -> unit
-(** Owner/submitter only, between batches. *)
+  val is_empty : t -> bool
+
+  val reset : t -> unit
+  (** Owner/submitter only, between batches. *)
+end
+
+module Make (_ : Atomic_intf.S) : S
+
+include S

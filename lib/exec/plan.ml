@@ -25,14 +25,17 @@ let cell b ?label ?cost f =
     | Some l -> l
     | None -> Printf.sprintf "cell-%d" b.count
   in
-  let slot = ref None in
+  (* The slot is written by whichever worker domain runs the cell and
+     read by the coordinator after the batch; Atomic publication makes
+     the hand-off explicit rather than leaning on the join fence. *)
+  let slot = Atomic.make None [@th.atomic "cell result, written once by the executing domain"] in
   let c =
-    Cell.make ~label ?cost ~lane:b.count (fun () -> slot := Some (f ()))
+    Cell.make ~label ?cost ~lane:b.count (fun () -> Atomic.set slot (Some (f ())))
   in
   b.rev_cells <- c :: b.rev_cells;
   b.count <- b.count + 1;
   fun () ->
-    match !slot with
+    match Atomic.get slot with
     | Some v -> v
     | None ->
         failwith

@@ -48,8 +48,17 @@ type t = {
   mutable deques : Deque.t array;
   mutable run_chunk : int -> unit;
   remaining : int Atomic.t;
+      [@th.atomic
+        "outstanding cells this batch; decremented via RMW by every \
+         executing domain, plain-set only while workers are quiesced"]
   steals : int Atomic.t;
+      [@th.atomic
+        "successful steals this batch; bumped via RMW by thieves, \
+         plain-set only while workers are quiesced"]
   steal_scans : int Atomic.t;
+      [@th.atomic
+        "victim scans this batch; bumped via RMW by thieves, plain-set \
+         only while workers are quiesced"]
   mutable last : batch_stats;
 }
 
@@ -149,6 +158,9 @@ let create ?(oversubscribe = 4) ~jobs () =
     }
   in
   if jobs > 1 then
+    (* th-lint: allow domain_shared — workers share the scheduler record
+       by design: hot fields are Atomic.t, the rest are written only
+       under [mutex] or while every worker is parked (quiesced). *)
     t.workers <-
       List.init (jobs - 1) (fun i -> Domain.spawn (fun () -> worker t (i + 1)));
   t
@@ -282,6 +294,9 @@ let run_cells ?pin ?(chunk_max = 16) t cells =
           (fun d ids -> List.iter (fun c -> Deque.push t.deques.(d) c) ids)
           per_domain;
         t.run_chunk <- run_chunk;
+        (* th-lint: allow atomic-plain-write — batch-boundary publish:
+           every worker is parked on [quiesced] here, so no RMW can race
+           with these stores; the epoch broadcast republishes them. *)
         Atomic.set t.remaining n;
         Atomic.set t.steals 0;
         Atomic.set t.steal_scans 0;

@@ -1,0 +1,3 @@
+let closed = Atomic.make false [@th.atomic "one-shot shutdown latch"]
+
+let shutdown () = ignore (Atomic.compare_and_set closed false true)

@@ -1,0 +1,3 @@
+let closed = Atomic.make false [@th.atomic "one-shot shutdown latch"]
+
+let shutdown () = if not (Atomic.get closed) then Atomic.set closed true

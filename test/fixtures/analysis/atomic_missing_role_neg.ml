@@ -1,0 +1,4 @@
+let pending =
+  Atomic.make 0 [@th.atomic "outstanding cells, bumped via RMW"]
+
+let bump () = Atomic.incr pending

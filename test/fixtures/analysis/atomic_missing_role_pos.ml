@@ -1,0 +1,3 @@
+let pending = Atomic.make 0
+
+let bump () = Atomic.incr pending

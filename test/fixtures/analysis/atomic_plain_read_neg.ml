@@ -1,0 +1,5 @@
+type t = { size : int Atomic.t [@th.atomic "count, reconciled via CAS"] }
+
+let rec add t n =
+  let v = Atomic.get t.size in
+  if not (Atomic.compare_and_set t.size v (v + n)) then add t n

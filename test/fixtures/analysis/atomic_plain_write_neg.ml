@@ -1,0 +1,5 @@
+type t = { top : int Atomic.t [@th.atomic "cursor, claimed via CAS"] }
+
+let steal t =
+  let v = Atomic.get t.top in
+  if Atomic.compare_and_set t.top v (v + 1) then Some v else None

@@ -1,0 +1,7 @@
+type t = { top : int Atomic.t [@th.atomic "cursor, claimed via CAS"] }
+
+let steal t =
+  let v = Atomic.get t.top in
+  if Atomic.compare_and_set t.top v (v + 1) then Some v else None
+
+let reset t = Atomic.set t.top 0

@@ -1,0 +1,3 @@
+let run pool xs =
+  let hits = Atomic.make 0 [@th.atomic "shared hit counter"] in
+  Th_exec.Pool.map pool (fun x -> Atomic.incr hits; x) xs

@@ -1,0 +1,3 @@
+let run pool xs =
+  let acc = ref 0 in
+  Th_exec.Pool.map pool (fun x -> acc := !acc + x; x) xs

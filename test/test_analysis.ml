@@ -156,6 +156,36 @@ let prop_waived_never_reported =
           (not (has_rule c.rule r.Engine.findings))
           && has_rule c.rule r.Engine.waived)
 
+(* qcheck: the escape-capture bless token diverts, never drops — a
+   [domain_shared] allow WITH a justification moves the finding to
+   waived; a bare token (no justification) waives nothing. *)
+let prop_domain_shared_diverts =
+  let justification =
+    QCheck.Gen.(
+      string_size ~gen:(char_range 'a' 'z') (int_range 1 12) >>= fun w1 ->
+      string_size ~gen:(char_range 'a' 'z') (int_range 1 12) >>= fun w2 ->
+      return (w1 ^ " " ^ w2))
+  in
+  QCheck.Test.make ~count:50
+    ~name:"domain_shared bless diverts findings, bare token does not"
+    (QCheck.make QCheck.Gen.(pair justification bool))
+    (fun (why, justified) ->
+      let case =
+        List.find
+          (fun (c : Selftest.case) -> String.equal c.rule "escape-capture")
+          Selftest.cases
+      in
+      let payload = if justified then "domain_shared " ^ why else "domain_shared" in
+      let src = Printf.sprintf "[@@@th.allow %S]\n%s" payload case.positive in
+      match Source.parse_string ~file:"bench/bless_probe.ml" src with
+      | Error m -> QCheck.Test.fail_reportf "probe does not parse: %s" m
+      | Ok s ->
+          let r = Engine.analyze [ s ] in
+          let reported = has_rule "escape-capture" r.Engine.findings in
+          let waived = has_rule "escape-capture" r.Engine.waived in
+          if justified then (not reported) && waived
+          else reported && not waived)
+
 (* ------------------------------------------------------------------ *)
 (* JSON round-trip                                                     *)
 
@@ -180,6 +210,61 @@ let prop_json_roundtrip =
       match Report.of_json (Report.to_json ~waived findings) with
       | Ok (fs, ws) -> fs = findings && ws = waived
       | Error m -> QCheck.Test.fail_reportf "of_json failed: %s" m)
+
+(* ------------------------------------------------------------------ *)
+(* SARIF                                                               *)
+
+let prop_sarif_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"SARIF report round-trips"
+    QCheck.(pair (small_list arbitrary_finding) (small_list arbitrary_finding))
+    (fun (findings, waived) ->
+      match Report.of_sarif (Report.to_sarif ~waived findings) with
+      | Ok (fs, ws) -> fs = findings && ws = waived
+      | Error m -> QCheck.Test.fail_reportf "of_sarif failed: %s" m)
+
+let test_sarif_shape () =
+  let f rule line =
+    {
+      Finding.file = "lib/exec/deque.ml";
+      line;
+      col = 4;
+      rule;
+      severity = Finding.Error;
+      message = "probe";
+    }
+  in
+  let doc =
+    Report.to_sarif
+      ~waived:[ f "atomic-plain-write" 9 ]
+      [ f "escape-capture" 3 ]
+  in
+  List.iter
+    (fun needle ->
+      if not (contains_sub doc needle) then
+        Alcotest.failf "SARIF output lacks %S" needle)
+    [
+      "\"version\":\"2.1.0\"";
+      "\"name\":\"th-lint\"";
+      (* rule metadata: every registered rule is listed in the driver *)
+      "\"id\":\"escape-capture\"";
+      "\"id\":\"atomic-check-then-act\"";
+      (* 0-based finding col 4 becomes 1-based SARIF startColumn 5 *)
+      "\"startColumn\":5";
+      (* the waived finding is suppressed, not dropped *)
+      "\"suppressions\"";
+      "\"kind\":\"inSource\"";
+    ];
+  (* exactly one result carries a suppression *)
+  let count_sub hay needle =
+    let nl = String.length needle in
+    let rec go i acc =
+      if i + nl > String.length hay then acc
+      else if String.sub hay i nl = needle then go (i + 1) (acc + 1)
+      else go (i + 1) acc
+    in
+    go 0 0
+  in
+  Alcotest.(check int) "one suppressed result" 1 (count_sub doc "suppressions")
 
 (* ------------------------------------------------------------------ *)
 (* CLI contract pieces that live in the library                        *)
@@ -210,7 +295,10 @@ let suite =
     Alcotest.test_case "attribute waiver diverts, not drops" `Quick
       test_waiver_attribute_fixture;
     QCheck_alcotest.to_alcotest prop_waived_never_reported;
+    QCheck_alcotest.to_alcotest prop_domain_shared_diverts;
     QCheck_alcotest.to_alcotest prop_json_roundtrip;
+    QCheck_alcotest.to_alcotest prop_sarif_roundtrip;
+    Alcotest.test_case "SARIF document shape" `Quick test_sarif_shape;
     Alcotest.test_case "rule registry lookups" `Quick test_explain_unknown_rule;
     Alcotest.test_case "embedded self-test passes" `Quick test_selftest_passes;
   ]
