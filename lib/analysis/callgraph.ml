@@ -175,15 +175,22 @@ let resolve t ~cur_lib ~cur_mod lid =
           t.defs;
         match !hits with [ k ] -> [ k ] | _ -> [])
   | path -> (
-      match List.rev path with
-      | n :: m :: rest -> (
-          match rest with
-          | w :: _ when Hashtbl.mem t.wrappers w ->
-              let lib = Hashtbl.find t.wrappers w in
-              let k = { lib; modname = m; name = n } in
-              if exists k then [ k ] else []
-          | _ -> by_module m n)
-      | _ -> [])
+      (* A module nested in the current unit shadows every compilation
+         unit of the same name — its bindings are keyed by dotted path. *)
+      let local =
+        { lib = cur_lib; modname = cur_mod; name = String.concat "." path }
+      in
+      if exists local then [ local ]
+      else
+        match List.rev path with
+        | n :: m :: rest -> (
+            match rest with
+            | w :: _ when Hashtbl.mem t.wrappers w ->
+                let lib = Hashtbl.find t.wrappers w in
+                let k = { lib; modname = m; name = n } in
+                if exists k then [ k ] else []
+            | _ -> by_module m n)
+        | _ -> [])
 
 let build (sources : Source.t list) =
   let t =
@@ -232,38 +239,56 @@ let build (sources : Source.t list) =
           if not (SS.is_empty !muts) then
             Hashtbl.replace t.mutable_fields (s.library, s.modname) !muts)
     sources;
-  (* Pass 1: top-level bindings — mutable globals and function defs. *)
+  (* Pass 1: bindings — mutable globals and function defs. Nested
+     modules are walked too, their bindings keyed by the dotted path
+     inside the unit (["Recorder.note"]), so a unit-local module that
+     happens to share its name with another library's compilation unit
+     shadows it during resolution instead of aliasing into it. *)
   List.iter
     (fun (s : Source.t) ->
       match s.ast with
       | Source.Signature _ -> ()
       | Source.Structure str ->
-          List.iter
-            (fun item ->
-              match item.pstr_desc with
-              | Pstr_value (_, vbs) ->
-                  List.iter
-                    (fun vb ->
-                      match vb.pvb_pat.ppat_desc with
-                      | Ppat_var { txt; _ } ->
-                          let key =
-                            { lib = s.library; modname = s.modname; name = txt }
-                          in
-                          if
-                            is_mutable_init t ~lib:s.library ~modname:s.modname
-                              vb.pvb_expr
-                          then
-                            let blessed =
-                              List.mem "pmap-mutable-global"
-                                (Syntax.attr_allows vb.pvb_attributes)
-                            in
-                            Hashtbl.replace t.globals key
-                              { site = vb.pvb_loc; blessed }
-                          else Hashtbl.replace t.defs key vb.pvb_expr
-                      | _ -> ())
-                    vbs
-              | _ -> ())
-            str)
+          let record ~prefix vb =
+            match vb.pvb_pat.ppat_desc with
+            | Ppat_var { txt; _ } ->
+                let name =
+                  match prefix with [] -> txt | _ -> String.concat "." (prefix @ [ txt ])
+                in
+                let key = { lib = s.library; modname = s.modname; name } in
+                if is_mutable_init t ~lib:s.library ~modname:s.modname vb.pvb_expr
+                then
+                  let blessed =
+                    List.mem "pmap-mutable-global"
+                      (Syntax.attr_allows vb.pvb_attributes)
+                  in
+                  Hashtbl.replace t.globals key { site = vb.pvb_loc; blessed }
+                else Hashtbl.replace t.defs key vb.pvb_expr
+            | _ -> ()
+          in
+          let rec walk ~prefix items =
+            List.iter
+              (fun item ->
+                match item.pstr_desc with
+                | Pstr_value (_, vbs) -> List.iter (record ~prefix) vbs
+                | Pstr_module mb -> walk_mod ~prefix mb
+                | Pstr_recmodule mbs -> List.iter (walk_mod ~prefix) mbs
+                | _ -> ())
+              items
+          and walk_mod ~prefix mb =
+            match mb.pmb_name.txt with
+            | None -> ()
+            | Some m -> (
+                let rec body me =
+                  match me.pmod_desc with
+                  | Pmod_structure items ->
+                      walk ~prefix:(prefix @ [ m ]) items
+                  | Pmod_constraint (me, _) -> body me
+                  | _ -> ()
+                in
+                body mb.pmb_expr)
+          in
+          walk ~prefix:[] str)
     sources;
   (* Pass 2: direct effects and call edges per def. *)
   let direct : (key * (KS.t * KS.t)) list =

@@ -106,6 +106,62 @@ let test_pmap_acceptance () =
           (String.concat "; " (List.map (fun f -> f.Finding.message) fs))
 
 (* ------------------------------------------------------------------ *)
+(* Cross-library escape propagation: a bench closure that reaches a    *)
+(* mutable global in lib/metrics through TWO hops and a library        *)
+(* boundary is still flagged. Regression for the old analyzer, which   *)
+(* resolved calls only inside one library and was blind to this.       *)
+
+let parse_ok ~file src =
+  match Source.parse_string ~file src with
+  | Ok s -> s
+  | Error m -> Alcotest.failf "%s does not parse: %s" file m
+
+let test_cross_library_two_hop () =
+  (* lib/metrics/recorder.ml — the mutation lives two calls deep. *)
+  let metrics =
+    parse_ok ~file:"lib/metrics/recorder.ml"
+      "let counts : (string, int) Hashtbl.t = Hashtbl.create 16\n\
+       let bump k =\n\
+      \  let n = Option.value ~default:0 (Hashtbl.find_opt counts k) in\n\
+      \  Hashtbl.replace counts k (n + 1)\n\
+       let note k = bump k\n"
+  in
+  (* bench/driver.ml — a local module with the SAME name as the metrics
+     one, but pure: resolution must pick Th_metrics.Recorder for the
+     wrapped path and the local Recorder for the bare one. *)
+  let bench =
+    parse_ok ~file:"bench/driver.ml"
+      "module Recorder = struct\n\
+      \  let note k = String.length k\n\
+       end\n\
+       let tainted pool xs =\n\
+      \  Th_exec.Pool.map pool (fun x -> Th_metrics.Recorder.note x) xs\n\
+       let clean pool xs = Th_exec.Pool.map pool (fun x -> Recorder.note x) xs\n"
+  in
+  let r = Engine.analyze [ metrics; bench ] in
+  let pmap =
+    List.filter
+      (fun f -> String.equal f.Finding.rule "pmap-mutable-global")
+      r.Engine.findings
+  in
+  (match pmap with
+  | [] ->
+      Alcotest.fail
+        "two-hop bench -> lib/metrics mutation not flagged (cross-library \
+         propagation regressed)"
+  | fs ->
+      if not (List.for_all (fun f -> f.Finding.file = "bench/driver.ml") fs)
+      then Alcotest.fail "finding not attributed to the capturing bench file";
+      if not (List.exists (fun f -> contains_sub f.Finding.message "counts") fs)
+      then
+        Alcotest.failf "finding does not name the mutated global: %s"
+          (String.concat "; " (List.map (fun f -> f.Finding.message) fs)));
+  (* Exactly one closure is tainted: the pure local Recorder.note must
+     not pick up the th_metrics effect summary through the name clash. *)
+  Alcotest.(check int) "only the Th_metrics call site is flagged" 1
+    (List.length pmap)
+
+(* ------------------------------------------------------------------ *)
 (* Waivers divert findings, never drop them                            *)
 
 let test_waiver_comment_fixture () =
@@ -290,6 +346,8 @@ let suite =
       test_registry_covered;
     Alcotest.test_case "pmap cell mutating a global is flagged by name" `Quick
       test_pmap_acceptance;
+    Alcotest.test_case "two-hop cross-library mutation is flagged" `Quick
+      test_cross_library_two_hop;
     Alcotest.test_case "comment waiver diverts, not drops" `Quick
       test_waiver_comment_fixture;
     Alcotest.test_case "attribute waiver diverts, not drops" `Quick
