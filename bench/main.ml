@@ -35,6 +35,9 @@ let sections : (string * string * (unit -> Plan.section)) list =
     ("fig12", "NVM server: Spark-SD, Spark-MO, Panthera", Fig12.plan);
     ("fig13", "scaling with threads and dataset size", Fig13.plan);
     ("extras", "write-barrier overhead; union-find ablation", Extras.plan);
+    ( "tournament",
+      "H2 placement-policy tournament with oracle upper bound",
+      Tournament.plan );
     ("soak", "chaos soak: streaming under phased faults, breaker A/B", Soak.plan);
     ("micro", "bechamel micro-benchmarks", Micro.plan);
   ]

@@ -105,7 +105,7 @@ let spark_label = function
   | Th -> "TeraHeap"
   | Th_nvm -> "TeraHeap"
 
-let run_spark ?(threads = 8) ?dram ?dataset_scale ?h2_config system
+let run_spark ?(threads = 8) ?dram ?dataset_scale ?h2_config ?policy system
     (p : Spark_profiles.t) =
   let costs = costs ~threads () in
   let dram = match dram with Some d -> d | None -> default_dram p in
@@ -120,21 +120,22 @@ let run_spark ?(threads = 8) ?dram ?dataset_scale ?h2_config system
     | G1 -> Setups.spark_sd ~collector:Rt.G1 ~costs ~heap_gb ()
     | Panthera -> Setups.spark_panthera ~costs ~heap_gb:64 ()
     | Th ->
-        Setups.spark_teraheap ~costs ?h2_config
+        Setups.spark_teraheap ~costs ?h2_config ?policy
           ~huge_pages:p.Spark_profiles.sequential ~h1_gb:heap_gb
           ~dr2_gb:Spark_profiles.dr2_gb ()
     | Th_nvm ->
         Setups.spark_teraheap ~device_kind:Device.Nvm_app_direct ~costs
-          ?h2_config ~huge_pages:p.Spark_profiles.sequential ~h1_gb:heap_gb
-          ~dr2_gb:Spark_profiles.dr2_gb ()
+          ?h2_config ?policy ~huge_pages:p.Spark_profiles.sequential
+          ~h1_gb:heap_gb ~dr2_gb:Spark_profiles.dr2_gb ()
   in
   let label = Printf.sprintf "%s @%dGB" (spark_label system) dram in
-  Spark_driver.run ?dataset_scale ~label setup.Setups.ctx p
+  Spark_driver.run ?dataset_scale ?h2_device:setup.Setups.h2_device ~label
+    setup.Setups.ctx p
 
 type giraph_system = Ooc | G_th
 
-let run_giraph ?(threads = 8) ?(small_dram = false) ?scale ?h2_config ?seed
-    ?h1_gb system (p : Giraph_profiles.t) =
+let run_giraph ?(threads = 8) ?(small_dram = false) ?scale ?h2_config ?policy
+    ?seed ?h1_gb system (p : Giraph_profiles.t) =
   let seed = match seed with Some _ -> seed | None -> !giraph_seed in
   let costs = costs ~threads () in
   let delta =
@@ -159,14 +160,15 @@ let run_giraph ?(threads = 8) ?(small_dram = false) ?scale ?h2_config ?seed
         match h1_gb with Some h -> h | None -> p.Giraph_profiles.th_h1_gb
       in
       let s =
-        Setups.giraph_teraheap ~costs ?h2_config ~h1_gb
+        Setups.giraph_teraheap ~costs ?h2_config ?policy ~h1_gb
           ~dr2_gb:(max 4 (p.Giraph_profiles.th_dr2_gb - delta))
           ()
       in
       let label =
         Printf.sprintf "TeraHeap @%dGB" (p.Giraph_profiles.dram_gb - delta)
       in
-      Giraph_driver.run ~label s.Setups.rt ~mode:s.Setups.mode ?scale ?seed p
+      Giraph_driver.run ~label s.Setups.rt ~mode:s.Setups.mode
+        ?h2_device:s.Setups.g_h2_device ?scale ?seed p
 
 (* Cost hints for longest-expected-first scheduling: arbitrary units
    proportional to a cell's expected runtime — heap size times workload

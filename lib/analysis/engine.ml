@@ -228,6 +228,10 @@ let pmap_callee ctx fn =
                 ( "cell" | "cell_list" | "costed_list" | "grouped"
                 | "grouped_costed" ) )
           | Some ("Cell", ("make" | "of_thunk"))
+          (* Placement-policy callbacks run on whichever worker domain
+             owns the runtime that installs the policy, so a capture at
+             construction time is a cross-domain escape. *)
+          | Some ("Policy", "make")
           | Some ("Domain", "spawn") ->
               Some (String.concat "." path)
           | _ -> None))

@@ -98,7 +98,9 @@ let all =
          (Scheduler.run_cells/run_thunks, Cell.make/of_thunk, \n\
          Plan.cell/cell_list/costed_list/grouped/grouped_costed, \n\
          Pool.run/map, Runners.pmap/pmap_grouped) execute on worker \n\
-         domains. Any \n\
+         domains, and the select/observe callbacks assembled by \n\
+         Policy.make run on whichever worker domain owns the runtime \n\
+         that installs the policy. Any \n\
          top-level ref, Hashtbl, Vec, Buffer or array they touch — \n\
          directly or through a called function, which this rule resolves \n\
          over the intra-library call graph — is shared across domains \n\
@@ -115,7 +117,9 @@ let all =
         "local mutable value captured by a closure handed to a worker domain";
       explain =
         "Closures passed to Cell.make/of_thunk, Plan.cell*, \n\
-         Scheduler.run_cells/run_thunks, Pool.run/map, Runners.pmap*, or \n\
+         Scheduler.run_cells/run_thunks, Pool.run/map, Runners.pmap*, \n\
+         Policy.make (placement-policy callbacks run on the domain that \n\
+         owns the runtime — build each policy inside its cell), or \n\
          Domain.spawn execute on worker domains. A captured local ref, \n\
          array, Hashtbl, Buffer or record with mutable fields becomes \n\
          cross-domain shared state with no synchronisation — the OCaml \n\

@@ -78,7 +78,8 @@ let spark_mo ?(costs = default_costs) ~heap_gb ~dram_gb () =
   { ctx; clock; h2_device = None; offheap_device = None; faults = None }
 
 let spark_teraheap ?(device_kind = Device.Nvme_ssd) ?(collector = Rt.Ps)
-    ?(costs = default_costs) ?h2_config ?huge_pages ?faults ~h1_gb ~dr2_gb () =
+    ?(costs = default_costs) ?h2_config ?huge_pages ?policy ?faults ~h1_gb
+    ~dr2_gb () =
   let clock = Clock.create () in
   let heap = H1_heap.create ~heap_bytes:(Size.paper_gb h1_gb) () in
   let faults = make_faults faults in
@@ -87,7 +88,7 @@ let spark_teraheap ?(device_kind = Device.Nvme_ssd) ?(collector = Rt.Ps)
     make_h2 ?h2_config ?huge_pages ~clock ~costs ~device
       ~dr2_bytes:(Size.paper_gb dr2_gb) ()
   in
-  let rt = Runtime.create ~collector ~h2 ~clock ~costs ~heap () in
+  let rt = Runtime.create ~collector ~h2 ?policy ~clock ~costs ~heap () in
   let ctx = Context.create ~mode:Context.Teraheap_cache rt in
   { ctx; clock; h2_device = Some device; offheap_device = None; faults }
 
@@ -132,7 +133,7 @@ let streaming_retry =
   }
 
 let streaming_teraheap ?(costs = default_costs) ?h2_config
-    ?(retry = streaming_retry) ?faults ~h1_gb ~dr2_gb () =
+    ?(retry = streaming_retry) ?policy ?faults ~h1_gb ~dr2_gb () =
   let clock = Clock.create () in
   let heap = H1_heap.create ~heap_bytes:(Size.paper_gb h1_gb) () in
   let faults = make_faults faults in
@@ -146,11 +147,11 @@ let streaming_teraheap ?(costs = default_costs) ?h2_config
     | Some config -> H2.create ~config ~clock ~costs ~device ~dr2_bytes ()
     | None -> make_h2 ~clock ~costs ~device ~dr2_bytes ()
   in
-  let rt = Runtime.create ~h2 ~clock ~costs ~heap () in
+  let rt = Runtime.create ~h2 ?policy ~clock ~costs ~heap () in
   { s_rt = rt; s_clock = clock; s_h2_device = Some device; s_faults = faults }
 
-let giraph_teraheap ?(costs = default_costs) ?h2_config ?faults ~h1_gb
-    ~dr2_gb () =
+let giraph_teraheap ?(costs = default_costs) ?h2_config ?policy ?faults
+    ~h1_gb ~dr2_gb () =
   let clock = Clock.create () in
   let heap = H1_heap.create ~heap_bytes:(Size.paper_gb h1_gb) () in
   let faults = make_faults faults in
@@ -159,7 +160,7 @@ let giraph_teraheap ?(costs = default_costs) ?h2_config ?faults ~h1_gb
     make_h2 ?h2_config ~clock ~costs ~device ~dr2_bytes:(Size.paper_gb dr2_gb)
       ()
   in
-  let rt = Runtime.create ~h2 ~clock ~costs ~heap () in
+  let rt = Runtime.create ~h2 ?policy ~clock ~costs ~heap () in
   {
     rt;
     g_clock = clock;

@@ -68,6 +68,7 @@ val spark_teraheap :
   ?costs:Th_sim.Costs.t ->
   ?h2_config:Th_core.H2.config ->
   ?huge_pages:bool ->
+  ?policy:Th_policy.Policy.t ->
   ?faults:Th_sim.Fault.plan ->
   h1_gb:int ->
   dr2_gb:int ->
@@ -76,7 +77,9 @@ val spark_teraheap :
 (** TeraHeap for Spark: H1 in DRAM, H2 memory-mapped over the device with
     [dr2_gb] of page cache. [collector] defaults to PS; pass [Rt.G1] for
     the G1 + TeraHeap combination the paper sketches in §7.1 (moving
-    humongous long-lived objects to H2 removes G1's fragmentation). *)
+    humongous long-lived objects to H2 removes G1's fragmentation).
+    [policy] selects the H2 placement policy (default
+    {!Th_policy.Policy.threshold}, the paper's behavior). *)
 
 val spark_panthera : ?costs:Th_sim.Costs.t -> heap_gb:int -> unit -> spark
 (** Panthera (§7.5): a single managed heap spanning DRAM and NVM — young
@@ -98,6 +101,7 @@ val giraph_ooc :
 val giraph_teraheap :
   ?costs:Th_sim.Costs.t ->
   ?h2_config:Th_core.H2.config ->
+  ?policy:Th_policy.Policy.t ->
   ?faults:Th_sim.Fault.plan ->
   h1_gb:int ->
   dr2_gb:int ->
@@ -115,6 +119,7 @@ val streaming_teraheap :
   ?costs:Th_sim.Costs.t ->
   ?h2_config:Th_core.H2.config ->
   ?retry:Th_device.Io_retry.policy ->
+  ?policy:Th_policy.Policy.t ->
   ?faults:Th_sim.Fault.plan ->
   h1_gb:int ->
   dr2_gb:int ->

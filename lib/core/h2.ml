@@ -52,6 +52,8 @@ type stats = {
   dep_nodes : int;
   moves_to_h2 : int;
   bytes_moved : int;
+  readback_bytes : int;
+  rmw_bytes : int;
   minor_scan_time_ns : float;
   degraded_moves : int;
   objects_deferred : int;
@@ -99,6 +101,12 @@ type t = {
   mutable regions_reclaimed : int;
   mutable moves : int;
   mutable bytes_moved : int;
+  (* Mutator traffic against H2 residents: the read-back and
+     read-modify-write bytes a placement policy is judged on. Counted at
+     object granularity on every mutator touch, cache hit or miss — the
+     device-level split is in {!Device.stats}. *)
+  mutable readback_bytes : int;
+  mutable rmw_bytes : int;
   mutable minor_scan_ns : float;
       (* simulated time spent scanning H2 cards/objects during minor GC *)
   (* degraded-mode accounting *)
@@ -157,6 +165,8 @@ let create ~config:cfg ~clock ~costs ~device ~dr2_bytes () =
     regions_reclaimed = 0;
     moves = 0;
     bytes_moved = 0;
+    readback_bytes = 0;
+    rmw_bytes = 0;
     minor_scan_ns = 0.0;
     degraded_moves = 0;
     objects_deferred = 0;
@@ -178,12 +188,14 @@ let gaddr t (o : Obj_.t) = (o.Obj_.h2_region * t.cfg.region_size) + o.Obj_.addr
 (* ------------------------------------------------------------------ *)
 (* Hint interface                                                      *)
 
-let h2_tag_root t o ~label =
+let h2_tag_root t ?site o ~label =
   if label < 0 then invalid_arg "H2.h2_tag_root: negative label";
   (* Tagging marks H1 objects for movement; objects already in H2 keep
-     the label of the move that placed them. *)
+     the label of the move that placed them. The site (defaulting to the
+     label) keys allocation-site lifetime profiles. *)
   if o.Obj_.loc <> Obj_.In_h2 && o.Obj_.label <> label then begin
     o.Obj_.label <- label;
+    o.Obj_.site <- (match site with Some s -> s | None -> label);
     Vec.push t.tagged o
   end
 
@@ -354,14 +366,19 @@ let open_region t ~label ~key =
     [ ("region", Th_trace.Event.Int idx); ("label", Th_trace.Event.Int label) ];
   r
 
-let alloc t o ~label =
+let alloc t ?group o ~label =
+  (* The placement group keys the allocator bucket (and the region's
+     label word): policies that co-locate several labels pass a shared
+     group; the default — group = label — reproduces the paper's
+     one-label-per-region placement exactly. *)
+  let glabel = match group with Some g -> g | None -> label in
   let bytes = align8 (Obj_.total_size o) in
   if bytes > t.cfg.region_size then
     invalid_arg "H2.alloc: object larger than an H2 region";
-  let key = bucket_of t ~label ~bytes in
+  let key = bucket_of t ~label:glabel ~bytes in
   let r =
     match Hashtbl.find_opt t.open_by_key key with
-    | Some idx when t.regions.(idx).label = label
+    | Some idx when t.regions.(idx).label = glabel
                     && t.regions.(idx).open_key = key
                     && t.regions.(idx).top + bytes <= t.cfg.region_size ->
         t.regions.(idx)
@@ -370,8 +387,8 @@ let alloc t o ~label =
            The sealed region's promotion buffer drains with the others in
            the compaction phase. *)
         ignore idx;
-        open_region t ~label ~key
-    | None -> open_region t ~label ~key
+        open_region t ~label:glabel ~key
+    | None -> open_region t ~label:glabel ~key
   in
   o.Obj_.loc <- Obj_.In_h2;
   o.Obj_.h2_region <- r.idx;
@@ -491,10 +508,12 @@ let free_dead_regions t ~on_free =
 (* Mutator access                                                      *)
 
 let mutator_read t o =
+  t.readback_bytes <- t.readback_bytes + Obj_.total_size o;
   Page_cache.access t.cache ~cat:Clock.Other ~write:false ~offset:(gaddr t o)
     ~len:(Obj_.total_size o)
 
 let mutator_write t o =
+  t.rmw_bytes <- t.rmw_bytes + Obj_.total_size o;
   Page_cache.access t.cache ~cat:Clock.Other ~write:true ~offset:(gaddr t o)
     ~len:(Obj_.total_size o);
   (* Kernel writeback: updating a file-backed mapping dirties whole pages
@@ -709,6 +728,8 @@ let stats t =
     dep_nodes = !deps;
     moves_to_h2 = t.moves;
     bytes_moved = t.bytes_moved;
+    readback_bytes = t.readback_bytes;
+    rmw_bytes = t.rmw_bytes;
     minor_scan_time_ns = t.minor_scan_ns;
     degraded_moves = t.degraded_moves;
     objects_deferred = t.objects_deferred;

@@ -68,6 +68,13 @@ type stats = {
   dep_nodes : int;  (** total dependency-list nodes in DRAM *)
   moves_to_h2 : int;  (** objects moved H1 -> H2 so far *)
   bytes_moved : int;
+  readback_bytes : int;
+      (** bytes of H2 residents the mutator read back after placement
+          (object granularity, cache hit or miss) — the traffic
+          placement policies compete on *)
+  rmw_bytes : int;
+      (** bytes of H2 residents the mutator updated in place
+          (read-modify-write, §7.2) *)
   minor_scan_time_ns : float;
       (** cumulative minor-GC time spent scanning H2 cards and objects *)
   degraded_moves : int;
@@ -102,9 +109,12 @@ val page_cache : t -> Th_device.Page_cache.t
 
 (** {1 Hint-based interface (§3.2)} *)
 
-val h2_tag_root : t -> Th_objmodel.Heap_object.t -> label:int -> unit
+val h2_tag_root :
+  t -> ?site:int -> Th_objmodel.Heap_object.t -> label:int -> unit
 (** Tag a root key-object for movement to H2 under [label]; sets the
-    object's header label word. *)
+    object's header label word. [site] (default [label]) names the
+    allocation site for lifetime-profiling policies; it must be stable
+    across runs of the same workload. *)
 
 val h2_move : t -> label:int -> unit
 (** Advise moving all objects tagged [label] to H2 during the next major
@@ -128,11 +138,13 @@ val retag_deferred : t -> Th_objmodel.Heap_object.t -> unit
 
 (** {1 Allocation (major-GC compaction phase)} *)
 
-val alloc : t -> Th_objmodel.Heap_object.t -> label:int -> unit
+val alloc : t -> ?group:int -> Th_objmodel.Heap_object.t -> label:int -> unit
 (** Place an object in the open region of [label] (opening a new region if
     needed), set its location, and stage its bytes in the region's
-    promotion buffer. Objects never span regions. Raises
-    {!Out_of_h2_space} when no region is available, and
+    promotion buffer. Objects never span regions. [group] (default
+    [label]) overrides the allocator bucket: placement policies that
+    co-locate several labels in one region pass a shared group key.
+    Raises {!Out_of_h2_space} when no region is available, and
     [Invalid_argument] if the object exceeds the region size. *)
 
 val flush_promotion_buffers : t -> unit

@@ -53,6 +53,14 @@ let ooc_max_resident rt (params : params) =
 
 let edges_label = 0
 
+(* Allocation sites for lifetime-profiling placement policies: labels
+   alone cannot key a profile here because message-store chunks are
+   labelled by superstep number (a fresh label every superstep), so the
+   two logical sites get fixed ids — stable across runs and policies. *)
+let edges_site = 0
+
+let messages_site = 1
+
 let run rt ~mode ?ooc_device ?(ooc_dr2 = Size.paper_gb 15) ~prng ~algo params =
   let teraheap = mode = Teraheap in
   let max_resident = ooc_max_resident rt params in
@@ -78,7 +86,8 @@ let run rt ~mode ?ooc_device ?(ooc_dr2 = Size.paper_gb 15) ~prng ~algo params =
       ~edge_bytes:params.edge_bytes
       ~on_vertex_loaded:(fun v ->
         if teraheap then
-          Runtime.h2_tag_root rt v.Graph.edges_obj ~label:edges_label)
+          Runtime.h2_tag_root rt ~site:edges_site v.Graph.edges_obj
+            ~label:edges_label)
       ~on_partition_loaded:(fun p ->
         loaded := p :: !loaded;
         match ooc with
@@ -167,7 +176,8 @@ let run rt ~mode ?ooc_device ?(ooc_dr2 = Size.paper_gb 15) ~prng ~algo params =
                (float_of_int volume /. max 1.0 algo.combine_factor)
             / params.partitions)
           ~on_chunk_created:(fun c ->
-            if teraheap then Runtime.h2_tag_root rt c ~label:step);
+            if teraheap then
+              Runtime.h2_tag_root rt ~site:messages_site c ~label:step);
         (match ooc with
         | Some o ->
             Ooc.note_processed o p;

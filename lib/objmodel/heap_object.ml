@@ -12,6 +12,7 @@ type t = {
   mutable addr : int;
   mutable h2_region : int;
   mutable label : int;
+  mutable site : int;
   mutable age : int;
   mutable mark : int;
   mutable closure_mark : int;
@@ -36,6 +37,7 @@ let create ?(kind = Data) ~id ~size () =
     addr = -1;
     h2_region = -1;
     label = -1;
+    site = -1;
     age = 0;
     mark = 0;
     closure_mark = 0;

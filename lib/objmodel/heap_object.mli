@@ -32,6 +32,10 @@ type t = {
   mutable addr : int;  (** byte offset in old gen or within its H2 region *)
   mutable h2_region : int;  (** region index, or -1 *)
   mutable label : int;  (** TeraHeap label header word, or -1 *)
+  mutable site : int;
+      (** allocation site of the tag that labelled this object (an
+          identifier stable across runs of the same workload), or -1;
+          placement policies key lifetime profiles on it *)
   mutable age : int;  (** minor GCs survived *)
   mutable mark : int;  (** liveness mark epoch *)
   mutable closure_mark : int;  (** H2-candidate tag epoch *)

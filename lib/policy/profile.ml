@@ -1,0 +1,111 @@
+(* Allocation-site lifetime profiles (Deca-style): the statistics a
+   profiling run gathers per tag site, serialized so a later run — or a
+   later process — can replay them as placement advice. Sites are small
+   integers chosen by the frameworks (RDD ids, "edges"/"messages"
+   stores), stable across runs of the same workload. *)
+
+type site_stats = {
+  site : int;
+  mutable tags : int;  (* h2_tag_root calls crediting this site *)
+  mutable moves : int;  (* objects the GC moved to H2 *)
+  mutable deaths : int;  (* labelled objects freed *)
+  mutable lifetime_ops : int;
+      (* sum over deaths of (death op - tag op): mutator operations the
+         object group outlived *)
+  mutable accesses_after_tag : int;  (* mutator touches after tagging *)
+  mutable access_bytes : int;  (* bytes of those touches *)
+}
+
+type t = { sites : (int, site_stats) Hashtbl.t }
+
+let create () = { sites = Hashtbl.create 16 }
+
+let find t ~site = Hashtbl.find_opt t.sites site
+
+let touch t ~site =
+  match Hashtbl.find_opt t.sites site with
+  | Some s -> s
+  | None ->
+      let s =
+        {
+          site;
+          tags = 0;
+          moves = 0;
+          deaths = 0;
+          lifetime_ops = 0;
+          accesses_after_tag = 0;
+          access_bytes = 0;
+        }
+      in
+      Hashtbl.replace t.sites site s;
+      s
+
+(* Average mutator operations a group tagged at [site] stays live after
+   tagging; [max_int] when no death was ever observed (immortal within
+   the profiled run — the best H2 candidate of all). *)
+let avg_lifetime_ops (s : site_stats) =
+  if s.deaths = 0 then max_int else s.lifetime_ops / s.deaths
+
+(* Expected mutator touches per tagging — the read-back risk of placing
+   this site's groups on the device. *)
+let reads_per_tag (s : site_stats) =
+  float_of_int s.accesses_after_tag /. float_of_int (max 1 s.tags)
+
+let sorted_sites t =
+  List.sort
+    (fun (a : site_stats) b -> Int.compare a.site b.site)
+    (* Order-insensitive: the fold only accumulates, and the sort above
+       fixes the order by the unique site id, so the result never
+       depends on hash iteration. th-lint: allow hashtbl-order *)
+    (Hashtbl.fold (fun _ s acc -> s :: acc) t.sites [])
+
+(* ------------------------------------------------------------------ *)
+(* Serialization: one header line, then one line per site in ascending
+   site order — deterministic output for any insertion history.        *)
+
+let magic = "teraheap-lifetime-profile v1"
+
+let to_string t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b magic;
+  Buffer.add_char b '\n';
+  List.iter
+    (fun s ->
+      Buffer.add_string b
+        (Printf.sprintf "%d %d %d %d %d %d %d\n" s.site s.tags s.moves
+           s.deaths s.lifetime_ops s.accesses_after_tag s.access_bytes))
+    (sorted_sites t);
+  Buffer.contents b
+
+let of_string str =
+  match String.split_on_char '\n' str with
+  | header :: rest when header = magic -> (
+      let t = create () in
+      let parse_line line =
+        if line = "" then Ok ()
+        else
+          match
+            List.filter_map int_of_string_opt (String.split_on_char ' ' line)
+          with
+          | [ site; tags; moves; deaths; lifetime_ops; accesses; bytes ]
+            when site >= 0 ->
+              let s = touch t ~site in
+              s.tags <- tags;
+              s.moves <- moves;
+              s.deaths <- deaths;
+              s.lifetime_ops <- lifetime_ops;
+              s.accesses_after_tag <- accesses;
+              s.access_bytes <- bytes;
+              Ok ()
+          | _ -> Error (Printf.sprintf "Profile.of_string: bad line %S" line)
+      in
+      let rec go = function
+        | [] -> Ok t
+        | l :: ls -> ( match parse_line l with Ok () -> go ls | Error _ as e -> e)
+      in
+      go rest)
+  | _ -> Error "Profile.of_string: missing profile header"
+
+(* The serialized form is canonical (sorted, exhaustive), so string
+   equality is profile equality. *)
+let equal a b = String.equal (to_string a) (to_string b)

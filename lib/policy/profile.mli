@@ -1,0 +1,44 @@
+(** Allocation-site lifetime profiles (Deca-style).
+
+    A profiling run records, per tag site, how long labelled groups
+    live and how often the mutator touches them after tagging; the
+    {!Policy.lifetime} policy replays the serialized profile as
+    placement advice in a later run. *)
+
+type site_stats = {
+  site : int;
+  mutable tags : int;
+  mutable moves : int;
+  mutable deaths : int;
+  mutable lifetime_ops : int;
+  mutable accesses_after_tag : int;
+  mutable access_bytes : int;
+}
+
+type t = { sites : (int, site_stats) Hashtbl.t }
+
+val create : unit -> t
+
+val find : t -> site:int -> site_stats option
+
+val touch : t -> site:int -> site_stats
+(** Existing statistics for [site], or a fresh zeroed entry. *)
+
+val avg_lifetime_ops : site_stats -> int
+(** Average mutator operations a group outlives its tagging; [max_int]
+    when the site's groups never died in the profiled run. *)
+
+val reads_per_tag : site_stats -> float
+(** Expected mutator touches per tagging — the read-back risk of
+    device placement. *)
+
+val sorted_sites : t -> site_stats list
+(** All entries in ascending site order (deterministic). *)
+
+val to_string : t -> string
+(** Serialize: a header line, then one line per site in ascending site
+    order. Deterministic for any insertion history. *)
+
+val of_string : string -> (t, string) result
+
+val equal : t -> t -> bool

@@ -4,6 +4,7 @@ module Roots = Th_objmodel.Roots
 module Card_table = Th_minijvm.Card_table
 module H1_heap = Th_minijvm.H1_heap
 module H2 = Th_core.H2
+module Policy = Th_policy.Policy
 
 (* ------------------------------------------------------------------ *)
 (* Trace spans. Span-end events carry the collector's own measured
@@ -35,6 +36,26 @@ let trace_instant (rt : Rt.t) ~cat ~name args =
       Th_trace.Recorder.instant tr
         ~ts:(Clock.now_ns rt.Rt.clock)
         ~cat ~name ~args ()
+
+(* Feed the placement policy. Observations are host-side bookkeeping
+   only: no simulated time is charged and no trace events are emitted,
+   so a policy that ignores them (the default) leaves every run
+   bit-identical to the pre-policy collector. *)
+let observe (rt : Rt.t) ev = rt.Rt.policy.Policy.observe ev
+
+(* A labelled object died (swept in H1, or its H2 region was
+   reclaimed): tell the policy, so lifetime profiles can close the
+   tag-to-death interval. Unlabelled objects are invisible to
+   placement and not reported. *)
+let note_death (rt : Rt.t) (o : Obj_.t) =
+  if o.Obj_.label >= 0 then
+    observe rt
+      (Policy.Death
+         {
+           label = o.Obj_.label;
+           site = o.Obj_.site;
+           bytes = Obj_.total_size o;
+         })
 
 (* ------------------------------------------------------------------ *)
 (* Minor GC                                                            *)
@@ -163,12 +184,16 @@ let minor_gc (rt : Rt.t) =
   (* Sweep dead young objects and rebuild the space vectors. *)
   Vec.iter
     (fun (o : Obj_.t) ->
-      if o.Obj_.loc = Obj_.Eden then H1_heap.free_object heap o)
+      if o.Obj_.loc = Obj_.Eden then begin
+        note_death rt o;
+        H1_heap.free_object heap o
+      end)
     heap.H1_heap.eden;
   Vec.clear heap.H1_heap.eden;
   Vec.filter_in_place
     (fun (o : Obj_.t) ->
       if o.Obj_.loc = Obj_.Survivor && o.Obj_.mark <> epoch then begin
+        note_death rt o;
         H1_heap.free_object heap o;
         false
       end
@@ -339,6 +364,7 @@ let major_gc (rt : Rt.t) =
   (match rt.Rt.h2 with
   | None -> ()
   | Some h2 ->
+      observe rt (Policy.Major_start { epoch });
       rt.Rt.closure_epoch <- rt.Rt.closure_epoch + 1;
       let cepoch = rt.Rt.closure_epoch in
       let cfg = H2.config h2 in
@@ -367,11 +393,15 @@ let major_gc (rt : Rt.t) =
             float_of_int (live_bytes - moved)
             <= target *. float_of_int old_capacity
       in
-      let pressure_forced = unadvised_target <> None in
       let moved = ref 0 in
       (* Breadth-first so that the H2 placement order matches the order
-         frameworks later stream the group in (root, then elements). *)
-      let closure_of root label =
+         frameworks later stream the group in (root, then elements).
+         [group] is the policy's region-bucket key, carried alongside
+         each candidate into precompaction; the object's site follows
+         its root so lifetime profiles attribute closure members to the
+         tag site. *)
+      let closure_of (root : Obj_.t) label group =
+        let site = root.Obj_.site in
         let queue = Queue.create () in
         Queue.push root queue;
         while not (Queue.is_empty queue) do
@@ -384,8 +414,9 @@ let major_gc (rt : Rt.t) =
           then begin
             o.Obj_.closure_mark <- cepoch;
             o.Obj_.label <- label;
+            o.Obj_.site <- site;
             moved := !moved + Obj_.total_size o;
-            Vec.push move_list o;
+            Vec.push move_list (o, group);
             Obj_.iter_refs
               (fun c ->
                 charge_major rt costs.Costs.trace_ref_ns;
@@ -394,38 +425,67 @@ let major_gc (rt : Rt.t) =
           end
         done
       in
-      (* Pass 1: labels whose h2_move advice has been received (their
-         object groups are immutable). Pass 2: under pressure, unadvised
-         groups oldest-first up to the budget — these may still be
-         mutable, so moving them costs device read-modify-writes later.
+      (* The placement policy picks which tagged roots move and in what
+         order; the collector keeps every validity guard (label, mark,
+         closure-mark) and the pressure budget, so a policy chooses
+         among safe moves but cannot invent unsafe ones. [Advised]
+         picks move unconditionally (their groups are immutable);
+         [Budgeted] picks — possibly still mutable, so moving them
+         costs device read-modify-writes later — stop at the budget.
          No explicit un-tagging: once moved, a root's location becomes
          [In_h2] and the tagged list self-cleans on its next traversal
          (a per-root removal here would be quadratic). *)
       let tagged = H2.tagged_roots h2 in
       (* The resilience gate is sampled exactly once per cycle: an open
-         circuit breaker suppresses both move passes, leaving every
+         circuit breaker suppresses the whole move phase, leaving every
          tagged root in H1 to be retried (or serialized off-heap by the
          driver) later. Region reclamation below still runs — freeing
          dead H2 regions needs no new device writes. *)
       if Rt.h2_moves_allowed rt then begin
+        let ctx =
+          {
+            Policy.epoch;
+            pressure =
+              (match rt.Rt.pressure with
+              | Rt.No_pressure -> Policy.No_pressure
+              | Rt.Move_all_tagged -> Policy.Move_all_tagged
+              | Rt.Move_until_low -> Policy.Move_until_low);
+            live_bytes;
+            old_capacity;
+            h2;
+          }
+        in
+        let picks = rt.Rt.policy.Policy.select ctx ~roots:tagged in
         List.iter
-          (fun (root : Obj_.t) ->
+          (fun (p : Policy.pick) ->
+            let root = p.Policy.root in
             let label = root.Obj_.label in
-            if label >= 0 && root.Obj_.mark = epoch && H2.move_advised h2 ~label
-            then closure_of root label)
-          tagged;
-        if pressure_forced then
-          List.iter
-            (fun (root : Obj_.t) ->
-              let label = root.Obj_.label in
-              if
-                label >= 0
-                && root.Obj_.mark = epoch
-                && root.Obj_.closure_mark <> cepoch
-                && (not (H2.move_advised h2 ~label))
-                && not (moved_budget_exhausted !moved)
-              then closure_of root label)
-            tagged
+            if label >= 0 && root.Obj_.mark = epoch then begin
+              let before = !moved in
+              (match p.Policy.cls with
+              | Policy.Advised -> closure_of root label p.Policy.group
+              | Policy.Budgeted ->
+                  if
+                    root.Obj_.closure_mark <> cepoch
+                    && not (moved_budget_exhausted !moved)
+                  then closure_of root label p.Policy.group);
+              if !moved > before then
+                observe rt
+                  (Policy.Moved
+                     {
+                       label;
+                       site = root.Obj_.site;
+                       bytes = !moved - before;
+                     })
+            end)
+          picks;
+        if rt.Rt.policy.Policy.trace_decisions then
+          trace_instant rt ~cat:"policy" ~name:"select"
+            [
+              ("policy", Th_trace.Event.Str rt.Rt.policy.Policy.name);
+              ("picks", Th_trace.Event.Int (List.length picks));
+              ("moved_bytes", Th_trace.Event.Int !moved);
+            ]
       end
       else begin
         let pending =
@@ -439,7 +499,9 @@ let major_gc (rt : Rt.t) =
           [ ("tagged_roots", Th_trace.Event.Int pending) ]
       end;
       regions_freed_now :=
-        H2.free_dead_regions h2 ~on_free:(fun o -> o.Obj_.loc <- Obj_.Freed));
+        H2.free_dead_regions h2 ~on_free:(fun o ->
+            note_death rt o;
+            o.Obj_.loc <- Obj_.Freed));
   let marking_ns, t1 = phase_delta t0 in
   trace_span_end rt ~name:"marking"
     [ ("dur_ns", Th_trace.Event.Float marking_ns) ];
@@ -458,7 +520,7 @@ let major_gc (rt : Rt.t) =
   let deferred_objs = Vec.create () in
   let h2_full = ref false in
   Vec.iter
-    (fun (o : Obj_.t) ->
+    (fun (((o : Obj_.t), group) : Obj_.t * int) ->
       match rt.Rt.h2 with
       | None ->
           Rt.invalid_heap_state ~object_id:o.Obj_.id
@@ -468,7 +530,7 @@ let major_gc (rt : Rt.t) =
           else begin
             charge_major rt (costs.Costs.mark_obj_ns *. 0.5);
             let loc = o.Obj_.loc and bytes = Obj_.total_size o in
-            match H2.alloc h2 o ~label:o.Obj_.label with
+            match H2.alloc h2 ~group o ~label:o.Obj_.label with
             | () ->
                 Vec.push prev_locs (o, loc, bytes);
                 Vec.push moved o
@@ -587,7 +649,10 @@ let major_gc (rt : Rt.t) =
         compact_old o;
         Vec.push new_old o
       end
-      else if o.Obj_.loc = Obj_.Old then H1_heap.free_object heap o)
+      else if o.Obj_.loc = Obj_.Old then begin
+        note_death rt o;
+        H1_heap.free_object heap o
+      end)
     heap.H1_heap.old_objs;
   Vec.clear heap.H1_heap.old_objs;
   Vec.iter (Vec.push heap.H1_heap.old_objs) new_old;
@@ -603,12 +668,18 @@ let major_gc (rt : Rt.t) =
   (* Sweep the young spaces. *)
   Vec.iter
     (fun (o : Obj_.t) ->
-      if o.Obj_.loc = Obj_.Eden then H1_heap.free_object heap o)
+      if o.Obj_.loc = Obj_.Eden then begin
+        note_death rt o;
+        H1_heap.free_object heap o
+      end)
     heap.H1_heap.eden;
   Vec.clear heap.H1_heap.eden;
   Vec.iter
     (fun (o : Obj_.t) ->
-      if o.Obj_.loc = Obj_.Survivor then H1_heap.free_object heap o)
+      if o.Obj_.loc = Obj_.Survivor then begin
+        note_death rt o;
+        H1_heap.free_object heap o
+      end)
     heap.H1_heap.survivor;
   Vec.clear heap.H1_heap.survivor;
   heap.H1_heap.old_top <- !new_top;

@@ -62,10 +62,17 @@ type t = {
      Th_resilience circuit breaker installs this — the collector itself
      never decides to stop moving. *)
   mutable h2_move_gate : (unit -> bool) option;
+  (* Decides which tagged roots move at each major GC and how they
+     group into H2 regions. The default reproduces the paper's
+     high/low-threshold behavior bit-for-bit; the collector keeps the
+     validity guards and the pressure budget, so a policy can only
+     choose among safe moves, never invent unsafe ones. *)
+  mutable policy : Th_policy.Policy.t;
 }
 
 let create ?(collector = Ps) ?(profile = Cost_profile.dram)
-    ?(rset_mode = Card_buckets) ?h2 ~clock ~costs ~heap () =
+    ?(rset_mode = Card_buckets) ?h2 ?(policy = Th_policy.Policy.threshold)
+    ~clock ~costs ~heap () =
   {
     clock;
     costs;
@@ -87,6 +94,7 @@ let create ?(collector = Ps) ?(profile = Cost_profile.dram)
     g1_region_size = max (Size.kib 64) (H1_heap.heap_bytes heap / 512);
     safepoint_hook = None;
     h2_move_gate = None;
+    policy;
   }
 
 let h2_moves_allowed t =

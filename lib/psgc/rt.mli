@@ -60,6 +60,11 @@ type t = {
       (** consulted once per major GC before the move-to-H2 passes;
           [false] suppresses moving for that cycle (tagged roots stay in
           H1). Installed by the {!Th_resilience} circuit breaker. *)
+  mutable policy : Th_policy.Policy.t;
+      (** decides which tagged roots move at each major GC and how they
+          group into H2 regions; defaults to
+          {!Th_policy.Policy.threshold}, the paper's behavior. The
+          collector keeps the validity guards and the pressure budget. *)
 }
 
 val create :
@@ -67,6 +72,7 @@ val create :
   ?profile:Cost_profile.t ->
   ?rset_mode:rset_mode ->
   ?h2:H2.t ->
+  ?policy:Th_policy.Policy.t ->
   clock:Clock.t ->
   costs:Costs.t ->
   heap:H1_heap.t ->

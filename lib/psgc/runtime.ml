@@ -144,25 +144,43 @@ let mutator_compute (t : t) bytes =
   Rt.charge t Clock.Other
     (Costs.parallel t.Rt.costs ~threads:t.Rt.costs.Costs.mutator_threads ns)
 
+(* Feed labelled-object accesses to the placement policy. Pure host-side
+   bookkeeping (no simulated time, no trace events), reported after the
+   access itself so a policy observing its own effects sees consistent
+   page-cache statistics. *)
+let observe_access (t : t) (o : Obj_.t) ~write =
+  if o.Obj_.label >= 0 then
+    t.Rt.policy.Th_policy.Policy.observe
+      (Th_policy.Policy.Access
+         {
+           label = o.Obj_.label;
+           site = o.Obj_.site;
+           bytes = Obj_.total_size o;
+           write;
+           in_h2 = o.Obj_.loc = Obj_.In_h2;
+         })
+
 let read_obj (t : t) o =
   mutator_compute t o.Obj_.size;
-  match (o.Obj_.loc, t.Rt.h2) with
+  (match (o.Obj_.loc, t.Rt.h2) with
   | Obj_.In_h2, Some h2 -> H2.mutator_read h2 o
   | Obj_.In_h2, None ->
       Rt.invalid_heap_state ~object_id:o.Obj_.id
         ~phase:"read_obj: In_h2 object without an H2 heap"
   | (Obj_.Eden | Obj_.Survivor | Obj_.Old), _ -> ()
-  | Obj_.Freed, _ -> invalid_arg "Runtime.read_obj: freed object"
+  | Obj_.Freed, _ -> invalid_arg "Runtime.read_obj: freed object");
+  observe_access t o ~write:false
 
 let update_obj (t : t) o =
   mutator_compute t o.Obj_.size;
-  match (o.Obj_.loc, t.Rt.h2) with
+  (match (o.Obj_.loc, t.Rt.h2) with
   | Obj_.In_h2, Some h2 -> H2.mutator_write h2 o
   | Obj_.In_h2, None ->
       Rt.invalid_heap_state ~object_id:o.Obj_.id
         ~phase:"update_obj: In_h2 object without an H2 heap"
   | (Obj_.Eden | Obj_.Survivor | Obj_.Old), _ -> ()
-  | Obj_.Freed, _ -> invalid_arg "Runtime.update_obj: freed object"
+  | Obj_.Freed, _ -> invalid_arg "Runtime.update_obj: freed object");
+  observe_access t o ~write:true
 
 let compute t ~bytes = mutator_compute t bytes
 
@@ -172,8 +190,23 @@ let remove_root (t : t) o = Roots.remove t.Rt.roots o
 
 let barrier_checks (t : t) = t.Rt.barrier_checks
 
-let h2_tag_root (t : t) o ~label =
-  match t.Rt.h2 with Some h2 -> H2.h2_tag_root h2 o ~label | None -> ()
+let h2_tag_root (t : t) ?site o ~label =
+  match t.Rt.h2 with
+  | None -> ()
+  | Some h2 ->
+      let prev = o.Obj_.label in
+      H2.h2_tag_root h2 ?site o ~label;
+      (* Report only tags that actually registered (same condition as
+         H2.h2_tag_root's): re-tagging an already-labelled or already-
+         moved object must not inflate site profiles. *)
+      if o.Obj_.loc <> Obj_.In_h2 && prev <> label then
+        t.Rt.policy.Th_policy.Policy.observe
+          (Th_policy.Policy.Tagged
+             { label; site = o.Obj_.site; bytes = Obj_.total_size o })
 
 let h2_move (t : t) ~label =
-  match t.Rt.h2 with Some h2 -> H2.h2_move h2 ~label | None -> ()
+  match t.Rt.h2 with
+  | None -> ()
+  | Some h2 ->
+      H2.h2_move h2 ~label;
+      t.Rt.policy.Th_policy.Policy.observe (Th_policy.Policy.Advice { label })

@@ -23,6 +23,7 @@ val create :
   ?profile:Cost_profile.t ->
   ?rset_mode:Rt.rset_mode ->
   ?h2:Th_core.H2.t ->
+  ?policy:Th_policy.Policy.t ->
   clock:Th_sim.Clock.t ->
   costs:Th_sim.Costs.t ->
   heap:Th_minijvm.H1_heap.t ->
@@ -93,6 +94,10 @@ val barrier_checks : t -> int
 
 (** {1 TeraHeap hints (no-ops without an H2)} *)
 
-val h2_tag_root : t -> Th_objmodel.Heap_object.t -> label:int -> unit
+val h2_tag_root :
+  t -> ?site:int -> Th_objmodel.Heap_object.t -> label:int -> unit
+(** [site] (default [label]) names the allocation site for
+    lifetime-profiling placement policies; it must be stable across runs
+    of the same workload. *)
 
 val h2_move : t -> label:int -> unit

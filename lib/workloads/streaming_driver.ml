@@ -148,7 +148,9 @@ let run ?h2_device ?faults ?monitor ~label rt (p : profile) =
                   [ ("batch", Th_trace.Event.Int batch) ];
                 On_heap { root; batch })
         | _ ->
-            Runtime.h2_tag_root rt root ~label:batch;
+            (* Site 0: every batch root is the same logical allocation
+               site even though each gets a fresh batch-numbered label. *)
+            Runtime.h2_tag_root rt ~site:0 root ~label:batch;
             Runtime.h2_move rt ~label:batch;
             On_heap { root; batch }
       in

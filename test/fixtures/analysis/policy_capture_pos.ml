@@ -1,0 +1,9 @@
+(* A placement policy whose observe callback captures a mutable local
+   of the enclosing scope: the policy outlives this function and its
+   callbacks run on whichever worker domain owns the runtime, so the
+   ref escapes cross-domain. *)
+let make_counting_policy select =
+  let moved = ref 0 in
+  Th_policy.Policy.make ~name:"counting" ~select
+    ~observe:(fun _ -> moved := !moved + 1)
+    ()

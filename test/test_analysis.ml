@@ -331,6 +331,33 @@ let test_explain_unknown_rule () =
     "every registered rule resolvable" true
     (List.for_all (fun (r : Rule.t) -> Rule.find r.name <> None) Rule.all)
 
+(* ------------------------------------------------------------------ *)
+(* Policy.make is a domain-crossing sink: placement-policy callbacks   *)
+(* run on whichever worker domain owns the runtime                     *)
+
+let test_policy_capture_flagged () =
+  let r = analyze_fixture "policy_capture_pos.ml" in
+  match
+    List.filter
+      (fun f -> String.equal f.Finding.rule "escape-capture")
+      r.Engine.findings
+  with
+  | [] ->
+      Alcotest.fail
+        "no escape-capture finding on the Policy.make capture fixture"
+  | f :: _ ->
+      Alcotest.(check bool) "finding names the captured local" true
+        (contains_sub f.Finding.message "\"moved\"");
+      Alcotest.(check bool) "finding names the Policy.make sink" true
+        (contains_sub f.Finding.message "Policy.make")
+
+let test_policy_capture_atomic_clean () =
+  let r = analyze_fixture "policy_capture_neg.ml" in
+  if
+    has_rule "escape-capture" r.Engine.findings
+    || has_rule "escape-capture" r.Engine.waived
+  then Alcotest.fail "Atomic-backed policy state must not be flagged"
+
 let test_selftest_passes () =
   match Selftest.run () with
   | Ok n -> Alcotest.(check bool) "some checks ran" true (n > 0)
@@ -348,6 +375,10 @@ let suite =
       test_pmap_acceptance;
     Alcotest.test_case "two-hop cross-library mutation is flagged" `Quick
       test_cross_library_two_hop;
+    Alcotest.test_case "Policy.make capture is flagged" `Quick
+      test_policy_capture_flagged;
+    Alcotest.test_case "Policy.make with Atomic state is clean" `Quick
+      test_policy_capture_atomic_clean;
     Alcotest.test_case "comment waiver diverts, not drops" `Quick
       test_waiver_comment_fixture;
     Alcotest.test_case "attribute waiver diverts, not drops" `Quick

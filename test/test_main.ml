@@ -9,6 +9,7 @@ let () =
       ("serde", Test_serde.suite);
       ("runtime", Test_runtime.suite);
       ("gc-properties", Test_gc_props.suite);
+      ("policy", Test_policy.suite);
       ("verify", Test_verify.suite);
       ("exec", Test_exec.suite);
       ("spark", Test_spark.suite);
