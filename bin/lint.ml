@@ -17,7 +17,7 @@
    The analyzer parses every .ml/.mli with the compiler's own parser and
    runs scope-aware AST rules (see `--list-rules`). The one check that
    cannot live at the AST level — a lib/ compilation unit missing its
-   sealing .mli — is implemented here, against the file system. *)
+   sealing .mli — is Th_analysis.Fscheck, against the file system. *)
 
 let default_paths = [ "lib"; "bin"; "bench" ]
 
@@ -30,51 +30,12 @@ let usage () =
     \       [-o FILE] [paths...]";
   exit 2
 
-let rec collect path acc =
-  match Sys.is_directory path with
-  | true ->
-      let entries = List.sort String.compare (Array.to_list (Sys.readdir path)) in
-      List.fold_left
-        (fun acc entry ->
-          if String.equal entry "_build" || String.equal entry ".git" then acc
-          else collect (Filename.concat path entry) acc)
-        acc entries
-  | false ->
-      if Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
-      then path :: acc
-      else acc
-  | exception Sys_error msg ->
-      Printf.eprintf "lint: %s\n" msg;
-      exit 2
-
-(* The file-system rule the AST pass cannot express: every library
-   compilation unit must be sealed by an interface. Only applies under
-   lib/ — bin/ and bench/ hold executables. *)
-let missing_mli files =
-  List.filter_map
-    (fun path ->
-      let in_lib =
-        List.exists
-          (String.equal "lib")
-          (String.split_on_char '/' (Filename.dirname path))
-        || String.equal (Filename.dirname path) "lib"
-      in
-      if
-        in_lib
-        && Filename.check_suffix path ".ml"
-        && not (Sys.file_exists (path ^ "i"))
-      then
-        Some
-          {
-            Th_analysis.Finding.file = path;
-            line = 1;
-            col = 0;
-            rule = "missing-mli";
-            severity = Th_analysis.Finding.Error;
-            message = "compilation unit has no sealing .mli interface";
-          }
-      else None)
-    files
+let collect path acc =
+  if not (Sys.file_exists path) then begin
+    Printf.eprintf "lint: %s: no such file or directory\n" path;
+    exit 2
+  end;
+  Th_analysis.Fscheck.collect_files path @ acc
 
 let explain rule =
   match Th_analysis.Rule.find rule with
@@ -238,7 +199,7 @@ let () =
   let fs_findings =
     match !rules with
     | Some names when not (List.exists (String.equal "missing-mli") names) -> []
-    | _ -> missing_mli files
+    | _ -> Th_analysis.Fscheck.missing_mli files
   in
   let findings =
     List.sort Th_analysis.Finding.compare

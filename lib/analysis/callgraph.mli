@@ -36,6 +36,21 @@ val global_site : t -> key -> string
 val def_effects : t -> key -> key list
 (** Mutable globals transitively reachable from a definition. *)
 
+val is_def : t -> key -> bool
+(** Is the key an analyzed (non-global) definition? *)
+
+val def_attrs : t -> key -> Parsetree.attributes
+(** Binding attributes of a definition ([[@th.raises]], [[@th.allow]]);
+    [[]] for unknown keys. *)
+
+val fold_defs :
+  t ->
+  init:'a ->
+  f:('a -> key -> Parsetree.expression -> Parsetree.attributes -> 'a) ->
+  'a
+(** Fold over every definition in canonical ({!compare_key}) order —
+    the deterministic iteration the raises fixpoint relies on. *)
+
 val mutable_field : t -> lib:string -> modname:string -> string -> bool
 (** Does [modname] (of [lib]) declare a record field of this name
     [mutable]? Used to classify captured record literals. *)

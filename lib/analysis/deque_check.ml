@@ -272,7 +272,17 @@ let run_config (module D : Th_exec.Deque.S) cfg =
     in
     (threads, collect)
   in
-  let outcomes, schedules = Interleave.explore program in
+  let outcomes, schedules =
+    try Interleave.explore program
+    with Interleave.Schedule_limit n ->
+      (* The quick/full configs are sized orders of magnitude under the
+         budget; hitting the limit means a config grew. Fail loudly
+         rather than report a truncated exploration as exhaustive. *)
+      failwith
+        (Printf.sprintf
+           "Deque_check.%s: schedule budget exhausted after %d schedules"
+           cfg.cname n)
+  in
   let distinct = List.sort_uniq compare_observed outcomes in
   let violations =
     List.filter_map

@@ -454,6 +454,7 @@ let analyze ?rules sources =
     || match rules with None -> true | Some l -> List.mem r l
   in
   let db = Callgraph.build sources in
+  let rdb = Raises.build db sources in
   let findings = ref [] and waived = ref [] in
   List.iter
     (fun (s : Source.t) ->
@@ -509,6 +510,15 @@ let analyze ?rules sources =
                 ~force_waive:(List.mem r.rule r.allows)
                 r.message)
             (Atomics.analyze str);
+          (* Raises pass: summaries were computed project-wide up
+             front; per-file rule checks funnel through emit the same
+             way, so [@th.allow]/comment waivers divert uniformly. *)
+          List.iter
+            (fun (r : Raises.raw) ->
+              emit ctx ~loc:r.loc ~rule:r.rule
+                ~force_waive:(List.mem r.rule r.allows)
+                r.message)
+            (Raises.check_file rdb s);
           findings := ctx.findings @ !findings;
           waived := ctx.waived @ !waived)
     sources;

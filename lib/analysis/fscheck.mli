@@ -1,0 +1,10 @@
+(** File-system checks the AST passes cannot express. *)
+
+val collect_files : string -> string list
+(** All .ml/.mli files under a path (or the path itself when it is a
+    file), skipping [_build], [.git], [fixtures] and [golden]
+    directories. Unreadable directories contribute nothing. *)
+
+val missing_mli : string list -> Finding.t list
+(** A [missing-mli] finding for every .ml file under a [lib] path
+    segment with no sibling .mli. *)

@@ -132,3 +132,4 @@ let explore ?(max_schedules = 2_000_000) program =
   in
   go [];
   (List.rev !outcomes, !count)
+[@@th.raises "Schedule_limit"]

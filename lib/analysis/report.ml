@@ -206,6 +206,7 @@ let tokenize s =
     | c -> raise (Bad (Printf.sprintf "unexpected character %C" c)));
   done;
   List.rev !toks
+[@@th.raises "Bad"]
 
 let parse_finding toks =
   let expect t = function
@@ -244,6 +245,7 @@ let parse_finding toks =
     }
   in
   fields zero (expect Lbrace toks)
+[@@th.raises "Bad"]
 
 let parse_array toks =
   let rec items acc toks =
@@ -258,6 +260,7 @@ let parse_array toks =
   match toks with
   | Lbrack :: rest -> items [] rest
   | _ -> raise (Bad "expected array")
+[@@th.raises "Bad"]
 
 let of_json s =
   match tokenize s with
@@ -290,6 +293,7 @@ let rec parse_value = function
   | Str s :: rest -> (JStr s, rest)
   | Num n :: rest -> (JNum n, rest)
   | _ -> raise (Bad "malformed value")
+[@@th.raises "Bad"]
 
 and parse_obj acc = function
   | Rbrace :: rest -> (Obj (List.rev acc), rest)
@@ -298,6 +302,7 @@ and parse_obj acc = function
       let v, rest = parse_value rest in
       parse_obj ((k, v) :: acc) rest
   | _ -> raise (Bad "malformed object")
+[@@th.raises "Bad"]
 
 and parse_arr acc = function
   | Rbrack :: rest -> (Arr (List.rev acc), rest)
@@ -305,6 +310,7 @@ and parse_arr acc = function
   | toks ->
       let v, rest = parse_value toks in
       parse_arr (v :: acc) rest
+[@@th.raises "Bad"]
 
 let member k = function
   | Obj fields -> List.assoc_opt k fields

@@ -6,7 +6,12 @@
     that says what the rule catches, why it matters for bit-exact
     reproduction, and how to waive it. *)
 
-type family = Determinism | Domain_safety | Atomic_protocol | Hygiene
+type family =
+  | Determinism
+  | Domain_safety
+  | Atomic_protocol
+  | Exception_flow
+  | Hygiene
 
 type t = {
   name : string;

@@ -131,6 +131,46 @@ let cases =
          let unrelated x = match x with None -> 0 | _ -> 1\n";
     };
     {
+      rule = "fault-barrier";
+      positive =
+        "exception Io_error of string\n\n\
+         let fetch () = raise (Io_error \"disk\")\n";
+      negative =
+        "exception Io_error of string\n\n\
+         let fetch () = raise (Io_error \"disk\") [@@th.raises \"Io_error\"]\n\n\
+         let total () = try fetch () with Io_error _ -> ()\n";
+    };
+    {
+      rule = "cell-boundary";
+      positive =
+        "exception Io_error of string\n\n\
+         let risky () = raise (Io_error \"disk\") [@@th.raises \"Io_error\"]\n\n\
+         let run pool xs = Th_exec.Pool.map pool (fun x -> risky (); x) xs\n";
+      negative =
+        "exception Io_error of string\n\n\
+         let risky () = raise (Io_error \"disk\") [@@th.raises \"Io_error\"]\n\n\
+         let run pool xs =\n\
+        \  Th_exec.Pool.map pool\n\
+        \    (fun x ->\n\
+        \      (try risky () with Io_error _ -> ());\n\
+        \      x)\n\
+        \    xs\n";
+    };
+    {
+      rule = "pure-render";
+      positive =
+        "exception Bad of string\n\n\
+         let plan p =\n\
+        \  Th_exec.Plan.seal p ~render:(fun v ->\n\
+        \      if v < 0 then raise (Bad \"negative\") else string_of_int v)\n";
+      negative =
+        "let plan p =\n\
+        \  Th_exec.Plan.seal p ~render:(fun v ->\n\
+        \      let b = Buffer.create 16 in\n\
+        \      Buffer.add_string b (string_of_int v);\n\
+        \      Buffer.contents b)\n";
+    };
+    {
       rule = "obj-magic";
       positive = "let coerce x = Obj.magic x\n";
       negative =

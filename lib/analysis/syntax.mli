@@ -30,6 +30,15 @@ val attr_allows : Parsetree.attributes -> string list
     attributes. A bare ["domain_shared"] payload with no justification
     words yields nothing. *)
 
+val attr_raises :
+  Parsetree.attributes -> (string * string option) list option
+(** Exception constructors declared by [[@th.raises "Exn ..."]]
+    attributes, each with its optional guard argument —
+    ["Io_error(checked)"] parses to [("Io_error", Some "checked")]
+    and only escapes applications passing [~checked] as other than a
+    literal [false]. [Some []] (payload [""] or ["none"]) declares
+    that nothing escapes; [None] means no declaration at all. *)
+
 val attr_atomic_role : Parsetree.attributes -> string option
 (** The role string of a [[@th.atomic "role"]] attribute, trimmed;
     [None] when absent or empty. *)

@@ -96,3 +96,4 @@ let run policy ~clock ~cat ~faults ~op attempt =
         end
   in
   go 0
+[@@th.raises "Io_error"]

@@ -150,6 +150,7 @@ let access ?(checked = false) t ~cat ~write ~offset ~len =
     done;
     flush_miss_run ()
   end
+[@@th.raises "Io_error(checked)"]
 
 let invalidate_range t ~offset ~len =
   if len > 0 then begin

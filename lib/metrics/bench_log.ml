@@ -120,7 +120,7 @@ type jv =
 
 exception Bad_json
 
-let parse_json (s : string) : jv option =
+let parse_json_res (s : string) : (jv, string) result =
   let n = String.length s in
   let pos = ref 0 in
   let peek () = if !pos < n then Some s.[!pos] else None in
@@ -258,8 +258,12 @@ let parse_json (s : string) : jv option =
   match parse_value () with
   | v ->
       skip_ws ();
-      if !pos = n then Some v else None
-  | exception Bad_json -> None
+      if !pos = n then Ok v
+      else Error (Printf.sprintf "trailing bytes at offset %d" !pos)
+  | exception Bad_json ->
+      (* [pos] stopped where the parse gave up, so the offset in the
+         error is the first malformed construct. *)
+      Error (Printf.sprintf "malformed JSON at offset %d" !pos)
 
 let field key = function
   | Jobj fields -> List.assoc_opt key fields
@@ -300,6 +304,12 @@ let sections_of_json j =
         items
   | _ -> []
 
+(* Total entry point for external callers: [Bad_json] never crosses
+   this module's boundary (fault-barrier), and a malformed document
+   comes back as a positioned error instead of a silent []. *)
+let parse_sections contents =
+  Result.map sections_of_json (parse_json_res contents)
+
 let read_sections path =
   match
     if Sys.file_exists path then begin
@@ -312,9 +322,7 @@ let read_sections path =
   with
   | None -> []
   | Some contents -> (
-      match parse_json contents with
-      | Some j -> sections_of_json j
-      | None -> [])
+      match parse_sections contents with Ok sections -> sections | Error _ -> [])
   | exception Sys_error _ -> []
 
 (* Sections from [previous] that this run did not re-record keep their

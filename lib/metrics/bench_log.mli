@@ -53,6 +53,12 @@ val speedup_vs_serial_est : t -> float
 val to_json : t -> string
 (** This run only, without merging. *)
 
+val parse_sections : string -> (section list, string) result
+(** Total parse of a harness JSON document held in a string: [Ok]
+    with its sections (schema 1 or 2; [[]] when the document has
+    none), [Error] naming the byte offset of the first malformed
+    construct. Never raises. *)
+
 val read_sections : string -> section list
 (** Parse the sections out of an existing harness JSON (schema 1 or 2);
     [[]] if the file is missing or unparsable. *)

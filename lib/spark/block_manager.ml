@@ -100,15 +100,26 @@ let put t ~rdd_id ~pidx group =
           E_on_heap group
         end
         else begin
-          let ser = Serializer.serialize rt group in
-          let cache = Option.get t.ctx.Context.offheap in
-          let offset = t.offheap_top in
-          t.offheap_top <- t.offheap_top + ser.Serializer.bytes;
-          Page_cache.access cache ~cat:Clock.Serde_io ~write:true ~offset
-            ~len:ser.Serializer.bytes;
-          (* The deserialized heap copy is dropped: it becomes garbage
-             for the next collection. *)
-          E_off_heap { offset; ser }
+          match Serializer.serialize rt group with
+          | ser ->
+              let cache = Option.get t.ctx.Context.offheap in
+              let offset = t.offheap_top in
+              t.offheap_top <- t.offheap_top + ser.Serializer.bytes;
+              Page_cache.access cache ~cat:Clock.Serde_io ~write:true ~offset
+                ~len:ser.Serializer.bytes;
+              (* The deserialized heap copy is dropped: it becomes garbage
+                 for the next collection. *)
+              E_off_heap { offset; ser }
+          | exception Serializer.Not_serializable _ ->
+              (* A group that reaches JVM metadata cannot go off-heap.
+                 Keep the partition on the heap past the budget rather
+                 than failing the task: caching is an optimisation, and a
+                 dropped block would be recomputed from lineage anyway. *)
+              block_instant t ~cat:"spark" ~name:"block_put_unserializable"
+                ~rdd_id ~pidx;
+              Runtime.write_ref rt t.root group;
+              t.onheap_bytes <- t.onheap_bytes + bytes;
+              E_on_heap group
         end
   in
   Hashtbl.replace t.table key entry

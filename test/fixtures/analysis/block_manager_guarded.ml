@@ -1,0 +1,30 @@
+(* Seeded-regression fixture: the checked-read path of the Spark block
+   manager with its Io_retry fault barrier intact. The unguarded
+   variant (block_manager_unguarded.ml) deletes the handler; the suite
+   asserts the fault-barrier rule rejects it and names Io_error. *)
+
+module Io_retry = struct
+  exception Io_error of { op : string; attempts : int }
+
+  let run ~op attempt =
+    match attempt 0 with
+    | Ok v -> v
+    | Error `Transient -> raise (Io_error { op; attempts = 1 })
+  [@@th.raises "Io_error"]
+end
+
+module Page_cache = struct
+  let access ?(checked = false) ~offset ~len =
+    ignore (offset + len);
+    Io_retry.run ~op:"read" (fun _ ->
+        if checked then Error `Transient else Ok ())
+  [@@th.raises "Io_error(checked)"]
+end
+
+let get ~offset ~len ~recompute =
+  match Page_cache.access ~checked:true ~offset ~len with
+  | () -> ()
+  | exception Io_retry.Io_error _ ->
+      (* The serialized copy is unreadable past the retry budget:
+         recompute the partition from lineage instead of failing. *)
+      recompute ()

@@ -1,0 +1,25 @@
+(* Seeded-regression fixture: block_manager_guarded.ml with the
+   Io_retry fault barrier deleted — the checked read's Io_error now
+   escapes [get]. The suite asserts fault-barrier names it. *)
+
+module Io_retry = struct
+  exception Io_error of { op : string; attempts : int }
+
+  let run ~op attempt =
+    match attempt 0 with
+    | Ok v -> v
+    | Error `Transient -> raise (Io_error { op; attempts = 1 })
+  [@@th.raises "Io_error"]
+end
+
+module Page_cache = struct
+  let access ?(checked = false) ~offset ~len =
+    ignore (offset + len);
+    Io_retry.run ~op:"read" (fun _ ->
+        if checked then Error `Transient else Ok ())
+  [@@th.raises "Io_error(checked)"]
+end
+
+let get ~offset ~len ~recompute =
+  ignore recompute;
+  Page_cache.access ~checked:true ~offset ~len

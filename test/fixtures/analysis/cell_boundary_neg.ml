@@ -1,0 +1,10 @@
+exception Io_error of string
+
+let risky () = raise (Io_error "disk") [@@th.raises "Io_error"]
+
+let run pool xs =
+  Th_exec.Pool.map pool
+    (fun x ->
+      (try risky () with Io_error _ -> ());
+      x)
+    xs

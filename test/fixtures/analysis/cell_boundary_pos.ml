@@ -1,0 +1,5 @@
+exception Io_error of string
+
+let risky () = raise (Io_error "disk") [@@th.raises "Io_error"]
+
+let run pool xs = Th_exec.Pool.map pool (fun x -> risky (); x) xs

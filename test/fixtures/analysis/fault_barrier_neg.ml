@@ -1,0 +1,5 @@
+exception Io_error of string
+
+let fetch () = raise (Io_error "disk") [@@th.raises "Io_error"]
+
+let total () = try fetch () with Io_error _ -> ()

@@ -1,0 +1,3 @@
+exception Io_error of string
+
+let fetch () = raise (Io_error "disk")

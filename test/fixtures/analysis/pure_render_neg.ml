@@ -1,0 +1,5 @@
+let plan p =
+  Th_exec.Plan.seal p ~render:(fun v ->
+      let b = Buffer.create 16 in
+      Buffer.add_string b (string_of_int v);
+      Buffer.contents b)

@@ -1,0 +1,5 @@
+exception Bad of string
+
+let plan p =
+  Th_exec.Plan.seal p ~render:(fun v ->
+      if v < 0 then raise (Bad "negative") else string_of_int v)

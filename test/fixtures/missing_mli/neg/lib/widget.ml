@@ -1,0 +1,2 @@
+(* Sealed library unit — missing-mli must stay quiet. *)
+let twice x = x * 2

@@ -1,0 +1,1 @@
+val twice : int -> int

@@ -1,0 +1,2 @@
+(* Library unit with no sealing interface — missing-mli must fire. *)
+let twice x = x * 2

@@ -358,6 +358,117 @@ let test_policy_capture_atomic_clean () =
     || has_rule "escape-capture" r.Engine.waived
   then Alcotest.fail "Atomic-backed policy state must not be flagged"
 
+(* ------------------------------------------------------------------ *)
+(* Exception flow: seeded regression — deleting the Io_retry guard in  *)
+(* the block-manager fixture must trip fault-barrier by name           *)
+
+let test_block_manager_regression () =
+  let guarded = analyze_fixture "block_manager_guarded.ml" in
+  if
+    has_rule "fault-barrier" guarded.Engine.findings
+    || has_rule "fault-barrier" guarded.Engine.waived
+  then Alcotest.fail "guarded block-manager fixture must be barrier-clean";
+  let unguarded = analyze_fixture "block_manager_unguarded.ml" in
+  match
+    List.filter
+      (fun f -> String.equal f.Finding.rule "fault-barrier")
+      unguarded.Engine.findings
+  with
+  | [] -> Alcotest.fail "deleting the Io_retry guard must trip fault-barrier"
+  | f :: _ ->
+      Alcotest.(check bool) "finding names Io_error" true
+        (contains_sub f.Finding.message "Io_error")
+
+(* qcheck: a [@th.raises] declaration fixes the summary callers see —
+   whatever the body raises, inference never widens it. The twin
+   definition without the annotation checks inference still sees the
+   body's raises exactly. *)
+module Callgraph = Th_analysis.Callgraph
+module Raises = Th_analysis.Raises
+
+let ctor_universe = [ "Alpha"; "Beta"; "Gamma"; "Delta" ]
+
+let prop_declared_never_widened =
+  QCheck.Test.make ~count:100
+    ~name:"[@th.raises] summaries are never widened by inference"
+    (QCheck.make QCheck.Gen.(pair (int_bound 15) (int_bound 15)))
+    (fun (dbits, bbits) ->
+      let subset bits =
+        List.filteri (fun i _ -> bits land (1 lsl i) <> 0) ctor_universe
+      in
+      let declared = subset dbits and body = subset bbits in
+      let raises_of = function
+        | [] -> "()"
+        | cs -> String.concat "; " (List.map (fun c -> "raise " ^ c) cs)
+      in
+      let src =
+        Printf.sprintf
+          "exception Alpha\n\
+           exception Beta\n\
+           exception Gamma\n\
+           exception Delta\n\
+           let f () = %s [@@th.raises %S]\n\
+           let g () = %s\n"
+          (raises_of body)
+          (String.concat " " declared)
+          (raises_of body)
+      in
+      match Source.parse_string ~file:"lib/core/raises_probe.ml" src with
+      | Error m -> QCheck.Test.fail_reportf "probe does not parse: %s" m
+      | Ok s ->
+          let db = Callgraph.build [ s ] in
+          let t = Raises.build db [ s ] in
+          let key name =
+            { Callgraph.lib = "th_core"; modname = "Raises_probe"; name }
+          in
+          Raises.summary t (key "f") = List.sort String.compare declared
+          && Raises.summary t (key "g") = List.sort String.compare body)
+
+(* The fixpoint visits defs in canonical key order, so two analyses of
+   the same sources must serialize byte-identically. *)
+let test_raises_determinism () =
+  let files =
+    [
+      "block_manager_guarded.ml";
+      "block_manager_unguarded.ml";
+      "fault_barrier_pos.ml";
+      "cell_boundary_pos.ml";
+      "pure_render_pos.ml";
+    ]
+  in
+  let run () =
+    let sources =
+      List.map
+        (fun file ->
+          match Source.parse_file (Filename.concat fixture_dir file) with
+          | Ok s -> s
+          | Error m -> Alcotest.failf "%s does not parse: %s" file m)
+        files
+    in
+    let r = Engine.analyze sources in
+    Report.to_json ~waived:r.Engine.waived r.Engine.findings
+  in
+  Alcotest.(check string) "byte-identical JSON across two runs" (run ())
+    (run ())
+
+(* ------------------------------------------------------------------ *)
+(* File-system checks over the pos/neg fixture trees                   *)
+
+module Fscheck = Th_analysis.Fscheck
+
+let test_missing_mli_fixtures () =
+  let tree p = Filename.concat (Filename.concat "fixtures" "missing_mli") p in
+  (match Fscheck.missing_mli (Fscheck.collect_files (tree "pos")) with
+  | [ f ] ->
+      Alcotest.(check string) "rule" "missing-mli" f.Finding.rule;
+      Alcotest.(check bool) "names the unsealed unit" true
+        (contains_sub f.Finding.file "widget.ml")
+  | fs ->
+      Alcotest.failf "expected exactly one missing-mli finding, got %d"
+        (List.length fs));
+  Alcotest.(check int) "sealed tree is clean" 0
+    (List.length (Fscheck.missing_mli (Fscheck.collect_files (tree "neg"))))
+
 let test_selftest_passes () =
   match Selftest.run () with
   | Ok n -> Alcotest.(check bool) "some checks ran" true (n > 0)
@@ -388,6 +499,13 @@ let suite =
     QCheck_alcotest.to_alcotest prop_json_roundtrip;
     QCheck_alcotest.to_alcotest prop_sarif_roundtrip;
     Alcotest.test_case "SARIF document shape" `Quick test_sarif_shape;
+    Alcotest.test_case "seeded regression: unguarded block manager rejected"
+      `Quick test_block_manager_regression;
+    QCheck_alcotest.to_alcotest prop_declared_never_widened;
+    Alcotest.test_case "raises fixpoint is deterministic" `Quick
+      test_raises_determinism;
+    Alcotest.test_case "missing-mli pos/neg fixture trees" `Quick
+      test_missing_mli_fixtures;
     Alcotest.test_case "rule registry lookups" `Quick test_explain_unknown_rule;
     Alcotest.test_case "embedded self-test passes" `Quick test_selftest_passes;
   ]

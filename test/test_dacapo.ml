@@ -61,7 +61,7 @@ let test_profiles_well_formed () =
         (p.Th_workloads.Spark_profiles.dataset_gb > 0);
       Alcotest.(check bool) "dram ascending" true
         (let l = p.Th_workloads.Spark_profiles.sd_dram_gb in
-         List.sort compare l = l);
+         List.sort Int.compare l = l);
       Alcotest.(check bool) "cached fraction sane" true
         (p.Th_workloads.Spark_profiles.cached_fraction > 0.0
         && p.Th_workloads.Spark_profiles.cached_fraction <= 1.0))

@@ -139,6 +139,8 @@ let prop_no_reachable_object_freed =
       let reachable =
         Obj_.reachable ~roots:(roots_of rt) ~fence_h2:false
       in
+      (* Order-insensitive: conjunction over every binding.
+         th-lint: allow hashtbl-order *)
       Hashtbl.fold
         (fun _ (o : Obj_.t) ok ->
           if Obj_.is_freed o then begin
@@ -306,6 +308,8 @@ let prop_safety_under_config name config =
       let rt, table, _ = execute ~config program in
       Runtime.major_gc rt;
       let reachable = Obj_.reachable ~roots:(roots_of rt) ~fence_h2:false in
+      (* Order-insensitive: conjunction over every binding.
+         th-lint: allow hashtbl-order *)
       Hashtbl.fold
         (fun _ (o : Obj_.t) ok -> ok && not (Obj_.is_freed o))
         reachable true

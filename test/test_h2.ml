@@ -1,5 +1,10 @@
 (* Tests for the H2 region heap: allocation, labels, dependency lists,
-   liveness propagation, bulk reclamation, Union-Find mode, metadata. *)
+   liveness propagation, bulk reclamation, Union-Find mode, metadata.
+
+   Test bodies call H2.alloc bare: alcotest isolates each case, so an
+   Out_of_h2_space escaping a fixture fails that one case with a
+   backtrace — exactly what a sized-down fixture should do. *)
+[@@@th.allow "fault-barrier"]
 
 open Th_sim
 module Obj_ = Th_objmodel.Heap_object
@@ -236,6 +241,8 @@ let test_region_samples_on_reclaim () =
   ignore (H2.free_dead_regions h2 ~on_free:(fun o -> o.Obj_.loc <- Obj_.Freed));
   let samples = H2.harvest_region_samples h2 ~is_live:(fun _ -> true) in
   Alcotest.(check bool) "reclaimed region sampled at 0%" true
+    (* Exact-zero sentinel: a reclaimed region reports literally 0.0.
+       th-lint: allow float-equality *)
     (List.exists (fun s -> s.H2.live_object_pct = 0.0) samples)
 
 let test_size_segregated_buckets () =
@@ -304,6 +311,9 @@ let force ct ~seg st =
   match st with
   | HCT.Clean -> ()
   | HCT.Dirty -> HCT.mark_dirty ct ~gaddr:(seg * HCT.segment_size ct)
+  (* Every other state round-trips via set_state unchanged — the
+     forwarding arm is the point of the helper.
+     th-lint: allow catch-all-match *)
   | st -> HCT.set_state ct ~seg st
 
 let scan_non_clean ct =
@@ -374,6 +384,8 @@ let test_transition_hook_records_events () =
   HCT.set_transition_hook ct None;
   HCT.mark_dirty ct ~gaddr:0;
   Alcotest.(check bool) "hook saw barrier, sticky recompute, bulk clear" true
+    (* Golden transition log: structural equality against the expected
+       literal is exactly the assertion. th-lint: allow poly-compare *)
     (List.rev !log
     = [
         (0, HCT.Clean, HCT.Dirty, HCT.Barrier_dirty);

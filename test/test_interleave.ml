@@ -5,7 +5,12 @@
    threads' atomic operations, so for fixed per-thread op counts the
    schedule total must equal the multinomial coefficient — checked
    exactly on small hand-built programs before trusting the harness on
-   the real deque. *)
+   the real deque.
+
+   Test bodies call Interleave.explore bare: the hand-built programs
+   are orders of magnitude under the schedule budget, and alcotest
+   fails the case with a backtrace if one ever isn't. *)
+[@@@th.allow "fault-barrier"]
 
 module Interleave = Th_analysis.Interleave
 module Deque_check = Th_analysis.Deque_check
@@ -63,13 +68,16 @@ let test_exhaustive_counts () =
    orderings: each thread performs one atomic set. *)
 let test_single_op_schedules () =
   let program () =
+    (* The data race between the two plain stores IS the property under
+       test: the explorer must surface both outcomes.
+       th-lint: allow atomic-plain-write atomic-plain-read atomic-missing-role *)
     let cell = A.make 0 in
     let body v () = A.set cell v in
     ([| body 1; body 2 |], fun () -> A.get cell)
   in
   let outcomes, schedules = Interleave.explore program in
   Alcotest.(check int) "two schedules for two 1-op threads" 2 schedules;
-  let sorted = List.sort_uniq compare outcomes in
+  let sorted = List.sort_uniq Int.compare outcomes in
   Alcotest.(check (list int)) "both orders observed" [ 1; 2 ] sorted
 
 let test_schedule_limit () =

@@ -163,6 +163,31 @@ let test_bench_log_unparsable () =
       Alcotest.(check int) "write recovers" 1
         (List.length (Bench_log.read_sections path)))
 
+let test_bench_log_parse_sections_total () =
+  (* Well-formed document: sections come back under Ok. *)
+  (match
+     Bench_log.parse_sections
+       {|{ "jobs": 2, "sections": [ { "name": "fig7", "wall_s": 1.0 } ] }|}
+   with
+  | Ok [ s ] -> Alcotest.(check string) "name" "fig7" s.Bench_log.name
+  | Ok other -> Alcotest.failf "expected one section, got %d" (List.length other)
+  | Error e -> Alcotest.failf "well-formed document rejected: %s" e);
+  (* No sections is Ok [], not an error. *)
+  (match Bench_log.parse_sections {|{ "jobs": 2 }|} with
+  | Ok [] -> ()
+  | Ok _ -> Alcotest.fail "sections invented out of nothing"
+  | Error e -> Alcotest.failf "sectionless document rejected: %s" e);
+  (* Malformed input returns a positioned Error — never raises. *)
+  match Bench_log.parse_sections {|{ "jobs": |} with
+  | Ok _ -> Alcotest.fail "malformed document accepted"
+  | Error e ->
+      Alcotest.(check bool) "error names an offset" true
+        (let rec has i =
+           i + 6 <= String.length e
+           && (String.sub e i 6 = "offset" || has (i + 1))
+         in
+         has 0)
+
 let suite =
   [
     Alcotest.test_case "cdf points sorted" `Quick test_cdf_points_sorted;
@@ -183,4 +208,6 @@ let suite =
       test_bench_log_speedups;
     Alcotest.test_case "bench log survives unparsable files" `Quick
       test_bench_log_unparsable;
+    Alcotest.test_case "bench log parse_sections is total" `Quick
+      test_bench_log_parse_sections_total;
   ]

@@ -133,10 +133,9 @@ let test_bm_get_offheap_deserializes () =
   (* Find an off-heap partition and read it: a fresh group materialises. *)
   let offheap_pidx = ref (-1) in
   for pidx = 0 to rdd.Rdd.partitions - 1 do
-    if
-      Block_manager.entry_kind bm ~rdd_id:rdd.Rdd.id ~pidx
-      = Some Block_manager.Off_heap
-    then offheap_pidx := pidx
+    match Block_manager.entry_kind bm ~rdd_id:rdd.Rdd.id ~pidx with
+    | Some Block_manager.Off_heap -> offheap_pidx := pidx
+    | Some _ | None -> ()
   done;
   let sd_before = (Clock.breakdown (Runtime.clock rt)).Clock.serde_io_ns in
   let seen = ref 0 in

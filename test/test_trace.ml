@@ -136,6 +136,7 @@ let check_nesting events =
           | [] -> Alcotest.failf "span_end %s with no open span" e.Event.name)
       | Event.Complete _ | Event.Instant | Event.Counter -> ())
     events;
+  (* Order-insensitive: sums the open-span counts. th-lint: allow hashtbl-order *)
   Hashtbl.fold (fun _ s n -> n + List.length s) stacks 0
 
 (* Events are recorded in simulated-time order, but a Complete event is

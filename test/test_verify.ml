@@ -103,6 +103,8 @@ let test_detects_illegal_h2_card_clean () =
   let cfg = H2.config h2 in
   let gaddr = (a.Obj_.h2_region * cfg.H2.region_size) + a.Obj_.addr in
   let seg = H2_card_table.segment_of ct ~gaddr in
+  (* Any state but the two scanned ones fails the precondition — the
+     catch-all is the assertion. th-lint: allow catch-all-match *)
   (match H2_card_table.state ct ~seg with
   | H2_card_table.Dirty | H2_card_table.Young_gen -> ()
   | _ -> Alcotest.fail "precondition: backward ref left no scanned card");
@@ -385,6 +387,9 @@ let prop_plant_freed_root =
   plant "marking a rooted object freed is detected" ~count:40
     (fun _ _ pinned ->
       let victim =
+        (* Any live object serves as the planted victim; which binding
+           the fold happens to surface first is immaterial.
+           th-lint: allow hashtbl-order *)
         Hashtbl.fold
           (fun _ (o : Obj_.t) acc ->
             match acc with
@@ -403,6 +408,8 @@ let prop_plant_clock_reset =
     ~count:40 Test_gc_props.arbitrary_program
     (fun program ->
       let rt, _, _ = Test_gc_props.execute program in
+      (* Exact-zero guard: a program that never advanced the clock has
+         literally 0.0 ns. th-lint: allow float-equality *)
       if Clock.now_ns (Runtime.clock rt) = 0.0 then true
       else begin
         let v = Verify.attach rt Verify.Safepoint in
